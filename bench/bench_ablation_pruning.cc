@@ -1,0 +1,175 @@
+// Ablation study (ours; motivated by DESIGN.md): contribution of each
+// pruning/search technique to SCPM's runtime on the SmallDBLP-like
+// dataset.
+//
+//  * Theorem 3 vertex pruning on/off (attribute-set level)
+//  * Theorem 4 (eps) and Theorem 5 (delta) attribute-set pruning on/off
+//  * quasi-clique miner internals: vertex reduction, size bound,
+//    lookahead, diameter filter on/off (measured via coverage mining on
+//    the densest induced subgraphs)
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "graph/subgraph.h"
+#include "qclique/miner.h"
+
+namespace {
+
+const scpm::AttributedGraph* g_graph = nullptr;
+scpm::MaxExpectationModel* g_model = nullptr;
+
+scpm::ScpmOptions Defaults() {
+  scpm::ScpmOptions o;
+  o.quasi_clique.gamma = 0.5;
+  o.quasi_clique.min_size = 9;
+  o.min_support = 15;
+  // Selective thresholds so Theorems 4/5 have extension candidates to
+  // prune (with permissive thresholds everything extends regardless).
+  o.min_epsilon = 0.3;
+  o.min_delta = 25.0;
+  o.top_k = 5;
+  return o;
+}
+
+void TimeScpm(const std::string& label, const scpm::ScpmOptions& options) {
+  scpm::ScpmMiner miner(options, g_model);
+  scpm::WallTimer timer;
+  auto result = miner.Mine(*g_graph);
+  if (!result.ok()) {
+    std::cerr << label << " failed: " << result.status() << "\n";
+    return;
+  }
+  std::cout << std::left << std::setw(40) << label << std::right
+            << std::setw(12) << std::fixed << std::setprecision(4)
+            << timer.ElapsedSeconds() << std::setw(14)
+            << result->counters.coverage_candidates << std::setw(10)
+            << result->counters.attribute_sets_evaluated << "\n";
+}
+
+void TimeMinerFlags(const std::string& label,
+                    scpm::QuasiCliqueMinerOptions options,
+                    const scpm::Graph& graph) {
+  // Bound the search: an ablation that exceeds the budget is reported as
+  // such (that *is* the measurement — the technique was load-bearing).
+  options.max_candidates = 2'000'000;
+  scpm::QuasiCliqueMiner miner(options);
+  scpm::WallTimer timer;
+  auto covered = miner.MineCoverage(graph);
+  std::cout << std::left << std::setw(40) << label << std::right
+            << std::setw(12) << std::fixed << std::setprecision(4)
+            << timer.ElapsedSeconds() << std::setw(14)
+            << miner.stats().candidates_processed;
+  if (covered.ok()) {
+    std::cout << std::setw(10) << covered->size() << "\n";
+  } else {
+    std::cout << std::setw(10) << "BUDGET" << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  scpm::bench::Banner("Ablation — pruning and search strategies",
+                      "runtime / candidates with each technique disabled");
+  const double scale = scpm::bench::Scale();
+  scpm::Result<scpm::SyntheticDataset> dataset =
+      scpm::GenerateSynthetic(scpm::SmallDblpConfig(scale));
+  if (!dataset.ok()) {
+    std::cerr << "generation failed: " << dataset.status() << "\n";
+    return 1;
+  }
+  g_graph = &dataset->graph;
+  scpm::Graph topology = g_graph->graph();
+  scpm::MaxExpectationModel model(topology, Defaults().quasi_clique);
+  g_model = &model;
+
+  scpm::bench::SectionHeader("SCPM attribute-set pruning (Theorems 3-5)");
+  std::cout << std::left << std::setw(40) << "configuration" << std::right
+            << std::setw(12) << "seconds" << std::setw(14) << "qc-cands"
+            << std::setw(10) << "sets" << "\n";
+  TimeScpm("all pruning on (default)", Defaults());
+  {
+    scpm::ScpmOptions o = Defaults();
+    o.use_vertex_pruning = false;
+    TimeScpm("no Theorem-3 vertex pruning", o);
+  }
+  {
+    scpm::ScpmOptions o = Defaults();
+    o.use_epsilon_pruning = false;
+    TimeScpm("no Theorem-4 eps pruning", o);
+  }
+  {
+    scpm::ScpmOptions o = Defaults();
+    o.use_delta_pruning = false;
+    TimeScpm("no Theorem-5 delta pruning", o);
+  }
+  {
+    scpm::ScpmOptions o = Defaults();
+    o.use_vertex_pruning = false;
+    o.use_epsilon_pruning = false;
+    o.use_delta_pruning = false;
+    TimeScpm("no attribute-set pruning at all", o);
+  }
+
+  scpm::bench::SectionHeader(
+      "quasi-clique miner internals (coverage of densest induced graph)");
+  // Use the graph induced by the highest-support attribute (a generic
+  // filler word whose induced graph mixes background and communities).
+  scpm::AttributeId best = 0;
+  std::size_t best_support = 0;
+  for (scpm::AttributeId a = 0; a < g_graph->NumAttributes(); ++a) {
+    if (g_graph->VerticesWith(a).size() > best_support) {
+      best_support = g_graph->VerticesWith(a).size();
+      best = a;
+    }
+  }
+  auto sub = scpm::InducedSubgraph::Create(topology,
+                                           g_graph->VerticesWith(best));
+  if (!sub.ok()) {
+    std::cerr << "induction failed: " << sub.status() << "\n";
+    return 1;
+  }
+  std::cout << "induced graph: " << sub->NumVertices() << " vertices, "
+            << sub->graph().NumEdges() << " edges (attribute "
+            << g_graph->AttributeName(best) << ")\n";
+  std::cout << std::left << std::setw(40) << "configuration" << std::right
+            << std::setw(12) << "seconds" << std::setw(14) << "candidates"
+            << std::setw(10) << "covered" << "\n";
+  scpm::QuasiCliqueMinerOptions base;
+  base.params = Defaults().quasi_clique;
+  TimeMinerFlags("all miner pruning on (default)", base, sub->graph());
+  {
+    auto o = base;
+    o.enable_vertex_reduction = false;
+    TimeMinerFlags("no vertex reduction", o, sub->graph());
+  }
+  {
+    auto o = base;
+    o.enable_size_bound = false;
+    TimeMinerFlags("no size upper bound", o, sub->graph());
+  }
+  {
+    auto o = base;
+    o.enable_lookahead = false;
+    TimeMinerFlags("no lookahead", o, sub->graph());
+  }
+  {
+    auto o = base;
+    o.enable_diameter_filter = false;
+    TimeMinerFlags("no diameter filter", o, sub->graph());
+  }
+  {
+    auto o = base;
+    o.enable_critical_vertex = false;
+    TimeMinerFlags("no critical-vertex jumps", o, sub->graph());
+  }
+  {
+    auto o = base;
+    o.order = scpm::SearchOrder::kBfs;
+    TimeMinerFlags("BFS candidate order", o, sub->graph());
+  }
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Reproduces paper Figure 8 (performance evaluation, §4.2): runtime of
+// SCPM-BFS, SCPM-DFS, and the Naive algorithm on the SmallDBLP-like
+// dataset while sweeping each parameter with the others fixed:
+//   (a) gamma_min  (b) min_size  (c) sigma_min  (d) eps_min
+//   (e) delta_min  (f) k (SCPM-DFS vs Naive only).
+//
+// Expected shape: SCPM-DFS <= SCPM-BFS << Naive (the paper reports up to
+// 3 orders of magnitude); SCPM runtimes drop as eps_min / delta_min grow
+// (Theorem 4/5 pruning), Naive is flat in those parameters.
+
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/naive.h"
+
+namespace {
+
+using scpm::ScpmOptions;
+
+struct Timing {
+  double scpm_bfs = 0;
+  double scpm_dfs = 0;
+  double naive = 0;
+};
+
+const scpm::AttributedGraph* g_graph = nullptr;
+scpm::MaxExpectationModel* g_model = nullptr;
+
+double TimeMiner(bool naive, const ScpmOptions& options) {
+  scpm::WallTimer timer;
+  if (naive) {
+    scpm::NaiveMiner miner(options, g_model);
+    auto result = miner.Mine(*g_graph);
+    if (!result.ok()) std::cerr << "naive failed: " << result.status() << "\n";
+  } else {
+    scpm::ScpmMiner miner(options, g_model);
+    auto result = miner.Mine(*g_graph);
+    if (!result.ok()) std::cerr << "scpm failed: " << result.status() << "\n";
+  }
+  return timer.ElapsedSeconds();
+}
+
+Timing TimeAll(ScpmOptions options, bool run_naive = true) {
+  Timing t;
+  options.search_order = scpm::SearchOrder::kBfs;
+  t.scpm_bfs = TimeMiner(false, options);
+  options.search_order = scpm::SearchOrder::kDfs;
+  t.scpm_dfs = TimeMiner(false, options);
+  if (run_naive) t.naive = TimeMiner(true, options);
+  return t;
+}
+
+void PrintRow(double x, const Timing& t) {
+  std::cout << std::setw(10) << x << std::setw(14) << std::fixed
+            << std::setprecision(4) << t.scpm_bfs << std::setw(14)
+            << t.scpm_dfs << std::setw(14) << t.naive << "\n";
+}
+
+void Header(const char* param) {
+  std::cout << std::setw(10) << param << std::setw(14) << "SCPM-BFS(s)"
+            << std::setw(14) << "SCPM-DFS(s)" << std::setw(14)
+            << "Naive(s)" << "\n";
+}
+
+/// Paper defaults (scaled): gamma=0.5, min_size=11, sigma_min=100,
+/// eps_min=0.1, delta_min=1, k=5.
+ScpmOptions Defaults() {
+  ScpmOptions o;
+  o.quasi_clique.gamma = 0.5;
+  o.quasi_clique.min_size = 9;
+  o.min_support = 25;
+  o.min_epsilon = 0.1;
+  o.min_delta = 1.0;
+  o.top_k = 5;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  scpm::bench::Banner(
+      "Figure 8 — runtime of SCPM-BFS / SCPM-DFS / Naive",
+      "SmallDBLP-like dataset; sweeps (a)-(f) of §4.2");
+  const double scale = scpm::bench::Scale();
+  scpm::Result<scpm::SyntheticDataset> dataset =
+      scpm::GenerateSynthetic(scpm::SmallDblpConfig(scale));
+  if (!dataset.ok()) {
+    std::cerr << "generation failed: " << dataset.status() << "\n";
+    return 1;
+  }
+  g_graph = &dataset->graph;
+  std::cout << "dataset: " << g_graph->NumVertices() << " vertices, "
+            << g_graph->graph().NumEdges() << " edges, "
+            << g_graph->NumAttributes() << " attributes\n";
+  scpm::Graph topology = g_graph->graph();
+  scpm::MaxExpectationModel model(topology, Defaults().quasi_clique);
+  g_model = &model;
+
+  scpm::bench::SectionHeader("(a) runtime x gamma_min");
+  Header("gamma");
+  for (double gamma : {0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+    ScpmOptions o = Defaults();
+    o.quasi_clique.gamma = gamma;
+    PrintRow(gamma, TimeAll(o));
+  }
+
+  scpm::bench::SectionHeader("(b) runtime x min_size");
+  Header("min_size");
+  for (std::uint32_t min_size : {8u, 9u, 10u, 11u, 12u}) {
+    ScpmOptions o = Defaults();
+    o.quasi_clique.min_size = min_size;
+    PrintRow(min_size, TimeAll(o));
+  }
+
+  scpm::bench::SectionHeader("(c) runtime x sigma_min");
+  Header("sigma_min");
+  for (std::size_t sigma : {15u, 20u, 25u, 35u, 50u}) {
+    ScpmOptions o = Defaults();
+    o.min_support = sigma;
+    PrintRow(static_cast<double>(sigma), TimeAll(o));
+  }
+
+  scpm::bench::SectionHeader("(d) runtime x eps_min");
+  Header("eps_min");
+  for (double eps : {0.1, 0.15, 0.2, 0.25}) {
+    ScpmOptions o = Defaults();
+    o.min_epsilon = eps;
+    PrintRow(eps, TimeAll(o));
+  }
+
+  scpm::bench::SectionHeader("(e) runtime x delta_min");
+  Header("delta_min");
+  for (double delta : {1.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    ScpmOptions o = Defaults();
+    o.min_delta = delta;
+    PrintRow(delta, TimeAll(o));
+  }
+
+  scpm::bench::SectionHeader("(f) runtime x k (SCPM-DFS vs Naive)");
+  std::cout << std::setw(10) << "k" << std::setw(14) << "SCPM-DFS(s)"
+            << std::setw(14) << "Naive(s)" << "\n";
+  for (std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+    ScpmOptions o = Defaults();
+    o.top_k = k;
+    o.search_order = scpm::SearchOrder::kDfs;
+    const double dfs = TimeMiner(false, o);
+    const double naive = TimeMiner(true, o);
+    std::cout << std::setw(10) << k << std::setw(14) << std::fixed
+              << std::setprecision(4) << dfs << std::setw(14) << naive
+              << "\n";
+  }
+  return 0;
+}

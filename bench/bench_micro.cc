@@ -1,0 +1,136 @@
+// google-benchmark micro-benchmarks for the substrates: sorted-set
+// algebra, subgraph induction, Eclat, quasi-clique coverage mining, and
+// the analytical null model.
+
+#include <benchmark/benchmark.h>
+
+#include "datasets/synthetic.h"
+#include "fim/eclat.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "nullmodel/expectation.h"
+#include "qclique/miner.h"
+#include "util/random.h"
+#include "util/sorted_ops.h"
+
+namespace scpm {
+namespace {
+
+std::vector<std::uint32_t> RandomSorted(Rng& rng, std::size_t n,
+                                        std::uint32_t universe) {
+  std::vector<std::uint32_t> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<std::uint32_t>(rng.NextBounded(universe)));
+  }
+  SortUnique(&v);
+  return v;
+}
+
+void BM_SortedIntersect(benchmark::State& state) {
+  Rng rng(1);
+  const auto a = RandomSorted(rng, state.range(0), 1 << 20);
+  const auto b = RandomSorted(rng, state.range(0), 1 << 20);
+  std::vector<std::uint32_t> out;
+  for (auto _ : state) {
+    SortedIntersect(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_SortedIntersect)->Range(1 << 8, 1 << 14);
+
+void BM_SortedIntersectAsymmetric(benchmark::State& state) {
+  Rng rng(2);
+  const auto small = RandomSorted(rng, 64, 1 << 20);
+  const auto large = RandomSorted(rng, state.range(0), 1 << 20);
+  std::vector<std::uint32_t> out;
+  for (auto _ : state) {
+    SortedIntersect(small, large, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SortedIntersectAsymmetric)->Range(1 << 10, 1 << 16);
+
+void BM_InducedSubgraph(benchmark::State& state) {
+  Rng rng(3);
+  Result<Graph> g = ChungLu(PowerLawWeights(5000, 2.5, 8.0), rng);
+  const VertexSet subset = rng.SampleWithoutReplacement(
+      5000, static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto sub = InducedSubgraph::Create(*g, subset);
+    benchmark::DoNotOptimize(sub);
+  }
+}
+BENCHMARK(BM_InducedSubgraph)->Range(64, 2048);
+
+void BM_EclatMine(benchmark::State& state) {
+  Result<SyntheticDataset> d = GenerateSynthetic(DblpLikeConfig(0.2));
+  EclatOptions options;
+  options.min_support = static_cast<std::size_t>(state.range(0));
+  Eclat eclat(options);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    auto status = eclat.Mine(d->graph,
+                             [&count](const AttributeSet&, const VertexSet&) {
+                               ++count;
+                               return true;
+                             });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_EclatMine)->Arg(10)->Arg(25)->Arg(50);
+
+void BM_QuasiCliqueCoverage(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<Edge> edges;
+  Result<Graph> bg = ErdosRenyi(static_cast<VertexId>(state.range(0)),
+                                4.0 / state.range(0), rng);
+  edges = bg->Edges();
+  PlantGroups(static_cast<VertexId>(state.range(0)), 5, 8, 12, 0.8, rng,
+              &edges);
+  Result<Graph> g =
+      Graph::FromEdges(static_cast<VertexId>(state.range(0)), edges);
+  QuasiCliqueMinerOptions options;
+  options.params = {.gamma = 0.5, .min_size = 8};
+  options.max_candidates = 5'000'000;  // Safety valve.
+  QuasiCliqueMiner miner(options);
+  for (auto _ : state) {
+    auto covered = miner.MineCoverage(*g);
+    benchmark::DoNotOptimize(covered);
+  }
+}
+BENCHMARK(BM_QuasiCliqueCoverage)->Arg(100)->Arg(300)->Arg(1000);
+
+void BM_MaxExpModel(benchmark::State& state) {
+  Rng rng(5);
+  Result<Graph> g = ChungLu(PowerLawWeights(10000, 2.5, 8.0), rng);
+  for (auto _ : state) {
+    // Rebuild each iteration: benchmark includes the histogram pass and an
+    // uncached expectation evaluation.
+    MaxExpectationModel model(*g, {.gamma = 0.5, .min_size = 10});
+    benchmark::DoNotOptimize(
+        model.Expectation(static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_MaxExpModel)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_VertexReductionOnly(benchmark::State& state) {
+  // min_size so large that the reduction empties the graph: measures the
+  // peeling pass in isolation (the hub core of a power-law graph would
+  // otherwise dominate with actual search work).
+  Rng rng(6);
+  Result<Graph> g = ChungLu(
+      PowerLawWeights(static_cast<VertexId>(state.range(0)), 2.5, 8.0), rng);
+  QuasiCliqueMinerOptions options;
+  options.params = {.gamma = 0.5, .min_size = 2000};
+  QuasiCliqueMiner miner(options);
+  for (auto _ : state) {
+    auto covered = miner.MineCoverage(*g);
+    benchmark::DoNotOptimize(covered);
+  }
+}
+BENCHMARK(BM_VertexReductionOnly)->Arg(10000)->Arg(50000);
+
+}  // namespace
+}  // namespace scpm

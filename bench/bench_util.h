@@ -1,0 +1,84 @@
+// Shared helpers for the table/figure reproduction benches.
+
+#ifndef SCPM_BENCH_BENCH_UTIL_H_
+#define SCPM_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "core/report.h"
+#include "core/scpm.h"
+#include "datasets/synthetic.h"
+#include "graph/metrics.h"
+#include "nullmodel/expectation.h"
+#include "util/timer.h"
+
+namespace scpm::bench {
+
+/// Scale factor for dataset sizes, overridable via SCPM_BENCH_SCALE.
+inline double Scale(double fallback = 0.4) {
+  if (const char* env = std::getenv("SCPM_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// Prints a banner naming the paper artifact being reproduced.
+inline void Banner(const std::string& artifact, const std::string& note) {
+  std::cout << "==========================================================\n"
+            << artifact << "\n"
+            << note << "\n"
+            << "==========================================================\n";
+}
+
+inline void SectionHeader(const std::string& title) {
+  std::cout << "\n--- " << title << " ---\n";
+}
+
+/// Shared driver for the Table 2/3/4 case studies: generate the synthetic
+/// analogue, mine with the max-exp null model, print top-10 by
+/// sigma / eps / delta_lb plus the largest pattern.
+inline int RunCaseStudy(const SyntheticConfig& config,
+                        ScpmOptions options) {
+  Result<SyntheticDataset> dataset = GenerateSynthetic(config);
+  if (!dataset.ok()) {
+    std::cerr << "generation failed: " << dataset.status() << "\n";
+    return 1;
+  }
+  const AttributedGraph& graph = dataset->graph;
+  std::cout << "dataset: " << graph.NumVertices() << " vertices, "
+            << graph.graph().NumEdges() << " edges, "
+            << graph.NumAttributes() << " attributes ("
+            << dataset->communities.size() << " planted communities, "
+            << dataset->topics.size() << " topics)\n";
+  std::cout << "params: gamma=" << options.quasi_clique.gamma
+            << " min_size=" << options.quasi_clique.min_size
+            << " sigma_min=" << options.min_support
+            << " eps_min=" << options.min_epsilon << "\n\n";
+
+  Graph topology = graph.graph();
+  MaxExpectationModel null_model(topology, options.quasi_clique);
+  ScpmMiner miner(options, &null_model);
+  WallTimer timer;
+  Result<ScpmResult> result = miner.Mine(graph);
+  if (!result.ok()) {
+    std::cerr << "mining failed: " << result.status() << "\n";
+    return 1;
+  }
+  std::cout << "mined " << result->attribute_sets.size()
+            << " attribute sets / " << result->patterns.size()
+            << " patterns in " << timer.ElapsedSeconds() << " s\n\n";
+  PrintTopAttributeSets(std::cout, graph, result->attribute_sets, 10);
+  if (!result->patterns.empty()) {
+    std::cout << "\nlargest pattern: "
+              << FormatPattern(graph, result->patterns.front()) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace scpm::bench
+
+#endif  // SCPM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,66 @@
+// Collaboration-network scenario (the paper's DBLP case study, §4.1.1).
+//
+// Generates the DBLP-like synthetic analogue (power-law co-authorship
+// background + planted research groups sharing title-term topics), then
+// mines structural correlation patterns and prints the paper's Table-2
+// style report: top attribute sets by support, by eps, and by delta_lb.
+//
+// Usage: collaboration_communities [scale]   (default scale 0.5)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/report.h"
+#include "core/scpm.h"
+#include "datasets/synthetic.h"
+#include "graph/metrics.h"
+#include "nullmodel/expectation.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  std::cout << "Generating DBLP-like collaboration network (scale " << scale
+            << ")...\n";
+  scpm::Result<scpm::SyntheticDataset> dataset =
+      scpm::GenerateSynthetic(scpm::DblpLikeConfig(scale));
+  if (!dataset.ok()) {
+    std::cerr << "generation failed: " << dataset.status() << "\n";
+    return 1;
+  }
+  const scpm::AttributedGraph& graph = dataset->graph;
+  std::cout << "  " << graph.NumVertices() << " authors, "
+            << graph.graph().NumEdges() << " co-authorships, "
+            << graph.NumAttributes() << " title terms, avg degree "
+            << scpm::AverageDegree(graph.graph()) << "\n";
+
+  // Paper DBLP parameters (scaled): gamma=0.5, min_size=10; we lower
+  // min_size with the graph scale so communities remain findable.
+  scpm::ScpmOptions options;
+  options.quasi_clique.gamma = 0.5;
+  options.quasi_clique.min_size = 8;
+  options.min_support = 20;
+  options.min_epsilon = 0.05;
+  options.top_k = 5;
+
+  scpm::Graph topology = graph.graph();
+  scpm::MaxExpectationModel null_model(topology, options.quasi_clique);
+  scpm::ScpmMiner miner(options, &null_model);
+
+  scpm::WallTimer timer;
+  scpm::Result<scpm::ScpmResult> result = miner.Mine(graph);
+  if (!result.ok()) {
+    std::cerr << "mining failed: " << result.status() << "\n";
+    return 1;
+  }
+  std::cout << "Mined " << result->attribute_sets.size()
+            << " attribute sets and " << result->patterns.size()
+            << " patterns in " << timer.ElapsedSeconds() << " s\n\n";
+
+  scpm::PrintTopAttributeSets(std::cout, graph, result->attribute_sets, 10);
+
+  std::cout << "\nLargest structural correlation patterns:\n";
+  for (std::size_t i = 0; i < result->patterns.size() && i < 5; ++i) {
+    std::cout << "  " << FormatPattern(graph, result->patterns[i]) << "\n";
+  }
+  return 0;
+}

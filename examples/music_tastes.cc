@@ -1,0 +1,72 @@
+// Music-network scenario (the paper's LastFm case study, §4.1.2).
+//
+// LastFm-like analogue: a very sparse friendship graph where vertex
+// attributes are listened-to artists. Musical tastes (artist sets) that
+// induce friend communities get high structural correlation; hugely
+// popular artists get high support but low normalized correlation.
+// Demonstrates the delta_lb ranking and the sim-exp / max-exp comparison
+// on concrete support values.
+//
+// Usage: music_tastes [scale]   (default scale 0.4)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/report.h"
+#include "core/scpm.h"
+#include "datasets/synthetic.h"
+#include "graph/metrics.h"
+#include "nullmodel/expectation.h"
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.4;
+  std::cout << "Generating LastFm-like music network (scale " << scale
+            << ")...\n";
+  scpm::Result<scpm::SyntheticDataset> dataset =
+      scpm::GenerateSynthetic(scpm::LastFmLikeConfig(scale));
+  if (!dataset.ok()) {
+    std::cerr << "generation failed: " << dataset.status() << "\n";
+    return 1;
+  }
+  const scpm::AttributedGraph& graph = dataset->graph;
+  std::cout << "  " << graph.NumVertices() << " users, "
+            << graph.graph().NumEdges() << " friendships, "
+            << graph.NumAttributes() << " artists\n";
+
+  // Paper LastFm parameters: gamma=0.5, min_size=5.
+  scpm::ScpmOptions options;
+  options.quasi_clique.gamma = 0.5;
+  options.quasi_clique.min_size = 5;
+  options.min_support = 15;
+  options.min_epsilon = 0.02;
+  options.top_k = 3;
+
+  scpm::Graph topology = graph.graph();
+  scpm::MaxExpectationModel max_model(topology, options.quasi_clique);
+  scpm::ScpmMiner miner(options, &max_model);
+  scpm::Result<scpm::ScpmResult> result = miner.Mine(graph);
+  if (!result.ok()) {
+    std::cerr << "mining failed: " << result.status() << "\n";
+    return 1;
+  }
+  scpm::PrintTopAttributeSets(std::cout, graph, result->attribute_sets, 10);
+
+  // Compare the two null models on a few supports (paper Figure 7).
+  std::cout << "\nExpected structural correlation (sim-exp vs max-exp):\n";
+  scpm::SimExpectationModel sim_model(topology, options.quasi_clique,
+                                      /*num_samples=*/20, /*seed=*/1);
+  for (std::size_t support :
+       {std::size_t{50}, std::size_t{150}, std::size_t{400}}) {
+    if (support > graph.NumVertices()) break;
+    std::cout << "  sigma=" << support
+              << "  sim-exp=" << sim_model.Expectation(support)
+              << "  max-exp=" << max_model.Expectation(support) << "\n";
+  }
+
+  std::cout << "\nLargest taste community found:\n";
+  if (!result->patterns.empty()) {
+    std::cout << "  " << FormatPattern(graph, result->patterns.front())
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: build a small attributed graph, mine structural correlation
+// patterns, print the results.
+//
+// This walks the paper's Figure-1 running example end to end:
+//   1. build an AttributedGraph (vertices, edges, named attributes);
+//   2. configure ScpmOptions (quasi-clique gamma / min_size, sigma_min,
+//      eps_min, top-k);
+//   3. run ScpmMiner and inspect attribute-set statistics and patterns.
+
+#include <iostream>
+
+#include "core/report.h"
+#include "core/scpm.h"
+#include "datasets/paper_example.h"
+
+int main() {
+  // The paper's Figure-1 graph: 11 authors, attributes A..E.
+  const scpm::AttributedGraph graph = scpm::PaperExampleGraph();
+  std::cout << "Graph: " << graph.NumVertices() << " vertices, "
+            << graph.graph().NumEdges() << " edges, "
+            << graph.NumAttributes() << " attributes\n\n";
+
+  // Paper parameters for Table 1.
+  scpm::ScpmOptions options;
+  options.quasi_clique.gamma = 0.6;  // quasi-clique density threshold
+  options.quasi_clique.min_size = 4;
+  options.min_support = 3;           // sigma_min
+  options.min_epsilon = 0.5;         // eps_min
+  options.top_k = 10;
+
+  scpm::ScpmMiner miner(options);
+  scpm::Result<scpm::ScpmResult> result = miner.Mine(graph);
+  if (!result.ok()) {
+    std::cerr << "mining failed: " << result.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "Attribute sets passing eps_min = " << options.min_epsilon
+            << ":\n";
+  for (const scpm::AttributeSetStats& s : result->attribute_sets) {
+    std::cout << "  " << scpm::FormatStatsRow(graph, s) << "\n";
+  }
+
+  std::cout << "\nStructural correlation patterns (paper Table 1; vertex "
+               "ids are 0-based, paper ids are +1):\n";
+  scpm::PrintPatternTable(std::cout, graph, *result);
+
+  std::cout << "\nSearch effort: "
+            << result->counters.attribute_sets_evaluated
+            << " attribute sets evaluated, "
+            << result->counters.coverage_candidates
+            << " quasi-clique candidates processed\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "core/export.h"
+
+#include <fstream>
+#include <iomanip>
+
+namespace scpm {
+namespace {
+
+std::string JoinAttributeNames(const AttributedGraph& graph,
+                               const AttributeSet& attrs) {
+  std::string out;
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) out += "|";
+    out += graph.AttributeName(attrs[i]);
+  }
+  return out;
+}
+
+std::string JoinVertices(const VertexSet& vertices) {
+  std::string out;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    if (i > 0) out += "|";
+    out += std::to_string(vertices[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+Status WriteAttributeSetsCsv(const AttributedGraph& graph,
+                             const ScpmResult& result, std::ostream& os) {
+  os << "attributes,support,covered,epsilon,expected_epsilon,delta\n";
+  os << std::setprecision(12);
+  for (const AttributeSetStats& s : result.attribute_sets) {
+    os << CsvEscape(JoinAttributeNames(graph, s.attributes)) << ","
+       << s.support << "," << s.covered << "," << s.epsilon << ","
+       << s.expected_epsilon << "," << s.delta << "\n";
+  }
+  if (!os) return Status::IoError("attribute-set CSV write failed");
+  return Status::OK();
+}
+
+Status WriteAttributeSetsCsv(const AttributedGraph& graph,
+                             const ScpmResult& result,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return WriteAttributeSetsCsv(graph, result, out);
+}
+
+Status WritePatternsCsv(const AttributedGraph& graph,
+                        const ScpmResult& result, std::ostream& os) {
+  os << "attributes,vertices,size,min_degree_ratio,edge_density\n";
+  os << std::setprecision(12);
+  for (const StructuralCorrelationPattern& p : result.patterns) {
+    os << CsvEscape(JoinAttributeNames(graph, p.attributes)) << ","
+       << JoinVertices(p.vertices) << "," << p.size() << ","
+       << p.min_degree_ratio << "," << p.edge_density << "\n";
+  }
+  if (!os) return Status::IoError("pattern CSV write failed");
+  return Status::OK();
+}
+
+Status WritePatternsCsv(const AttributedGraph& graph,
+                        const ScpmResult& result, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return WritePatternsCsv(graph, result, out);
+}
+
+}  // namespace scpm

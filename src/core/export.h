@@ -1,0 +1,39 @@
+// CSV export of mining results, for downstream analysis / plotting.
+
+#ifndef SCPM_CORE_EXPORT_H_
+#define SCPM_CORE_EXPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "core/scpm.h"
+#include "graph/attributed_graph.h"
+#include "util/status.h"
+
+namespace scpm {
+
+/// Writes one row per reported attribute set:
+///   attributes,support,covered,epsilon,expected_epsilon,delta
+/// Attribute names are '|'-separated inside the first column; fields
+/// containing commas/quotes are quoted per RFC 4180.
+Status WriteAttributeSetsCsv(const AttributedGraph& graph,
+                             const ScpmResult& result, std::ostream& os);
+Status WriteAttributeSetsCsv(const AttributedGraph& graph,
+                             const ScpmResult& result,
+                             const std::string& path);
+
+/// Writes one row per pattern:
+///   attributes,vertices,size,min_degree_ratio,edge_density
+/// Vertex ids are '|'-separated.
+Status WritePatternsCsv(const AttributedGraph& graph,
+                        const ScpmResult& result, std::ostream& os);
+Status WritePatternsCsv(const AttributedGraph& graph,
+                        const ScpmResult& result, const std::string& path);
+
+/// Escapes one CSV field per RFC 4180 (quotes when it contains a comma,
+/// quote, or newline).
+std::string CsvEscape(const std::string& field);
+
+}  // namespace scpm
+
+#endif  // SCPM_CORE_EXPORT_H_

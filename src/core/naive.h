@@ -1,0 +1,36 @@
+// The paper's naive baseline (§3.1): Eclat over all frequent attribute
+// sets, then complete quasi-clique enumeration per induced subgraph —
+// no Theorem 3/4/5 pruning, no coverage pruning, no top-k pruning.
+//
+// Output contract matches ScpmMiner (top-k patterns per reported
+// attribute set, selected after the fact from the complete enumeration),
+// which the equivalence tests rely on.
+
+#ifndef SCPM_CORE_NAIVE_H_
+#define SCPM_CORE_NAIVE_H_
+
+#include "core/scpm.h"
+#include "graph/attributed_graph.h"
+#include "nullmodel/expectation.h"
+#include "util/result.h"
+
+namespace scpm {
+
+/// Baseline miner; see file comment. The pruning/search flags in
+/// ScpmOptions are ignored.
+class NaiveMiner {
+ public:
+  explicit NaiveMiner(ScpmOptions options,
+                      ExpectationModel* null_model = nullptr)
+      : options_(options), null_model_(null_model) {}
+
+  Result<ScpmResult> Mine(const AttributedGraph& graph);
+
+ private:
+  ScpmOptions options_;
+  ExpectationModel* null_model_;
+};
+
+}  // namespace scpm
+
+#endif  // SCPM_CORE_NAIVE_H_

@@ -1,0 +1,63 @@
+#include "core/pattern.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace scpm {
+
+std::vector<AttributeSetStats> RankAttributeSets(
+    const std::vector<AttributeSetStats>& stats, AttributeSetOrder order) {
+  std::vector<AttributeSetStats> out = stats;
+  auto key_less = [order](const AttributeSetStats& a,
+                          const AttributeSetStats& b) {
+    double ka = 0, kb = 0;
+    switch (order) {
+      case AttributeSetOrder::kBySupport:
+        ka = static_cast<double>(a.support);
+        kb = static_cast<double>(b.support);
+        break;
+      case AttributeSetOrder::kByEpsilon:
+        ka = a.epsilon;
+        kb = b.epsilon;
+        break;
+      case AttributeSetOrder::kByDelta:
+        ka = a.delta;
+        kb = b.delta;
+        break;
+    }
+    if (ka != kb) return ka > kb;
+    if (a.support != b.support) return a.support > b.support;
+    return a.attributes < b.attributes;
+  };
+  std::sort(out.begin(), out.end(), key_less);
+  return out;
+}
+
+void SortPatterns(std::vector<StructuralCorrelationPattern>* patterns) {
+  std::sort(patterns->begin(), patterns->end(),
+            [](const StructuralCorrelationPattern& a,
+               const StructuralCorrelationPattern& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              if (a.min_degree_ratio != b.min_degree_ratio) {
+                return a.min_degree_ratio > b.min_degree_ratio;
+              }
+              if (a.attributes != b.attributes) {
+                return a.attributes < b.attributes;
+              }
+              return a.vertices < b.vertices;
+            });
+}
+
+std::string FormatPattern(const AttributedGraph& graph,
+                          const StructuralCorrelationPattern& pattern) {
+  std::ostringstream os;
+  os << "(" << graph.FormatAttributeSet(pattern.attributes) << ", {";
+  for (std::size_t i = 0; i < pattern.vertices.size(); ++i) {
+    if (i > 0) os << ",";
+    os << pattern.vertices[i];
+  }
+  os << "}) size=" << pattern.size() << " gamma=" << pattern.min_degree_ratio;
+  return os.str();
+}
+
+}  // namespace scpm

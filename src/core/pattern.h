@@ -1,0 +1,54 @@
+// Output types of structural correlation pattern mining.
+
+#ifndef SCPM_CORE_PATTERN_H_
+#define SCPM_CORE_PATTERN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "graph/types.h"
+
+namespace scpm {
+
+/// A structural correlation pattern (paper Definition 3): a quasi-clique Q
+/// from the subgraph induced by attribute set S.
+struct StructuralCorrelationPattern {
+  AttributeSet attributes;       // S, sorted
+  VertexSet vertices;            // Q, sorted global vertex ids
+  double min_degree_ratio = 0;   // the paper's per-pattern "gamma" column
+  double edge_density = 0;       // 2|E(Q)| / (|Q| (|Q|-1))
+
+  std::size_t size() const { return vertices.size(); }
+};
+
+/// Per-attribute-set statistics (the paper's sigma, epsilon, delta columns).
+struct AttributeSetStats {
+  AttributeSet attributes;        // S, sorted
+  std::size_t support = 0;        // sigma(S) = |V(S)|
+  std::size_t covered = 0;        // |K_S|
+  double epsilon = 0.0;           // eps(S) = covered / support
+  double expected_epsilon = 1.0;  // exp(sigma(S)) under the null model
+  double delta = 0.0;             // eps / expected (delta_lb or delta_sim)
+};
+
+/// Ranking keys for reporting tables.
+enum class AttributeSetOrder { kBySupport, kByEpsilon, kByDelta };
+
+/// Returns a copy of `stats` sorted descending by the requested key
+/// (ties: larger support first, then lexicographic attribute set).
+std::vector<AttributeSetStats> RankAttributeSets(
+    const std::vector<AttributeSetStats>& stats, AttributeSetOrder order);
+
+/// Sorts patterns by (size desc, min_degree_ratio desc, attributes,
+/// vertices) — the paper's top-k ranking.
+void SortPatterns(std::vector<StructuralCorrelationPattern>* patterns);
+
+/// One-line rendering, e.g. "({A, B}, {6,7,8}) size=3 gamma=0.67".
+std::string FormatPattern(const AttributedGraph& graph,
+                          const StructuralCorrelationPattern& pattern);
+
+}  // namespace scpm
+
+#endif  // SCPM_CORE_PATTERN_H_

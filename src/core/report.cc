@@ -1,0 +1,76 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace scpm {
+
+std::string FormatStatsRow(const AttributedGraph& graph,
+                           const AttributeSetStats& stats) {
+  std::ostringstream os;
+  os << graph.FormatAttributeSet(stats.attributes) << " sigma="
+     << stats.support << " eps=" << std::fixed << std::setprecision(3)
+     << stats.epsilon << " delta=" << std::setprecision(2) << stats.delta;
+  return os.str();
+}
+
+void PrintTopAttributeSets(std::ostream& os, const AttributedGraph& graph,
+                           const std::vector<AttributeSetStats>& stats,
+                           std::size_t top_n) {
+  struct Block {
+    const char* title;
+    AttributeSetOrder order;
+  };
+  const Block blocks[] = {
+      {"top by support (sigma)", AttributeSetOrder::kBySupport},
+      {"top by structural correlation (eps)", AttributeSetOrder::kByEpsilon},
+      {"top by normalized structural correlation (delta)",
+       AttributeSetOrder::kByDelta},
+  };
+  for (const Block& block : blocks) {
+    os << "== " << block.title << " ==\n";
+    const std::vector<AttributeSetStats> ranked =
+        RankAttributeSets(stats, block.order);
+    const std::size_t n = std::min(top_n, ranked.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      os << "  " << std::setw(2) << (i + 1) << ". "
+         << FormatStatsRow(graph, ranked[i]) << "\n";
+    }
+  }
+}
+
+void PrintPatternTable(std::ostream& os, const AttributedGraph& graph,
+                       const ScpmResult& result) {
+  // Index support/eps per attribute set for the sigma / eps columns.
+  std::map<AttributeSet, const AttributeSetStats*> by_set;
+  for (const AttributeSetStats& s : result.attribute_sets) {
+    by_set[s.attributes] = &s;
+  }
+  os << std::left << std::setw(44) << "pattern" << std::right
+     << std::setw(6) << "size" << std::setw(8) << "gamma" << std::setw(7)
+     << "sigma" << std::setw(8) << "eps" << "\n";
+  for (const StructuralCorrelationPattern& p : result.patterns) {
+    std::ostringstream name;
+    name << "(" << graph.FormatAttributeSet(p.attributes) << ", {";
+    for (std::size_t i = 0; i < p.vertices.size(); ++i) {
+      if (i > 0) name << ",";
+      name << p.vertices[i];
+    }
+    name << "})";
+    os << std::left << std::setw(44) << name.str() << std::right
+       << std::setw(6) << p.size() << std::setw(8) << std::fixed
+       << std::setprecision(2) << p.min_degree_ratio;
+    auto it = by_set.find(p.attributes);
+    if (it != by_set.end()) {
+      os << std::setw(7) << it->second->support << std::setw(8)
+         << std::setprecision(2) << it->second->epsilon;
+    } else {
+      os << std::setw(7) << "-" << std::setw(8) << "-";
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace scpm

@@ -1,0 +1,33 @@
+// Text reports mirroring the paper's tables.
+
+#ifndef SCPM_CORE_REPORT_H_
+#define SCPM_CORE_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/pattern.h"
+#include "core/scpm.h"
+#include "graph/attributed_graph.h"
+
+namespace scpm {
+
+/// Prints the paper's Tables 2/3/4 layout: the top `top_n` attribute sets
+/// by support, epsilon, and delta side by side (three blocks).
+void PrintTopAttributeSets(std::ostream& os, const AttributedGraph& graph,
+                           const std::vector<AttributeSetStats>& stats,
+                           std::size_t top_n);
+
+/// Prints the paper's Table 1 layout: one row per pattern with
+/// size / gamma / sigma / eps columns.
+void PrintPatternTable(std::ostream& os, const AttributedGraph& graph,
+                       const ScpmResult& result);
+
+/// Renders "{a, b}" attribute sets for one stats row plus its metrics.
+std::string FormatStatsRow(const AttributedGraph& graph,
+                           const AttributeSetStats& stats);
+
+}  // namespace scpm
+
+#endif  // SCPM_CORE_REPORT_H_

@@ -1,0 +1,41 @@
+// SCORP — the authors' earlier structural correlation pattern miner
+// (Silva, Meira Jr., Zaki: "Structural correlation pattern mining for
+// large graphs", MLG 2010; the paper's reference [16]).
+//
+// SCORP enumerates the COMPLETE set of structural correlation patterns of
+// every qualifying attribute set, rather than SCPM's top-k, and predates
+// the normalized structural correlation. It is exposed here as a thin
+// configuration of the shared mining core: pattern_scope = kAllMaximal,
+// no delta machinery.
+
+#ifndef SCPM_CORE_SCORP_H_
+#define SCPM_CORE_SCORP_H_
+
+#include "core/scpm.h"
+
+namespace scpm {
+
+/// SCORP-flavored miner: complete maximal pattern sets per attribute set,
+/// eps-only thresholds (delta_min and the null model are not used).
+class ScorpMiner {
+ public:
+  explicit ScorpMiner(ScpmOptions options) : options_(options) {
+    options_.pattern_scope = PatternScope::kAllMaximal;
+    options_.min_delta = 0.0;
+    options_.use_delta_pruning = false;
+  }
+
+  const ScpmOptions& options() const { return options_; }
+
+  Result<ScpmResult> Mine(const AttributedGraph& graph) {
+    ScpmMiner miner(options_, /*null_model=*/nullptr);
+    return miner.Mine(graph);
+  }
+
+ private:
+  ScpmOptions options_;
+};
+
+}  // namespace scpm
+
+#endif  // SCPM_CORE_SCORP_H_

@@ -1,0 +1,328 @@
+#include "core/scpm.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/metrics.h"
+#include "graph/subgraph.h"
+#include "util/sorted_ops.h"
+#include "util/thread_pool.h"
+
+namespace scpm {
+
+QuasiCliqueMinerOptions ScpmOptions::miner_options() const {
+  QuasiCliqueMinerOptions out;
+  out.params = quasi_clique;
+  out.order = search_order;
+  return out;
+}
+
+Status ScpmOptions::Validate() const {
+  SCPM_RETURN_IF_ERROR(quasi_clique.Validate());
+  if (min_support < 1) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (min_epsilon < 0.0 || min_epsilon > 1.0) {
+    return Status::InvalidArgument("min_epsilon must be in [0, 1]");
+  }
+  if (min_delta < 0.0) {
+    return Status::InvalidArgument("min_delta must be >= 0");
+  }
+  if (top_k < 1) return Status::InvalidArgument("top_k must be >= 1");
+  if (min_report_size < 1) {
+    return Status::InvalidArgument("min_report_size must be >= 1");
+  }
+  if (num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// One node of the attribute-set enumeration tree.
+struct Node {
+  AttributeSet items;
+  VertexSet tidset;   // V(S)
+  VertexSet covered;  // K_S, for Theorem 3 restriction of children
+};
+
+/// Per-task mining state: its own quasi-clique miner and result shard.
+/// Shards are merged deterministically (root order) at the end.
+struct TaskContext {
+  explicit TaskContext(const ScpmOptions& options)
+      : miner(options.miner_options()) {}
+
+  QuasiCliqueMiner miner;
+  ScpmResult result;
+};
+
+/// Shared mining state across the (possibly parallel) enumeration.
+class Mining {
+ public:
+  Mining(const AttributedGraph& graph, const ScpmOptions& options,
+         ExpectationModel* null_model)
+      : graph_(graph), options_(options), null_model_(null_model) {}
+
+  /// Paper Algorithm 2: evaluate frequent single attributes, then extend
+  /// (Algorithm 3). Root subtrees are independent given the roots'
+  /// covered sets, so they can be fanned across a thread pool.
+  Status Run() {
+    std::vector<Node> candidates;
+    for (AttributeId a = 0; a < graph_.NumAttributes(); ++a) {
+      const VertexSet& tidset = graph_.VerticesWith(a);
+      if (tidset.size() < options_.min_support) continue;
+      Node node;
+      node.items = {a};
+      node.tidset = tidset;
+      candidates.push_back(std::move(node));
+    }
+
+    // Phase 1: evaluate every frequent singleton.
+    const std::size_t n = candidates.size();
+    std::vector<TaskContext> contexts;
+    contexts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) contexts.emplace_back(options_);
+    std::vector<Status> statuses(n);
+    std::vector<char> extendable(n, 0);
+    RunTasks(n, [&](std::size_t i) {
+      bool flag = false;
+      statuses[i] =
+          Evaluate(&candidates[i], nullptr, nullptr, &flag, &contexts[i]);
+      extendable[i] = flag ? 1 : 0;
+    });
+    std::vector<Node> roots;
+    for (std::size_t i = 0; i < n; ++i) {
+      SCPM_RETURN_IF_ERROR(statuses[i]);
+      Merge(std::move(contexts[i].result));
+      if (extendable[i]) roots.push_back(std::move(candidates[i]));
+    }
+    result_.counters.attribute_sets_extended += roots.size();
+    if (options_.max_attribute_set_size <= 1 || roots.size() < 2) {
+      return Status::OK();
+    }
+
+    // Phase 2: one independent subtree per root.
+    const std::size_t r = roots.size();
+    std::vector<TaskContext> subtree_contexts;
+    subtree_contexts.reserve(r);
+    for (std::size_t i = 0; i < r; ++i) subtree_contexts.emplace_back(options_);
+    std::vector<Status> subtree_statuses(r);
+    RunTasks(r, [&](std::size_t i) {
+      subtree_statuses[i] = ProcessRoot(i, roots, &subtree_contexts[i]);
+    });
+    for (std::size_t i = 0; i < r; ++i) {
+      SCPM_RETURN_IF_ERROR(subtree_statuses[i]);
+      Merge(std::move(subtree_contexts[i].result));
+    }
+    return Status::OK();
+  }
+
+  ScpmResult TakeResult() {
+    SortPatterns(&result_.patterns);
+    return std::move(result_);
+  }
+
+ private:
+  /// Runs `count` index tasks either inline or on a pool.
+  template <typename Fn>
+  void RunTasks(std::size_t count, Fn&& fn) {
+    if (options_.num_threads <= 1 || count <= 1) {
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    ThreadPool pool(std::min<std::size_t>(options_.num_threads, count));
+    for (std::size_t i = 0; i < count; ++i) {
+      pool.Submit([&fn, i] { fn(i); });
+    }
+    pool.Wait();
+  }
+
+  void Merge(ScpmResult&& shard) {
+    for (auto& s : shard.attribute_sets) {
+      result_.attribute_sets.push_back(std::move(s));
+    }
+    for (auto& p : shard.patterns) {
+      result_.patterns.push_back(std::move(p));
+    }
+    result_.counters.attribute_sets_evaluated +=
+        shard.counters.attribute_sets_evaluated;
+    result_.counters.attribute_sets_reported +=
+        shard.counters.attribute_sets_reported;
+    result_.counters.attribute_sets_extended +=
+        shard.counters.attribute_sets_extended;
+    result_.counters.coverage_candidates +=
+        shard.counters.coverage_candidates;
+  }
+
+  /// Root i combined with its right siblings, then the recursive
+  /// extension of the resulting class (paper Algorithm 3).
+  Status ProcessRoot(std::size_t i, const std::vector<Node>& roots,
+                     TaskContext* ctx) {
+    std::vector<Node> children;
+    SCPM_RETURN_IF_ERROR(CombineClass(roots, i, ctx, &children));
+    ctx->result.counters.attribute_sets_extended += children.size();
+    if (!children.empty() &&
+        children.front().items.size() < options_.max_attribute_set_size) {
+      SCPM_RETURN_IF_ERROR(ExtendClass(children, ctx));
+    }
+    return Status::OK();
+  }
+
+  /// Builds the extendable children of siblings[i] within its class.
+  Status CombineClass(const std::vector<Node>& siblings, std::size_t i,
+                      TaskContext* ctx, std::vector<Node>* children) {
+    for (std::size_t j = i + 1; j < siblings.size(); ++j) {
+      Node child;
+      SortedUnion(siblings[i].items, siblings[j].items, &child.items);
+      SortedIntersect(siblings[i].tidset, siblings[j].tidset,
+                      &child.tidset);
+      if (child.tidset.size() < options_.min_support) continue;
+      bool extendable = false;
+      SCPM_RETURN_IF_ERROR(
+          Evaluate(&child, &siblings[i], &siblings[j], &extendable, ctx));
+      if (extendable) children->push_back(std::move(child));
+    }
+    return Status::OK();
+  }
+
+  /// Sequential recursion over one equivalence class.
+  Status ExtendClass(std::vector<Node>& siblings, TaskContext* ctx) {
+    for (std::size_t i = 0; i < siblings.size(); ++i) {
+      std::vector<Node> children;
+      SCPM_RETURN_IF_ERROR(CombineClass(siblings, i, ctx, &children));
+      ctx->result.counters.attribute_sets_extended += children.size();
+      if (!children.empty() &&
+          children.front().items.size() < options_.max_attribute_set_size) {
+        SCPM_RETURN_IF_ERROR(ExtendClass(children, ctx));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Computes K_S / eps / delta for a node, reports it (and its patterns)
+  /// when it passes the thresholds, and decides extendability per
+  /// Theorems 4 and 5.
+  Status Evaluate(Node* node, const Node* parent_a, const Node* parent_b,
+                  bool* extendable, TaskContext* ctx) {
+    ++ctx->result.counters.attribute_sets_evaluated;
+
+    // Theorem 3: quasi-cliques of G(S) live inside the parents' covered
+    // sets, so the search universe can be restricted to them.
+    VertexSet universe = node->tidset;
+    if (options_.use_vertex_pruning) {
+      VertexSet tmp;
+      if (parent_a != nullptr) {
+        SortedIntersect(universe, parent_a->covered, &tmp);
+        universe.swap(tmp);
+      }
+      if (parent_b != nullptr) {
+        SortedIntersect(universe, parent_b->covered, &tmp);
+        universe.swap(tmp);
+      }
+    }
+
+    Result<InducedSubgraph> sub =
+        InducedSubgraph::Create(graph_.graph(), std::move(universe));
+    if (!sub.ok()) return sub.status();
+    Result<VertexSet> covered = ctx->miner.MineCoverage(sub->graph());
+    if (!covered.ok()) return covered.status();
+    ctx->result.counters.coverage_candidates +=
+        ctx->miner.stats().candidates_processed;
+    node->covered = sub->ToGlobal(*covered);
+
+    const std::size_t support = node->tidset.size();
+    const double eps = static_cast<double>(node->covered.size()) /
+                       static_cast<double>(support);
+    const double expected =
+        null_model_ != nullptr ? null_model_->Expectation(support) : 1.0;
+    const double delta =
+        expected > 0.0 ? eps / expected : (eps > 0.0 ? 1e300 : 0.0);
+
+    const bool passes = eps >= options_.min_epsilon &&
+                        delta >= options_.min_delta;
+    if (passes && node->items.size() >= options_.min_report_size) {
+      ++ctx->result.counters.attribute_sets_reported;
+      AttributeSetStats stats;
+      stats.attributes = node->items;
+      stats.support = support;
+      stats.covered = node->covered.size();
+      stats.epsilon = eps;
+      stats.expected_epsilon = expected;
+      stats.delta = delta;
+      ctx->result.attribute_sets.push_back(std::move(stats));
+      if (options_.collect_patterns && !node->covered.empty()) {
+        SCPM_RETURN_IF_ERROR(CollectPatterns(*node, *sub, ctx));
+      }
+    }
+
+    // Theorems 4 and 5: upper bounds on eps / delta of any extension.
+    const double mass = eps * static_cast<double>(support);
+    *extendable = true;
+    if (options_.use_epsilon_pruning &&
+        mass < options_.min_epsilon *
+                   static_cast<double>(options_.min_support)) {
+      *extendable = false;
+    }
+    if (*extendable && options_.use_delta_pruning && null_model_ != nullptr) {
+      const double expected_at_min =
+          null_model_->Expectation(options_.min_support);
+      if (mass < options_.min_delta * expected_at_min *
+                     static_cast<double>(options_.min_support)) {
+        *extendable = false;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Patterns of G(S): top-k (paper §3.2.3) or the complete maximal set
+  /// (SCORP semantics), reported in global ids.
+  Status CollectPatterns(const Node& node, const InducedSubgraph& sub,
+                         TaskContext* ctx) {
+    std::vector<RankedQuasiClique> found;
+    if (options_.pattern_scope == PatternScope::kTopK) {
+      Result<std::vector<RankedQuasiClique>> top =
+          ctx->miner.MineTopK(sub.graph(), options_.top_k);
+      if (!top.ok()) return top.status();
+      found = std::move(top).value();
+    } else {
+      Result<std::vector<VertexSet>> all =
+          ctx->miner.MineMaximal(sub.graph());
+      if (!all.ok()) return all.status();
+      found.reserve(all->size());
+      for (VertexSet& q : *all) {
+        RankedQuasiClique entry;
+        entry.min_degree_ratio = MinDegreeRatio(sub.graph(), q);
+        entry.vertices = std::move(q);
+        found.push_back(std::move(entry));
+      }
+    }
+    ctx->result.counters.coverage_candidates +=
+        ctx->miner.stats().candidates_processed;
+    for (RankedQuasiClique& q : found) {
+      StructuralCorrelationPattern pattern;
+      pattern.attributes = node.items;
+      pattern.min_degree_ratio = q.min_degree_ratio;
+      pattern.edge_density = SubsetDensity(sub.graph(), q.vertices);
+      pattern.vertices = sub.ToGlobal(q.vertices);
+      ctx->result.patterns.push_back(std::move(pattern));
+    }
+    return Status::OK();
+  }
+
+  const AttributedGraph& graph_;
+  const ScpmOptions& options_;
+  ExpectationModel* null_model_;
+  ScpmResult result_;
+};
+
+}  // namespace
+
+Result<ScpmResult> ScpmMiner::Mine(const AttributedGraph& graph) {
+  SCPM_RETURN_IF_ERROR(options_.Validate());
+  Mining mining(graph, options_, null_model_);
+  SCPM_RETURN_IF_ERROR(mining.Run());
+  return mining.TakeResult();
+}
+
+}  // namespace scpm

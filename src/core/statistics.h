@@ -1,0 +1,28 @@
+// Output summaries for the parameter-sensitivity experiments (Figure 10).
+
+#ifndef SCPM_CORE_STATISTICS_H_
+#define SCPM_CORE_STATISTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/pattern.h"
+
+namespace scpm {
+
+/// Averages of eps / delta over the complete output ("global") and over
+/// the top 10% of attribute sets by the respective metric (paper §4.3).
+struct OutputSummary {
+  std::size_t num_attribute_sets = 0;
+  double avg_epsilon_global = 0.0;
+  double avg_epsilon_top10 = 0.0;
+  double avg_delta_global = 0.0;
+  double avg_delta_top10 = 0.0;
+};
+
+/// Computes the Figure-10 summary statistics.
+OutputSummary SummarizeOutput(const std::vector<AttributeSetStats>& stats);
+
+}  // namespace scpm
+
+#endif  // SCPM_CORE_STATISTICS_H_

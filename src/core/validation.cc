@@ -1,0 +1,103 @@
+#include "core/validation.h"
+
+#include <cmath>
+#include <map>
+
+#include "graph/subgraph.h"
+#include "qclique/quasi_clique.h"
+#include "util/sorted_ops.h"
+
+namespace scpm {
+namespace {
+
+std::string Describe(const AttributedGraph& graph, const AttributeSet& s) {
+  return graph.FormatAttributeSet(s);
+}
+
+}  // namespace
+
+Status ValidateResult(const AttributedGraph& graph,
+                      const ScpmOptions& options, const ScpmResult& result) {
+  SCPM_RETURN_IF_ERROR(options.Validate());
+
+  std::map<AttributeSet, const AttributeSetStats*> reported;
+  for (const AttributeSetStats& s : result.attribute_sets) {
+    if (!IsStrictlySorted(s.attributes)) {
+      return Status::Internal("attribute set not sorted: " +
+                              Describe(graph, s.attributes));
+    }
+    const VertexSet induced = graph.VerticesWithAll(s.attributes);
+    if (induced.size() != s.support) {
+      return Status::Internal("support mismatch for " +
+                              Describe(graph, s.attributes));
+    }
+    if (s.support < options.min_support) {
+      return Status::Internal("support below sigma_min for " +
+                              Describe(graph, s.attributes));
+    }
+    if (s.covered > s.support) {
+      return Status::Internal("covered exceeds support for " +
+                              Describe(graph, s.attributes));
+    }
+    const double eps = static_cast<double>(s.covered) /
+                       static_cast<double>(s.support);
+    if (std::abs(eps - s.epsilon) > 1e-9) {
+      return Status::Internal("eps != covered/support for " +
+                              Describe(graph, s.attributes));
+    }
+    if (s.epsilon < options.min_epsilon - 1e-12) {
+      return Status::Internal("eps below eps_min for " +
+                              Describe(graph, s.attributes));
+    }
+    if (s.expected_epsilon > 0.0 &&
+        std::abs(s.delta - s.epsilon / s.expected_epsilon) >
+            1e-6 * std::max(1.0, s.delta)) {
+      return Status::Internal("delta != eps/expected for " +
+                              Describe(graph, s.attributes));
+    }
+    if (s.attributes.size() < options.min_report_size) {
+      return Status::Internal("attribute set below min_report_size: " +
+                              Describe(graph, s.attributes));
+    }
+    reported[s.attributes] = &s;
+  }
+
+  for (const StructuralCorrelationPattern& p : result.patterns) {
+    auto it = reported.find(p.attributes);
+    if (it == reported.end()) {
+      return Status::Internal("pattern for unreported attribute set " +
+                              Describe(graph, p.attributes));
+    }
+    if (!IsStrictlySorted(p.vertices)) {
+      return Status::Internal("pattern vertex set not sorted");
+    }
+    const VertexSet induced = graph.VerticesWithAll(p.attributes);
+    if (!SortedIsSubset(p.vertices, induced)) {
+      return Status::Internal("pattern vertices outside V(S) for " +
+                              Describe(graph, p.attributes));
+    }
+    if (p.vertices.size() < options.quasi_clique.min_size) {
+      return Status::Internal("pattern below min_size for " +
+                              Describe(graph, p.attributes));
+    }
+    Result<InducedSubgraph> sub =
+        InducedSubgraph::Create(graph.graph(), induced);
+    if (!sub.ok()) return sub.status();
+    VertexSet local;
+    local.reserve(p.vertices.size());
+    for (VertexId v : p.vertices) local.push_back(sub->ToLocal(v));
+    if (!SatisfiesDegreeConstraint(sub->graph(), local,
+                                   options.quasi_clique)) {
+      return Status::Internal("pattern violates degree constraint for " +
+                              Describe(graph, p.attributes));
+    }
+    const double ratio = MinDegreeRatio(sub->graph(), local);
+    if (std::abs(ratio - p.min_degree_ratio) > 1e-9) {
+      return Status::Internal("min_degree_ratio mismatch for " +
+                              Describe(graph, p.attributes));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace scpm

@@ -1,0 +1,33 @@
+// Post-hoc validation of mining results against the problem definition.
+//
+// ValidateResult re-derives, for every reported attribute set and
+// pattern, the properties that Definition 4 promises: supports, the
+// eps = covered/support identity, threshold compliance, and that every
+// pattern is a quasi-clique of the correct induced subgraph. Used by the
+// integration tests and handy when debugging custom configurations.
+
+#ifndef SCPM_CORE_VALIDATION_H_
+#define SCPM_CORE_VALIDATION_H_
+
+#include "core/scpm.h"
+#include "graph/attributed_graph.h"
+#include "util/status.h"
+
+namespace scpm {
+
+/// Returns OK when `result` is internally consistent with `graph` and
+/// `options`; otherwise an InvalidArgument/Internal status naming the
+/// first violated property:
+///  * reported support equals |V(S)| and respects sigma_min;
+///  * eps == covered / support, within [0, 1], and >= eps_min;
+///  * delta == eps / expected_epsilon (when a model was used);
+///  * every pattern's attribute set is among the reported sets;
+///  * every pattern's vertex set lies inside V(S), has >= min_size
+///    vertices, and satisfies the gamma_min degree constraint in G(S);
+///  * the recorded min_degree_ratio matches the actual one.
+Status ValidateResult(const AttributedGraph& graph,
+                      const ScpmOptions& options, const ScpmResult& result);
+
+}  // namespace scpm
+
+#endif  // SCPM_CORE_VALIDATION_H_

@@ -1,0 +1,47 @@
+#include "datasets/paper_example.h"
+
+#include "util/logging.h"
+
+namespace scpm {
+
+AttributedGraph PaperExampleGraph() {
+  AttributedGraphBuilder builder(11);
+
+  // Edges in paper ids (1-based); see header for the reconstruction
+  // constraints.
+  constexpr std::pair<int, int> kEdges[] = {
+      {1, 2}, {1, 3}, {2, 3},                   // periphery around 3
+      {3, 4}, {3, 5}, {3, 6}, {3, 7},           // 3's hub edges
+      {4, 5}, {4, 6}, {5, 6},                   // completes clique {3,4,5,6}
+      {6, 7}, {6, 8}, {7, 8},                   // triangle {6,7,8}
+      {9, 10}, {9, 11}, {10, 11},               // triangle {9,10,11}
+      {6, 9}, {7, 10}, {8, 11},                 // prism matching
+  };
+  for (auto [u, v] : kEdges) {
+    builder.AddEdge(static_cast<VertexId>(u - 1),
+                    static_cast<VertexId>(v - 1));
+  }
+
+  // Figure 1(a) attribute table (paper ids).
+  const struct {
+    int vertex;
+    const char* attrs;
+  } kAttrs[] = {
+      {1, "AC"},  {2, "A"},   {3, "ACD"}, {4, "AD"},  {5, "AE"},
+      {6, "ABC"}, {7, "ABE"}, {8, "AB"},  {9, "AB"},  {10, "ABD"},
+      {11, "AB"},
+  };
+  for (const auto& row : kAttrs) {
+    for (const char* c = row.attrs; *c != '\0'; ++c) {
+      Status status = builder.AddVertexAttribute(
+          static_cast<VertexId>(row.vertex - 1), std::string_view(c, 1));
+      SCPM_CHECK(status.ok()) << status;
+    }
+  }
+
+  Result<AttributedGraph> graph = builder.Build();
+  SCPM_CHECK(graph.ok()) << graph.status();
+  return std::move(graph).value();
+}
+
+}  // namespace scpm

@@ -1,0 +1,27 @@
+// The paper's Figure-1 running example, reconstructed exactly.
+//
+// Eleven vertices (paper ids 1..11 map to internal ids 0..10) with
+// attributes A..E as listed in Figure 1(a). The edge set is reconstructed
+// from the constraints the paper states: {3,4,5,6} is a clique
+// (Figure 1(c)), {6..11} is a 0.6-quasi-clique of size 6 with min degree 3
+// (Figure 1(d)), and with sigma_min=3, gamma=0.6, min_size=4, eps_min=0.5
+// the complete pattern output is exactly the paper's Table 1, with
+// eps({A}) = 9/11, eps({C}) = 0, eps({A,B}) = 1.
+
+#ifndef SCPM_DATASETS_PAPER_EXAMPLE_H_
+#define SCPM_DATASETS_PAPER_EXAMPLE_H_
+
+#include "graph/attributed_graph.h"
+
+namespace scpm {
+
+/// Builds the Figure-1 attributed graph. Internal vertex v corresponds to
+/// paper vertex v + 1.
+AttributedGraph PaperExampleGraph();
+
+/// Paper-facing label of an internal vertex id.
+inline VertexId PaperExampleLabel(VertexId v) { return v + 1; }
+
+}  // namespace scpm
+
+#endif  // SCPM_DATASETS_PAPER_EXAMPLE_H_

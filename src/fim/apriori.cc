@@ -1,0 +1,87 @@
+#include "fim/apriori.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/sorted_ops.h"
+
+namespace scpm {
+namespace {
+
+/// True iff every (k-1)-subset of `candidate` is in the frequent set of
+/// the previous level.
+bool AllSubsetsFrequent(const AttributeSet& candidate,
+                        const std::set<AttributeSet>& previous_level) {
+  AttributeSet subset;
+  subset.reserve(candidate.size() - 1);
+  for (std::size_t drop = 0; drop < candidate.size(); ++drop) {
+    subset.clear();
+    for (std::size_t i = 0; i < candidate.size(); ++i) {
+      if (i != drop) subset.push_back(candidate[i]);
+    }
+    if (!previous_level.count(subset)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<FrequentItemset>> Apriori::MineAll(
+    const AttributedGraph& graph) const {
+  SCPM_RETURN_IF_ERROR(options_.Validate());
+
+  std::vector<FrequentItemset> out;
+  // Level 1: frequent single attributes.
+  std::vector<FrequentItemset> level;
+  for (AttributeId a = 0; a < graph.NumAttributes(); ++a) {
+    const VertexSet& tidset = graph.VerticesWith(a);
+    if (tidset.size() >= options_.min_support) {
+      level.push_back({{a}, tidset});
+    }
+  }
+
+  std::size_t k = 1;
+  while (!level.empty() && k <= options_.max_itemset_size) {
+    if (k >= options_.min_itemset_size) {
+      out.insert(out.end(), level.begin(), level.end());
+    }
+    if (k == options_.max_itemset_size) break;
+
+    // Index of the current level for the subset prune.
+    std::set<AttributeSet> frequent_k;
+    for (const FrequentItemset& s : level) frequent_k.insert(s.items);
+
+    // Join step: combine itemsets sharing the first k-1 items (the level
+    // is sorted lexicographically, so joinable sets are adjacent runs).
+    std::vector<FrequentItemset> next;
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      for (std::size_t j = i + 1; j < level.size(); ++j) {
+        const AttributeSet& a = level[i].items;
+        const AttributeSet& b = level[j].items;
+        if (!std::equal(a.begin(), a.end() - 1, b.begin())) break;
+        AttributeSet candidate = a;
+        candidate.push_back(b.back());
+        if (!AllSubsetsFrequent(candidate, frequent_k)) continue;
+        FrequentItemset item;
+        item.items = std::move(candidate);
+        SortedIntersect(level[i].tidset, level[j].tidset, &item.tidset);
+        if (item.tidset.size() >= options_.min_support) {
+          next.push_back(std::move(item));
+        }
+      }
+    }
+    level = std::move(next);
+    ++k;
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+  return out;
+}
+
+}  // namespace scpm

@@ -1,0 +1,36 @@
+// Apriori frequent itemset mining (Agrawal et al., SIGMOD'93 — the
+// paper's reference [1]).
+//
+// Level-wise candidate generation with the subset-infrequency prune;
+// provided as an independent reference implementation for Eclat (the test
+// suite checks they produce identical outputs) and for workloads where
+// breadth-first enumeration is preferable.
+
+#ifndef SCPM_FIM_APRIORI_H_
+#define SCPM_FIM_APRIORI_H_
+
+#include <vector>
+
+#include "fim/eclat.h"
+#include "graph/attributed_graph.h"
+#include "util/result.h"
+
+namespace scpm {
+
+/// Level-wise Apriori; accepts the same options as Eclat and produces the
+/// same itemsets (in level order rather than DFS order).
+class Apriori {
+ public:
+  explicit Apriori(EclatOptions options) : options_(options) {}
+
+  /// Materializes all frequent itemsets, ordered by (size, lexicographic).
+  Result<std::vector<FrequentItemset>> MineAll(
+      const AttributedGraph& graph) const;
+
+ private:
+  EclatOptions options_;
+};
+
+}  // namespace scpm
+
+#endif  // SCPM_FIM_APRIORI_H_

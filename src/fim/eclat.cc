@@ -1,0 +1,95 @@
+#include "fim/eclat.h"
+
+#include <utility>
+
+#include "util/sorted_ops.h"
+
+namespace scpm {
+
+Status EclatOptions::Validate() const {
+  if (min_support < 1) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (min_itemset_size < 1) {
+    return Status::InvalidArgument("min_itemset_size must be >= 1");
+  }
+  if (max_itemset_size < min_itemset_size) {
+    return Status::InvalidArgument(
+        "max_itemset_size must be >= min_itemset_size");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// One node of the Eclat prefix tree: the last item of the prefix plus the
+/// tidset of the whole prefix.
+struct Node {
+  AttributeId item;
+  VertexSet tidset;
+};
+
+/// Recursive equivalence-class extension. `prefix` holds the current
+/// itemset; `siblings` the frequent right-extensions of the parent class.
+/// Returns false when the visitor requested a stop.
+bool Extend(std::vector<Node>& siblings, AttributeSet& prefix,
+            const EclatOptions& options, const ItemsetVisitor& visitor) {
+  for (std::size_t i = 0; i < siblings.size(); ++i) {
+    prefix.push_back(siblings[i].item);
+    if (prefix.size() >= options.min_itemset_size) {
+      if (!visitor(prefix, siblings[i].tidset)) {
+        prefix.pop_back();
+        return false;
+      }
+    }
+    if (prefix.size() < options.max_itemset_size) {
+      std::vector<Node> children;
+      for (std::size_t j = i + 1; j < siblings.size(); ++j) {
+        Node child;
+        child.item = siblings[j].item;
+        SortedIntersect(siblings[i].tidset, siblings[j].tidset,
+                        &child.tidset);
+        if (child.tidset.size() >= options.min_support) {
+          children.push_back(std::move(child));
+        }
+      }
+      if (!children.empty() && !Extend(children, prefix, options, visitor)) {
+        prefix.pop_back();
+        return false;
+      }
+    }
+    prefix.pop_back();
+  }
+  return true;
+}
+
+}  // namespace
+
+Status Eclat::Mine(const AttributedGraph& graph,
+                   const ItemsetVisitor& visitor) const {
+  SCPM_RETURN_IF_ERROR(options_.Validate());
+  std::vector<Node> roots;
+  for (AttributeId a = 0; a < graph.NumAttributes(); ++a) {
+    const VertexSet& tidset = graph.VerticesWith(a);
+    if (tidset.size() >= options_.min_support) {
+      roots.push_back({a, tidset});
+    }
+  }
+  AttributeSet prefix;
+  Extend(roots, prefix, options_, visitor);
+  return Status::OK();
+}
+
+Result<std::vector<FrequentItemset>> Eclat::MineAll(
+    const AttributedGraph& graph) const {
+  std::vector<FrequentItemset> out;
+  Status status =
+      Mine(graph, [&](const AttributeSet& items, const VertexSet& tidset) {
+        out.push_back({items, tidset});
+        return true;
+      });
+  if (!status.ok()) return status;
+  return out;
+}
+
+}  // namespace scpm

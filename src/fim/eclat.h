@@ -1,0 +1,66 @@
+// Eclat frequent itemset mining over vertex attributes.
+//
+// The paper's naive baseline (§3.1) enumerates all frequent attribute sets
+// with Eclat [Zaki 2000] before mining quasi-cliques per induced graph.
+// Items are attribute ids; transactions are vertices; the "tidset" of an
+// attribute set S is exactly V(S), the induced vertex set.
+
+#ifndef SCPM_FIM_ECLAT_H_
+#define SCPM_FIM_ECLAT_H_
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "graph/types.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace scpm {
+
+/// A frequent attribute set with its supporting vertex set.
+struct FrequentItemset {
+  AttributeSet items;  // sorted attribute ids
+  VertexSet tidset;    // sorted vertices containing every item; V(S)
+
+  std::size_t support() const { return tidset.size(); }
+};
+
+/// Mining thresholds for Eclat.
+struct EclatOptions {
+  /// Minimum support sigma_min (absolute vertex count), >= 1.
+  std::size_t min_support = 1;
+  /// Report only itemsets with at least this many items.
+  std::size_t min_itemset_size = 1;
+  /// Do not extend itemsets beyond this many items.
+  std::size_t max_itemset_size = std::numeric_limits<std::size_t>::max();
+
+  Status Validate() const;
+};
+
+/// Visitor invoked for every frequent itemset (in DFS order). Return false
+/// to stop mining early.
+using ItemsetVisitor =
+    std::function<bool(const AttributeSet& items, const VertexSet& tidset)>;
+
+/// Depth-first Eclat with sorted-vector tidset intersection.
+class Eclat {
+ public:
+  explicit Eclat(EclatOptions options) : options_(options) {}
+
+  /// Streams every frequent itemset to `visitor`.
+  Status Mine(const AttributedGraph& graph, const ItemsetVisitor& visitor) const;
+
+  /// Materializes the complete set of frequent itemsets.
+  Result<std::vector<FrequentItemset>> MineAll(
+      const AttributedGraph& graph) const;
+
+ private:
+  EclatOptions options_;
+};
+
+}  // namespace scpm
+
+#endif  // SCPM_FIM_ECLAT_H_

@@ -1,0 +1,91 @@
+#include "graph/attributed_graph.h"
+
+#include <algorithm>
+
+#include "util/sorted_ops.h"
+
+namespace scpm {
+
+bool AttributedGraph::VertexHasAttribute(VertexId v, AttributeId a) const {
+  auto attrs = Attributes(v);
+  return std::binary_search(attrs.begin(), attrs.end(), a);
+}
+
+VertexSet AttributedGraph::VerticesWithAll(const AttributeSet& attrs) const {
+  if (attrs.empty()) {
+    VertexSet all(NumVertices());
+    for (VertexId v = 0; v < NumVertices(); ++v) all[v] = v;
+    return all;
+  }
+  VertexSet current = inverted_index_[attrs[0]];
+  VertexSet next;
+  for (std::size_t i = 1; i < attrs.size() && !current.empty(); ++i) {
+    SortedIntersect(current, inverted_index_[attrs[i]], &next);
+    current.swap(next);
+  }
+  return current;
+}
+
+AttributeId AttributedGraph::FindAttribute(std::string_view name) const {
+  auto it = name_to_id_.find(std::string(name));
+  return it == name_to_id_.end() ? kInvalidAttribute : it->second;
+}
+
+std::string AttributedGraph::FormatAttributeSet(
+    const AttributeSet& attrs) const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += names_[attrs[i]];
+  }
+  out += "}";
+  return out;
+}
+
+AttributeId AttributedGraphBuilder::InternAttribute(std::string_view name) {
+  auto [it, inserted] =
+      name_to_id_.try_emplace(std::string(name),
+                              static_cast<AttributeId>(names_.size()));
+  if (inserted) names_.emplace_back(name);
+  return it->second;
+}
+
+Status AttributedGraphBuilder::AddVertexAttribute(VertexId v, AttributeId a) {
+  if (v >= num_vertices()) {
+    return Status::InvalidArgument("vertex id out of range");
+  }
+  if (a >= names_.size()) {
+    return Status::InvalidArgument("attribute id was not interned");
+  }
+  vertex_attrs_[v].push_back(a);
+  return Status::OK();
+}
+
+Result<AttributedGraph> AttributedGraphBuilder::Build() {
+  Result<Graph> graph = graph_builder_.Build();
+  if (!graph.ok()) return graph.status();
+
+  AttributedGraph out;
+  out.graph_ = std::move(graph).value();
+  out.names_ = std::move(names_);
+  out.name_to_id_ = std::move(name_to_id_);
+
+  const VertexId n = out.graph_.NumVertices();
+  out.attr_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    SortUnique(&vertex_attrs_[v]);
+    out.attr_offsets_[v + 1] = out.attr_offsets_[v] + vertex_attrs_[v].size();
+  }
+  out.attr_values_.reserve(out.attr_offsets_[n]);
+  out.inverted_index_.assign(out.names_.size(), {});
+  for (VertexId v = 0; v < n; ++v) {
+    for (AttributeId a : vertex_attrs_[v]) {
+      out.attr_values_.push_back(a);
+      out.inverted_index_[a].push_back(v);
+    }
+  }
+  // Vertices were visited in increasing order, so each tidset is sorted.
+  return out;
+}
+
+}  // namespace scpm

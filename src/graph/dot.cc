@@ -1,0 +1,66 @@
+#include "graph/dot.h"
+
+#include <array>
+#include <fstream>
+
+#include "util/sorted_ops.h"
+
+namespace scpm {
+namespace {
+
+constexpr std::array<const char*, 6> kPalette = {
+    "#e6550d", "#3182bd", "#31a354", "#756bb1", "#636363", "#fdae6b",
+};
+
+}  // namespace
+
+Status WriteDot(const Graph& graph, const DotOptions& options,
+                std::ostream& os) {
+  if (!options.labels.empty() &&
+      options.labels.size() != graph.NumVertices()) {
+    return Status::InvalidArgument(
+        "labels must be empty or one per vertex");
+  }
+  for (const VertexSet& set : options.highlights) {
+    if (!IsStrictlySorted(set)) {
+      return Status::InvalidArgument("highlight sets must be sorted");
+    }
+    if (!set.empty() && set.back() >= graph.NumVertices()) {
+      return Status::InvalidArgument("highlight vertex out of range");
+    }
+  }
+
+  os << "graph " << options.graph_name << " {\n"
+     << "  node [shape=circle fontsize=10];\n";
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (options.drop_isolated && graph.Degree(v) == 0) continue;
+    os << "  n" << v;
+    os << " [";
+    if (!options.labels.empty()) {
+      os << "label=\"" << options.labels[v] << "\" ";
+    }
+    for (std::size_t i = 0; i < options.highlights.size(); ++i) {
+      if (SortedContains(options.highlights[i], v)) {
+        os << "style=filled fillcolor=\"" << kPalette[i % kPalette.size()]
+           << "\" ";
+        break;
+      }
+    }
+    os << "];\n";
+  }
+  for (const Edge& e : graph.Edges()) {
+    os << "  n" << e.u << " -- n" << e.v << ";\n";
+  }
+  os << "}\n";
+  if (!os) return Status::IoError("dot write failed");
+  return Status::OK();
+}
+
+Status WriteDot(const Graph& graph, const DotOptions& options,
+                const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return WriteDot(graph, options, out);
+}
+
+}  // namespace scpm

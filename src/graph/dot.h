@@ -1,0 +1,41 @@
+// Graphviz DOT export with vertex highlighting.
+//
+// The paper's Figures 3, 5, and 6 render the subgraph induced by an
+// attribute set with the vertices of the discovered pattern highlighted;
+// WriteDot produces those renderings (pipe through `dot -Tpng`).
+
+#ifndef SCPM_GRAPH_DOT_H_
+#define SCPM_GRAPH_DOT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace scpm {
+
+/// Rendering options for WriteDot.
+struct DotOptions {
+  std::string graph_name = "scpm";
+  /// Sorted vertex sets to highlight; set i gets the i-th palette color.
+  std::vector<VertexSet> highlights;
+  /// Optional per-vertex labels (defaults to the vertex id).
+  std::vector<std::string> labels;
+  /// Skip vertices with no incident edge (declutters sparse plots).
+  bool drop_isolated = false;
+};
+
+/// Writes `graph` as an undirected Graphviz document.
+Status WriteDot(const Graph& graph, const DotOptions& options,
+                std::ostream& os);
+
+/// File variant.
+Status WriteDot(const Graph& graph, const DotOptions& options,
+                const std::string& path);
+
+}  // namespace scpm
+
+#endif  // SCPM_GRAPH_DOT_H_

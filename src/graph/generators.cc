@@ -1,0 +1,198 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace scpm {
+
+Result<Graph> ErdosRenyi(VertexId n, double p, Rng& rng) {
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("edge probability must be in [0, 1]");
+  }
+  std::vector<Edge> edges;
+  if (p > 0.0 && n > 1) {
+    // Enumerate pairs (u, v), u < v, in lexicographic order and skip ahead
+    // by geometric gaps: O(n + m) expected.
+    const double log1mp = std::log1p(-p);
+    std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    std::uint64_t index = 0;
+    if (p >= 1.0) {
+      for (VertexId u = 0; u < n; ++u) {
+        for (VertexId v = u + 1; v < n; ++v) edges.push_back({u, v});
+      }
+    } else {
+      while (true) {
+        const double r = rng.NextDouble();
+        const std::uint64_t gap =
+            static_cast<std::uint64_t>(std::floor(std::log1p(-r) / log1mp));
+        if (total - index <= gap) break;
+        index += gap;
+        // Decode linear pair index -> (u, v).
+        std::uint64_t rem = index;
+        VertexId u = 0;
+        std::uint64_t row = n - 1;
+        while (rem >= row) {
+          rem -= row;
+          --row;
+          ++u;
+        }
+        const VertexId v = static_cast<VertexId>(u + 1 + rem);
+        edges.push_back({u, v});
+        ++index;
+        if (index >= total) break;
+      }
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Result<Graph> BarabasiAlbert(VertexId n, std::uint32_t m, Rng& rng) {
+  if (m < 1) return Status::InvalidArgument("m must be >= 1");
+  if (n <= m) return Status::InvalidArgument("need n > m");
+
+  std::vector<Edge> edges;
+  // Target list: one entry per edge endpoint, so sampling a uniform entry
+  // is sampling proportionally to degree.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(n) * m * 2);
+
+  // Seed clique on vertices [0, m].
+  for (VertexId u = 0; u <= m; ++u) {
+    for (VertexId v = u + 1; v <= m; ++v) {
+      edges.push_back({u, v});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::vector<VertexId> targets;
+  for (VertexId v = m + 1; v < n; ++v) {
+    targets.clear();
+    while (targets.size() < m) {
+      const VertexId t =
+          endpoints[rng.NextBounded(endpoints.size())];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (VertexId t : targets) {
+      edges.push_back({t, v});
+      endpoints.push_back(t);
+      endpoints.push_back(v);
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+std::vector<double> PowerLawWeights(VertexId n, double exponent,
+                                    double avg_degree) {
+  SCPM_CHECK_GT(exponent, 2.0);
+  std::vector<double> weights(n);
+  const double alpha = 1.0 / (exponent - 1.0);
+  for (VertexId i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i) + 1.0, -alpha);
+  }
+  const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  const double scale = avg_degree * static_cast<double>(n) / sum;
+  for (double& w : weights) w *= scale;
+  return weights;
+}
+
+Result<Graph> ChungLu(const std::vector<double>& weights, Rng& rng) {
+  const VertexId n = static_cast<VertexId>(weights.size());
+  for (double w : weights) {
+    if (w < 0.0) return Status::InvalidArgument("weights must be >= 0");
+  }
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (n == 0 || total <= 0.0) return Graph::FromEdges(n, {});
+
+  // Miller–Hagberg: process vertices in non-increasing weight order; for
+  // each u walk candidate partners v with geometric skips calibrated to an
+  // upper bound q = w_u * w_v / total, accepting with ratio p / q.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return weights[a] > weights[b];
+  });
+
+  std::vector<Edge> edges;
+  for (VertexId i = 0; i < n; ++i) {
+    const double wu = weights[order[i]];
+    if (wu <= 0.0) break;
+    VertexId j = i + 1;
+    double q = std::min(1.0, wu * (j < n ? weights[order[j]] : 0.0) / total);
+    while (j < n && q > 0.0) {
+      if (q < 1.0) {
+        const double r = rng.NextDouble();
+        j += static_cast<VertexId>(
+            std::floor(std::log1p(-r) / std::log1p(-q)));
+      }
+      if (j >= n) break;
+      const double p = std::min(1.0, wu * weights[order[j]] / total);
+      if (rng.NextDouble() < p / q) {
+        edges.push_back({order[i], order[j]});
+      }
+      q = p;
+      ++j;
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Result<Graph> WattsStrogatz(VertexId n, std::uint32_t k, double beta,
+                            Rng& rng) {
+  if (k < 2 || k % 2 != 0) {
+    return Status::InvalidArgument("k must be even and >= 2");
+  }
+  if (n <= k) return Status::InvalidArgument("need n > k");
+  if (beta < 0.0 || beta > 1.0) {
+    return Status::InvalidArgument("beta must be in [0, 1]");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * k / 2);
+  for (VertexId u = 0; u < n; ++u) {
+    for (std::uint32_t j = 1; j <= k / 2; ++j) {
+      VertexId v = static_cast<VertexId>((u + j) % n);
+      if (rng.NextBool(beta)) {
+        // Rewire to a random endpoint distinct from u (duplicate edges are
+        // collapsed by the builder, mirroring the classic model closely
+        // enough for our purposes).
+        v = static_cast<VertexId>(rng.NextBounded(n));
+        if (v == u) v = static_cast<VertexId>((u + 1) % n);
+      }
+      edges.push_back({u, v});
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+std::vector<PlantedGroup> PlantGroups(VertexId n, std::size_t num_groups,
+                                      std::uint32_t min_size,
+                                      std::uint32_t max_size, double density,
+                                      Rng& rng, std::vector<Edge>* edges) {
+  SCPM_CHECK_GE(max_size, min_size);
+  SCPM_CHECK_GE(n, max_size);
+  std::vector<PlantedGroup> groups;
+  groups.reserve(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    const std::uint32_t size = static_cast<std::uint32_t>(
+        rng.NextInt(min_size, max_size));
+    PlantedGroup group;
+    group.members = rng.SampleWithoutReplacement(n, size);
+    group.density = density;
+    for (std::size_t i = 0; i < group.members.size(); ++i) {
+      for (std::size_t j = i + 1; j < group.members.size(); ++j) {
+        if (rng.NextBool(density)) {
+          edges->push_back({group.members[i], group.members[j]});
+        }
+      }
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace scpm

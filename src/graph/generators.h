@@ -1,0 +1,61 @@
+// Random graph generators.
+//
+// These provide the structural substrate for the synthetic dataset
+// analogues (src/datasets) that stand in for the paper's DBLP / LastFm /
+// CiteSeer crawls, and for property tests.
+
+#ifndef SCPM_GRAPH_GENERATORS_H_
+#define SCPM_GRAPH_GENERATORS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace scpm {
+
+/// G(n, p): every pair is an edge independently with probability p.
+/// Uses geometric skipping, O(n + m) expected time.
+Result<Graph> ErdosRenyi(VertexId n, double p, Rng& rng);
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `m + 1` vertices; each new vertex attaches to `m` distinct existing
+/// vertices chosen proportionally to degree. Requires n > m >= 1.
+Result<Graph> BarabasiAlbert(VertexId n, std::uint32_t m, Rng& rng);
+
+/// Chung–Lu random graph with expected degree sequence `weights`:
+/// P(u ~ v) = min(1, w_u * w_v / sum(w)). O(n + m) expected time via the
+/// Miller–Hagberg sorted-weight algorithm.
+Result<Graph> ChungLu(const std::vector<double>& weights, Rng& rng);
+
+/// Power-law weight sequence w_i ~ i^{-1/(exponent-1)} scaled so that the
+/// average expected degree is `avg_degree`. exponent > 2.
+std::vector<double> PowerLawWeights(VertexId n, double exponent,
+                                    double avg_degree);
+
+/// Watts–Strogatz small world: a ring lattice where each vertex connects
+/// to its k nearest neighbors (k even), with each edge rewired to a
+/// uniform random endpoint with probability beta. Requires n > k >= 2.
+Result<Graph> WattsStrogatz(VertexId n, std::uint32_t k, double beta,
+                            Rng& rng);
+
+/// Description of one planted dense group.
+struct PlantedGroup {
+  VertexSet members;    // sorted
+  double density = 1.0; // intra-group edge probability used at planting
+};
+
+/// Plants `num_groups` random vertex groups of size in
+/// [min_size, max_size] into `edges` (appended), each pair inside a group
+/// connected with probability `density`. Groups may overlap. Returns the
+/// planted groups.
+std::vector<PlantedGroup> PlantGroups(VertexId n, std::size_t num_groups,
+                                      std::uint32_t min_size,
+                                      std::uint32_t max_size, double density,
+                                      Rng& rng, std::vector<Edge>* edges);
+
+}  // namespace scpm
+
+#endif  // SCPM_GRAPH_GENERATORS_H_

@@ -1,0 +1,93 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <string>
+
+namespace scpm {
+
+Graph::Graph(VertexId num_vertices)
+    : offsets_(static_cast<std::size_t>(num_vertices) + 1, 0) {}
+
+Result<Graph> Graph::FromEdges(VertexId num_vertices,
+                               std::vector<Edge> edges) {
+  // Canonicalize, validate, and drop self-loops.
+  std::vector<Edge> clean;
+  clean.reserve(edges.size());
+  for (Edge e : edges) {
+    if (e.u >= num_vertices || e.v >= num_vertices) {
+      return Status::InvalidArgument(
+          "edge endpoint out of range: (" + std::to_string(e.u) + ", " +
+          std::to_string(e.v) + ") with " + std::to_string(num_vertices) +
+          " vertices");
+    }
+    if (e.u == e.v) continue;  // Simple graph: ignore self-loops.
+    if (e.u > e.v) std::swap(e.u, e.v);
+    clean.push_back(e);
+  }
+  std::sort(clean.begin(), clean.end(), [](const Edge& a, const Edge& b) {
+    return a.u < b.u || (a.u == b.u && a.v < b.v);
+  });
+  clean.erase(std::unique(clean.begin(), clean.end()), clean.end());
+
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(num_vertices) + 1,
+                                   0);
+  for (const Edge& e : clean) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<VertexId> adjacency(clean.size() * 2);
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : clean) {
+    adjacency[cursor[e.u]++] = e.v;
+    adjacency[cursor[e.v]++] = e.u;
+  }
+  // Edges were inserted in canonical sorted order, but each vertex receives
+  // neighbors from both orientations; sort each list.
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    std::sort(adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  }
+  return Graph(std::move(offsets), std::move(adjacency));
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u == v) return false;
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::uint32_t Graph::MaxDegree() const {
+  std::uint32_t max_degree = 0;
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    max_degree = std::max(max_degree, Degree(v));
+  }
+  return max_degree;
+}
+
+std::vector<std::size_t> Graph::DegreeHistogram() const {
+  std::vector<std::size_t> counts(MaxDegree() + 1, 0);
+  for (VertexId v = 0; v < NumVertices(); ++v) ++counts[Degree(v)];
+  return counts;
+}
+
+std::vector<Edge> Graph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(NumEdges());
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (VertexId v : Neighbors(u)) {
+      if (u < v) edges.push_back({u, v});
+    }
+  }
+  return edges;
+}
+
+Result<Graph> GraphBuilder::Build() {
+  std::vector<Edge> edges;
+  edges.swap(edges_);
+  return Graph::FromEdges(num_vertices_, std::move(edges));
+}
+
+}  // namespace scpm

@@ -1,0 +1,126 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace scpm {
+namespace {
+
+/// Strips a trailing comment and surrounding whitespace.
+std::string CleanLine(const std::string& line) {
+  std::string out = line;
+  if (auto pos = out.find('#'); pos != std::string::npos) out.resize(pos);
+  while (!out.empty() && (out.back() == '\r' || out.back() == ' ' ||
+                          out.back() == '\t')) {
+    out.pop_back();
+  }
+  std::size_t start = 0;
+  while (start < out.size() && (out[start] == ' ' || out[start] == '\t')) {
+    ++start;
+  }
+  return out.substr(start);
+}
+
+}  // namespace
+
+Result<Graph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  std::vector<Edge> edges;
+  VertexId max_id = 0;
+  bool any_vertex = false;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string clean = CleanLine(line);
+    if (clean.empty()) continue;
+    std::istringstream ss(clean);
+    std::uint64_t u = 0, v = 0;
+    if (!(ss >> u >> v)) {
+      return Status::IoError(path + ":" + std::to_string(line_no) +
+                             ": expected 'u v'");
+    }
+    if (u > kInvalidVertex - 1 || v > kInvalidVertex - 1) {
+      return Status::IoError(path + ":" + std::to_string(line_no) +
+                             ": vertex id too large");
+    }
+    edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v)});
+    max_id = std::max({max_id, static_cast<VertexId>(u),
+                       static_cast<VertexId>(v)});
+    any_vertex = true;
+  }
+  const VertexId n = any_vertex ? max_id + 1 : 0;
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "# scpm edge list: " << graph.NumVertices() << " vertices, "
+      << graph.NumEdges() << " edges\n";
+  for (const Edge& e : graph.Edges()) out << e.u << " " << e.v << "\n";
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<AttributedGraph> LoadAttributedGraph(const std::string& graph_path,
+                                            const std::string& attr_path) {
+  Result<Graph> graph = LoadEdgeList(graph_path);
+  if (!graph.ok()) return graph.status();
+
+  std::ifstream in(attr_path);
+  if (!in) return Status::IoError("cannot open " + attr_path);
+
+  AttributedGraphBuilder builder(graph->NumVertices());
+  for (const Edge& e : graph->Edges()) builder.AddEdge(e.u, e.v);
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string clean = CleanLine(line);
+    if (clean.empty()) continue;
+    std::istringstream ss(clean);
+    std::uint64_t v = 0;
+    if (!(ss >> v)) {
+      return Status::IoError(attr_path + ":" + std::to_string(line_no) +
+                             ": expected vertex id");
+    }
+    if (v >= graph->NumVertices()) {
+      return Status::IoError(attr_path + ":" + std::to_string(line_no) +
+                             ": vertex id out of range");
+    }
+    std::string name;
+    while (ss >> name) {
+      SCPM_RETURN_IF_ERROR(
+          builder.AddVertexAttribute(static_cast<VertexId>(v), name));
+    }
+  }
+  return builder.Build();
+}
+
+Status SaveAttributedGraph(const AttributedGraph& graph,
+                           const std::string& graph_path,
+                           const std::string& attr_path) {
+  SCPM_RETURN_IF_ERROR(SaveEdgeList(graph.graph(), graph_path));
+  std::ofstream out(attr_path);
+  if (!out) {
+    return Status::IoError("cannot open " + attr_path + " for writing");
+  }
+  out << "# scpm attributes: " << graph.NumAttributes() << " attributes\n";
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    auto attrs = graph.Attributes(v);
+    if (attrs.empty()) continue;
+    out << v;
+    for (AttributeId a : attrs) out << " " << graph.AttributeName(a);
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed for " + attr_path);
+  return Status::OK();
+}
+
+}  // namespace scpm

@@ -1,0 +1,37 @@
+// Plain-text persistence for graphs and attributed graphs.
+//
+// Edge-list format: one "u v" pair per line; '#' starts a comment; vertex
+// count is max id + 1 unless given explicitly.
+// Attribute format: one "v name1 name2 ..." line per vertex (whitespace
+// separated; vertices may be omitted or repeated).
+
+#ifndef SCPM_GRAPH_IO_H_
+#define SCPM_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/attributed_graph.h"
+#include "graph/graph.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace scpm {
+
+/// Loads an edge list; vertex count is inferred as max id + 1.
+Result<Graph> LoadEdgeList(const std::string& path);
+
+/// Writes "u v" lines in canonical order.
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+/// Loads an attributed graph from an edge-list file plus an attribute file.
+Result<AttributedGraph> LoadAttributedGraph(const std::string& graph_path,
+                                            const std::string& attr_path);
+
+/// Writes the graph and attribute files for an attributed graph.
+Status SaveAttributedGraph(const AttributedGraph& graph,
+                           const std::string& graph_path,
+                           const std::string& attr_path);
+
+}  // namespace scpm
+
+#endif  // SCPM_GRAPH_IO_H_

@@ -1,0 +1,284 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/sorted_ops.h"
+
+namespace scpm {
+
+double EdgeDensity(const Graph& graph) {
+  const double n = static_cast<double>(graph.NumVertices());
+  if (n < 2.0) return 0.0;
+  return 2.0 * static_cast<double>(graph.NumEdges()) / (n * (n - 1.0));
+}
+
+double SubsetDensity(const Graph& graph, const VertexSet& vertices) {
+  const std::size_t n = vertices.size();
+  if (n < 2) return 0.0;
+  std::size_t edges = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto nbrs = graph.Neighbors(vertices[i]);
+    // Count neighbors inside the (sorted) subset that are > vertices[i].
+    auto it = std::upper_bound(nbrs.begin(), nbrs.end(), vertices[i]);
+    std::size_t j = i + 1;
+    while (it != nbrs.end() && j < n) {
+      if (*it < vertices[j]) {
+        ++it;
+      } else if (vertices[j] < *it) {
+        ++j;
+      } else {
+        ++edges;
+        ++it;
+        ++j;
+      }
+    }
+  }
+  const double nd = static_cast<double>(n);
+  return 2.0 * static_cast<double>(edges) / (nd * (nd - 1.0));
+}
+
+double AverageDegree(const Graph& graph) {
+  if (graph.NumVertices() == 0) return 0.0;
+  return 2.0 * static_cast<double>(graph.NumEdges()) /
+         static_cast<double>(graph.NumVertices());
+}
+
+namespace {
+
+/// Number of edges among the neighbors of v (i.e., triangles through v).
+std::size_t TrianglesThrough(const Graph& graph, VertexId v) {
+  auto nbrs = graph.Neighbors(v);
+  std::size_t count = 0;
+  for (VertexId u : nbrs) {
+    if (u <= v) continue;  // Count each (v, u) direction once; adjust below.
+    auto unbrs = graph.Neighbors(u);
+    // |N(v) ∩ N(u)| via merge.
+    auto a = nbrs.begin();
+    auto b = unbrs.begin();
+    while (a != nbrs.end() && b != unbrs.end()) {
+      if (*a < *b) {
+        ++a;
+      } else if (*b < *a) {
+        ++b;
+      } else {
+        ++count;
+        ++a;
+        ++b;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+double GlobalClusteringCoefficient(const Graph& graph) {
+  // triangles counted 3x when summing per-edge common-neighbor counts over
+  // u < v pairs... TrianglesThrough(v) with u > v counts each triangle
+  // {v, u, w} once per ordered pair (v, u) with v < u and w adjacent to
+  // both; each triangle has 3 such pairs, so the sum is 3 * #triangles.
+  std::size_t closed_paths = 0;  // 3 * triangles
+  std::size_t wedges = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    closed_paths += TrianglesThrough(graph, v);
+    const std::size_t d = graph.Degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return static_cast<double>(closed_paths) / static_cast<double>(wedges);
+}
+
+std::vector<double> LocalClusteringCoefficients(const Graph& graph) {
+  std::vector<double> out(graph.NumVertices(), 0.0);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const std::size_t d = graph.Degree(v);
+    if (d < 2) continue;
+    // Edges among N(v): for each neighbor u, |N(v) ∩ N(u)| counts each
+    // such edge twice.
+    auto nbrs = graph.Neighbors(v);
+    std::size_t twice_edges = 0;
+    for (VertexId u : nbrs) {
+      auto unbrs = graph.Neighbors(u);
+      auto a = nbrs.begin();
+      auto b = unbrs.begin();
+      while (a != nbrs.end() && b != unbrs.end()) {
+        if (*a < *b) {
+          ++a;
+        } else if (*b < *a) {
+          ++b;
+        } else {
+          ++twice_edges;
+          ++a;
+          ++b;
+        }
+      }
+    }
+    out[v] = static_cast<double>(twice_edges) /
+             (static_cast<double>(d) * static_cast<double>(d - 1));
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> CoreNumbers(const Graph& graph) {
+  // Batagelj–Zaveršnik bucket peeling.
+  const VertexId n = graph.NumVertices();
+  std::vector<std::uint32_t> degree(n), core(n, 0);
+  std::uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  std::vector<std::size_t> bin(max_degree + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bin[degree[v]];
+  std::size_t start = 0;
+  for (std::uint32_t d = 0; d <= max_degree; ++d) {
+    const std::size_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<VertexId> vert(n);
+  std::vector<std::size_t> pos(n);
+  {
+    std::vector<std::size_t> cursor(bin.begin(), bin.end());
+    for (VertexId v = 0; v < n; ++v) {
+      pos[v] = cursor[degree[v]]++;
+      vert[pos[v]] = v;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId v = vert[i];
+    core[v] = degree[v];
+    for (VertexId u : graph.Neighbors(v)) {
+      if (degree[u] > degree[v]) {
+        // Move u to the front of its bucket, then shift it down a bucket.
+        const std::uint32_t du = degree[u];
+        const std::size_t pu = pos[u];
+        const std::size_t pw = bin[du];
+        const VertexId w = vert[pw];
+        if (u != w) {
+          std::swap(vert[pu], vert[pw]);
+          pos[u] = pw;
+          pos[w] = pu;
+        }
+        ++bin[du];
+        --degree[u];
+      }
+    }
+  }
+  return core;
+}
+
+VertexSet KCore(const Graph& graph, std::uint32_t k) {
+  const std::vector<std::uint32_t> core = CoreNumbers(graph);
+  VertexSet out;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (core[v] >= k) out.push_back(v);
+  }
+  return out;
+}
+
+ComponentLabeling ConnectedComponents(const Graph& graph) {
+  ComponentLabeling result;
+  const VertexId n = graph.NumVertices();
+  result.label.assign(n, static_cast<std::uint32_t>(-1));
+  std::deque<VertexId> queue;
+  for (VertexId s = 0; s < n; ++s) {
+    if (result.label[s] != static_cast<std::uint32_t>(-1)) continue;
+    const std::uint32_t id = result.num_components++;
+    result.label[s] = id;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      for (VertexId u : graph.Neighbors(v)) {
+        if (result.label[u] == static_cast<std::uint32_t>(-1)) {
+          result.label[u] = id;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::size_t TriangleCount(const Graph& graph) {
+  std::size_t closed = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    closed += TrianglesThrough(graph, v);
+  }
+  return closed / 3;
+}
+
+double DegreeAssortativity(const Graph& graph) {
+  // Pearson correlation of endpoint degrees over all directed edge
+  // instances (Newman 2002).
+  double sum_x = 0, sum_xx = 0, sum_xy = 0;
+  std::size_t m2 = 0;  // directed edge count
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    const double du = graph.Degree(u);
+    for (VertexId v : graph.Neighbors(u)) {
+      const double dv = graph.Degree(v);
+      sum_x += du;
+      sum_xx += du * du;
+      sum_xy += du * dv;
+      ++m2;
+    }
+  }
+  if (m2 == 0) return 0.0;
+  const double n = static_cast<double>(m2);
+  const double mean = sum_x / n;
+  const double var = sum_xx / n - mean * mean;
+  if (var <= 0.0) return 0.0;
+  const double cov = sum_xy / n - mean * mean;
+  return cov / var;
+}
+
+std::vector<std::uint32_t> BfsDistances(const Graph& graph,
+                                        VertexId source) {
+  std::vector<std::uint32_t> dist(graph.NumVertices(), kUnreachable);
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId u : graph.Neighbors(v)) {
+      if (dist[u] == kUnreachable) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t DoubleSweepDiameterLowerBound(const Graph& graph,
+                                            VertexId start) {
+  if (graph.NumVertices() == 0) return 0;
+  auto farthest = [&graph](VertexId s) {
+    const auto dist = BfsDistances(graph, s);
+    VertexId best = s;
+    std::uint32_t best_dist = 0;
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      if (dist[v] != kUnreachable && dist[v] > best_dist) {
+        best = v;
+        best_dist = dist[v];
+      }
+    }
+    return std::make_pair(best, best_dist);
+  };
+  const auto [mid, _] = farthest(start);
+  return farthest(mid).second;
+}
+
+std::size_t LargestComponentSize(const Graph& graph) {
+  const ComponentLabeling labeling = ConnectedComponents(graph);
+  std::vector<std::size_t> sizes(labeling.num_components, 0);
+  for (std::uint32_t label : labeling.label) ++sizes[label];
+  std::size_t best = 0;
+  for (std::size_t s : sizes) best = std::max(best, s);
+  return best;
+}
+
+}  // namespace scpm

@@ -1,0 +1,71 @@
+// Structural graph metrics: density, clustering, cores, components.
+//
+// The quasi-clique miner's vertex-reduction preprocessing is a thresholded
+// core computation, and the paper's null model consumes the degree
+// histogram; both live here alongside general diagnostics.
+
+#ifndef SCPM_GRAPH_METRICS_H_
+#define SCPM_GRAPH_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace scpm {
+
+/// |E| / C(|V|, 2); 0 for graphs with fewer than two vertices.
+double EdgeDensity(const Graph& graph);
+
+/// Density of the subgraph induced by a (sorted) vertex set.
+double SubsetDensity(const Graph& graph, const VertexSet& vertices);
+
+/// 2|E| / |V|; 0 for the empty graph.
+double AverageDegree(const Graph& graph);
+
+/// Global clustering coefficient (3 * triangles / wedges); 0 when the
+/// graph has no wedge.
+double GlobalClusteringCoefficient(const Graph& graph);
+
+/// Local clustering coefficient of every vertex.
+std::vector<double> LocalClusteringCoefficients(const Graph& graph);
+
+/// Core number of every vertex (largest k such that the vertex survives in
+/// the k-core). Linear-time bucket peeling.
+std::vector<std::uint32_t> CoreNumbers(const Graph& graph);
+
+/// Sorted vertices of the k-core (maximal subgraph with min degree >= k).
+VertexSet KCore(const Graph& graph, std::uint32_t k);
+
+/// Result of connected-components labeling.
+struct ComponentLabeling {
+  std::vector<std::uint32_t> label;  // per-vertex component id
+  std::uint32_t num_components = 0;
+};
+
+/// BFS labeling of connected components.
+ComponentLabeling ConnectedComponents(const Graph& graph);
+
+/// Size of the largest connected component (0 for the empty graph).
+std::size_t LargestComponentSize(const Graph& graph);
+
+/// Total number of triangles in the graph.
+std::size_t TriangleCount(const Graph& graph);
+
+/// Pearson degree assortativity over edges; 0 when undefined (e.g., all
+/// degrees equal or no edges).
+double DegreeAssortativity(const Graph& graph);
+
+/// BFS distances from `source` (kUnreachable for other components).
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+std::vector<std::uint32_t> BfsDistances(const Graph& graph, VertexId source);
+
+/// Lower bound on the diameter via double-sweep BFS from `start`
+/// (exact on trees; a strong heuristic elsewhere). 0 for empty graphs.
+std::uint32_t DoubleSweepDiameterLowerBound(const Graph& graph,
+                                            VertexId start = 0);
+
+}  // namespace scpm
+
+#endif  // SCPM_GRAPH_METRICS_H_

@@ -1,0 +1,61 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+#include "util/sorted_ops.h"
+
+namespace scpm {
+
+Result<InducedSubgraph> InducedSubgraph::Create(const Graph& parent,
+                                                VertexSet vertices) {
+  if (!IsStrictlySorted(vertices)) {
+    return Status::InvalidArgument(
+        "induced vertex set must be sorted and duplicate-free");
+  }
+  if (!vertices.empty() && vertices.back() >= parent.NumVertices()) {
+    return Status::InvalidArgument("induced vertex id out of range");
+  }
+
+  const VertexId n = static_cast<VertexId>(vertices.size());
+  std::vector<Edge> edges;
+  for (VertexId local = 0; local < n; ++local) {
+    const VertexId global = vertices[local];
+    // Merge-intersect the (sorted) parent adjacency with the (sorted)
+    // induced vertex set, emitting each edge once (u < v locally).
+    auto nbrs = parent.Neighbors(global);
+    auto it = nbrs.begin();
+    VertexId other_local = 0;
+    while (it != nbrs.end() && other_local < n) {
+      const VertexId w = vertices[other_local];
+      if (*it < w) {
+        ++it;
+      } else if (w < *it) {
+        ++other_local;
+      } else {
+        if (local < other_local) edges.push_back({local, other_local});
+        ++it;
+        ++other_local;
+      }
+    }
+  }
+  Result<Graph> graph = Graph::FromEdges(n, std::move(edges));
+  if (!graph.ok()) return graph.status();
+  return InducedSubgraph(std::move(graph).value(), std::move(vertices));
+}
+
+VertexId InducedSubgraph::ToLocal(VertexId global) const {
+  auto it = std::lower_bound(global_ids_.begin(), global_ids_.end(), global);
+  if (it == global_ids_.end() || *it != global) return kInvalidVertex;
+  return static_cast<VertexId>(it - global_ids_.begin());
+}
+
+VertexSet InducedSubgraph::ToGlobal(const VertexSet& locals) const {
+  VertexSet out;
+  out.reserve(locals.size());
+  for (VertexId local : locals) out.push_back(global_ids_[local]);
+  // Locals sorted ascending map to sorted globals because global_ids_ is
+  // itself sorted.
+  return out;
+}
+
+}  // namespace scpm

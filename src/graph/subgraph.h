@@ -1,0 +1,57 @@
+// Vertex-induced subgraphs with local/global id mapping.
+//
+// SCPM repeatedly materializes G(S), the subgraph induced by the vertices
+// carrying an attribute set S; InducedSubgraph relabels that vertex set to
+// [0, k) and builds a local CSR graph, keeping the mapping back to the
+// parent graph.
+
+#ifndef SCPM_GRAPH_SUBGRAPH_H_
+#define SCPM_GRAPH_SUBGRAPH_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/result.h"
+
+namespace scpm {
+
+/// A subgraph of a parent graph induced by a vertex subset.
+class InducedSubgraph {
+ public:
+  /// Builds the subgraph of `parent` induced by `vertices` (sorted,
+  /// duplicate-free, all ids < parent.NumVertices()).
+  static Result<InducedSubgraph> Create(const Graph& parent,
+                                        VertexSet vertices);
+
+  /// The relabeled graph over local ids [0, vertices.size()).
+  const Graph& graph() const { return graph_; }
+
+  /// Number of vertices in the subgraph.
+  VertexId NumVertices() const { return graph_.NumVertices(); }
+
+  /// Sorted global ids; global_ids()[local] is the parent-graph id.
+  const VertexSet& global_ids() const { return global_ids_; }
+
+  /// Parent-graph id of a local vertex.
+  VertexId ToGlobal(VertexId local) const { return global_ids_[local]; }
+
+  /// Local id of a parent-graph vertex, or kInvalidVertex when the vertex
+  /// is not part of the subgraph. O(log n).
+  VertexId ToLocal(VertexId global) const;
+
+  /// Maps a set of local ids to sorted global ids.
+  VertexSet ToGlobal(const VertexSet& locals) const;
+
+ private:
+  InducedSubgraph(Graph graph, VertexSet global_ids)
+      : graph_(std::move(graph)), global_ids_(std::move(global_ids)) {}
+
+  Graph graph_;
+  VertexSet global_ids_;
+};
+
+}  // namespace scpm
+
+#endif  // SCPM_GRAPH_SUBGRAPH_H_

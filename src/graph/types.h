@@ -1,0 +1,39 @@
+// Fundamental identifier types shared across the library.
+
+#ifndef SCPM_GRAPH_TYPES_H_
+#define SCPM_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace scpm {
+
+/// Dense 0-based vertex identifier.
+using VertexId = std::uint32_t;
+
+/// Dense 0-based attribute identifier (interned attribute name).
+using AttributeId = std::uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+/// Sentinel for "no attribute".
+inline constexpr AttributeId kInvalidAttribute = static_cast<AttributeId>(-1);
+
+/// Sorted duplicate-free vertex set.
+using VertexSet = std::vector<VertexId>;
+
+/// Sorted duplicate-free attribute set (an "itemset" over attributes).
+using AttributeSet = std::vector<AttributeId>;
+
+/// An undirected edge; canonical form has first <= second.
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace scpm
+
+#endif  // SCPM_GRAPH_TYPES_H_

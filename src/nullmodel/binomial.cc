@@ -1,0 +1,47 @@
+#include "nullmodel/binomial.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace scpm {
+
+double LogBinomialCoefficient(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return -INFINITY;
+  if (k == 0 || k == n) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double BinomialPmf(std::uint64_t n, std::uint64_t k, double p) {
+  SCPM_CHECK(p >= 0.0 && p <= 1.0);
+  if (k > n) return 0.0;
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double log_pmf = LogBinomialCoefficient(n, k) +
+                         static_cast<double>(k) * std::log(p) +
+                         static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double BinomialTailAtLeast(std::uint64_t n, std::uint64_t z, double p) {
+  SCPM_CHECK(p >= 0.0 && p <= 1.0);
+  if (z == 0) return 1.0;
+  if (z > n) return 0.0;
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+  // Start from the pmf at z and accumulate upward:
+  //   pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p).
+  const double odds = p / (1.0 - p);
+  double term = BinomialPmf(n, z, p);
+  double sum = term;
+  for (std::uint64_t k = z; k < n; ++k) {
+    term *= static_cast<double>(n - k) / static_cast<double>(k + 1) * odds;
+    sum += term;
+    if (term < 1e-18 * sum) break;  // Converged: remaining tail negligible.
+  }
+  return sum > 1.0 ? 1.0 : sum;
+}
+
+}  // namespace scpm

@@ -1,0 +1,25 @@
+// Numerically stable binomial helpers for the analytical null model
+// (paper Theorems 1 and 2).
+
+#ifndef SCPM_NULLMODEL_BINOMIAL_H_
+#define SCPM_NULLMODEL_BINOMIAL_H_
+
+#include <cstdint>
+
+namespace scpm {
+
+/// ln C(n, k); 0 when k == 0 or k == n, -inf-free (returns 0 for invalid
+/// k > n by convention of the callers, which never pass it).
+double LogBinomialCoefficient(std::uint64_t n, std::uint64_t k);
+
+/// Binomial point mass P[Bin(n, p) = k], computed in log space.
+double BinomialPmf(std::uint64_t n, std::uint64_t k, double p);
+
+/// Upper tail P[Bin(n, p) >= z]. Handles p = 0, p = 1, z = 0, z > n.
+/// Computed by summing pmf terms upward from z with an incremental odds
+/// ratio; O(n - z) work.
+double BinomialTailAtLeast(std::uint64_t n, std::uint64_t z, double p);
+
+}  // namespace scpm
+
+#endif  // SCPM_NULLMODEL_BINOMIAL_H_

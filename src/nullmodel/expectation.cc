@@ -1,0 +1,107 @@
+#include "nullmodel/expectation.h"
+
+#include <cmath>
+
+#include "graph/subgraph.h"
+#include "nullmodel/binomial.h"
+#include "util/logging.h"
+
+namespace scpm {
+
+MaxExpectationModel::MaxExpectationModel(const Graph& graph,
+                                         QuasiCliqueParams params)
+    : params_(params), num_vertices_(graph.NumVertices()) {
+  const std::vector<std::size_t> histogram = graph.DegreeHistogram();
+  degree_fraction_.resize(histogram.size());
+  for (std::size_t d = 0; d < histogram.size(); ++d) {
+    degree_fraction_[d] =
+        num_vertices_ == 0
+            ? 0.0
+            : static_cast<double>(histogram[d]) /
+                  static_cast<double>(num_vertices_);
+  }
+}
+
+double MaxExpectationModel::Expectation(std::size_t support) {
+  if (num_vertices_ < 2 || support < 2) return 0.0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = cache_.find(support); it != cache_.end()) return it->second;
+
+  // Theorem 2: rho is the probability that a specific other vertex lands
+  // in the random sample given that v is already in it.
+  const double rho = static_cast<double>(support - 1) /
+                     static_cast<double>(num_vertices_ - 1);
+  const std::uint32_t z = params_.RequiredDegree(params_.min_size);
+  double value;
+  if (z == 0) {
+    value = 1.0;
+  } else {
+    value = 0.0;
+    for (std::size_t alpha = z; alpha < degree_fraction_.size(); ++alpha) {
+      if (degree_fraction_[alpha] == 0.0) continue;
+      value += degree_fraction_[alpha] *
+               BinomialTailAtLeast(alpha, z, rho);
+    }
+  }
+  cache_.emplace(support, value);
+  return value;
+}
+
+SimExpectationModel::SimExpectationModel(const Graph& graph,
+                                         QuasiCliqueParams params,
+                                         std::size_t num_samples,
+                                         std::uint64_t seed)
+    : graph_(graph),
+      params_(params),
+      num_samples_(num_samples),
+      rng_(seed) {
+  SCPM_CHECK_GE(num_samples, 1u);
+}
+
+double SimExpectationModel::Expectation(std::size_t support) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = cache_.find(support); it != cache_.end()) return it->second;
+  const double value = EstimateWithStddevLocked(support).mean;
+  cache_.emplace(support, value);
+  return value;
+}
+
+SimExpectationModel::Estimate SimExpectationModel::EstimateWithStddev(
+    std::size_t support) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return EstimateWithStddevLocked(support);
+}
+
+SimExpectationModel::Estimate SimExpectationModel::EstimateWithStddevLocked(
+    std::size_t support) {
+  Estimate out;
+  if (graph_.NumVertices() == 0 || support == 0) return out;
+  const std::uint32_t n = graph_.NumVertices();
+  const std::uint32_t sample_size = static_cast<std::uint32_t>(
+      std::min<std::size_t>(support, n));
+
+  QuasiCliqueMinerOptions miner_options;
+  miner_options.params = params_;
+  QuasiCliqueMiner miner(miner_options);
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t s = 0; s < num_samples_; ++s) {
+    const VertexSet sample = rng_.SampleWithoutReplacement(n, sample_size);
+    Result<InducedSubgraph> sub = InducedSubgraph::Create(graph_, sample);
+    SCPM_CHECK(sub.ok()) << sub.status();
+    Result<VertexSet> covered = miner.MineCoverage(sub->graph());
+    SCPM_CHECK(covered.ok()) << covered.status();
+    const double eps = static_cast<double>(covered->size()) /
+                       static_cast<double>(sample_size);
+    sum += eps;
+    sum_sq += eps * eps;
+  }
+  const double r = static_cast<double>(num_samples_);
+  out.mean = sum / r;
+  const double variance = std::max(0.0, sum_sq / r - out.mean * out.mean);
+  out.stddev = std::sqrt(variance);
+  return out;
+}
+
+}  // namespace scpm

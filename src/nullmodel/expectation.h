@@ -1,0 +1,97 @@
+// Null models for the expected structural correlation (paper §2.1.3).
+//
+// Both models answer: "if sigma vertices were drawn at random from G, what
+// fraction would sit in a quasi-clique of the sampled subgraph?"
+//
+//  * MaxExpectationModel — the analytical upper bound of Theorem 2:
+//    max-exp(sigma) = sum_alpha p(alpha) * P[Bin(alpha, rho) >= z] with
+//    rho = (sigma-1)/(|V|-1), z = ceil(gamma (min_size - 1)). Monotone
+//    non-decreasing in sigma, which Theorem 5's pruning relies on.
+//  * SimExpectationModel — Monte-Carlo: draws r random vertex samples and
+//    mines quasi-clique coverage in each induced subgraph (sim-exp).
+//
+// delta_lb = eps / max-exp  is a lower bound on  delta_sim = eps / sim-exp.
+
+#ifndef SCPM_NULLMODEL_EXPECTATION_H_
+#define SCPM_NULLMODEL_EXPECTATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "qclique/miner.h"
+#include "qclique/quasi_clique.h"
+#include "util/random.h"
+
+namespace scpm {
+
+/// Interface: expected structural correlation as a function of support.
+/// Implementations memoize per-support values; the bundled
+/// implementations are thread-safe (required by parallel SCPM).
+class ExpectationModel {
+ public:
+  virtual ~ExpectationModel() = default;
+
+  /// Expected structural correlation of a random vertex sample of size
+  /// `support` from the underlying graph. Must be monotone non-decreasing
+  /// in `support` for Theorem 5 pruning to be sound.
+  virtual double Expectation(std::size_t support) = 0;
+
+  /// Model name for reports ("max-exp", "sim-exp").
+  virtual std::string name() const = 0;
+};
+
+/// Theorem 2's analytical upper bound on the expected structural
+/// correlation; exact degree histogram, O(max_degree^2) per distinct
+/// support (memoized).
+class MaxExpectationModel : public ExpectationModel {
+ public:
+  MaxExpectationModel(const Graph& graph, QuasiCliqueParams params);
+
+  double Expectation(std::size_t support) override;
+  std::string name() const override { return "max-exp"; }
+
+ private:
+  QuasiCliqueParams params_;
+  std::size_t num_vertices_;
+  std::vector<double> degree_fraction_;  // p(alpha)
+  std::mutex mutex_;                     // guards cache_
+  std::unordered_map<std::size_t, double> cache_;
+};
+
+/// Monte-Carlo estimate of the expected structural correlation
+/// (the paper's sim-exp with r simulations per support value).
+class SimExpectationModel : public ExpectationModel {
+ public:
+  /// `graph` must outlive the model.
+  SimExpectationModel(const Graph& graph, QuasiCliqueParams params,
+                      std::size_t num_samples, std::uint64_t seed);
+
+  double Expectation(std::size_t support) override;
+  std::string name() const override { return "sim-exp"; }
+
+  /// Mean and standard deviation across the r samples (uncached path).
+  struct Estimate {
+    double mean = 0.0;
+    double stddev = 0.0;
+  };
+  Estimate EstimateWithStddev(std::size_t support);
+
+ private:
+  Estimate EstimateWithStddevLocked(std::size_t support);
+
+  const Graph& graph_;
+  QuasiCliqueParams params_;
+  std::size_t num_samples_;
+  std::mutex mutex_;  // guards rng_ and cache_
+  Rng rng_;
+  std::unordered_map<std::size_t, double> cache_;
+};
+
+}  // namespace scpm
+
+#endif  // SCPM_NULLMODEL_EXPECTATION_H_

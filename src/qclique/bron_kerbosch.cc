@@ -1,0 +1,102 @@
+#include "qclique/bron_kerbosch.h"
+
+#include <algorithm>
+
+#include "util/sorted_ops.h"
+
+namespace scpm {
+namespace {
+
+/// Recursion state for Bron–Kerbosch.
+class Enumerator {
+ public:
+  Enumerator(const Graph& graph, std::uint32_t min_size,
+             std::uint64_t max_cliques)
+      : graph_(graph), min_size_(min_size), max_cliques_(max_cliques) {}
+
+  Status Run() {
+    VertexSet r, p(graph_.NumVertices()), x;
+    for (VertexId v = 0; v < graph_.NumVertices(); ++v) p[v] = v;
+    return Expand(r, std::move(p), std::move(x));
+  }
+
+  std::vector<VertexSet> TakeCliques() {
+    std::sort(cliques_.begin(), cliques_.end(),
+              [](const VertexSet& a, const VertexSet& b) {
+                if (a.size() != b.size()) return a.size() > b.size();
+                return a < b;
+              });
+    return std::move(cliques_);
+  }
+
+ private:
+  VertexSet NeighborsOf(VertexId v) const {
+    auto nbrs = graph_.Neighbors(v);
+    return VertexSet(nbrs.begin(), nbrs.end());
+  }
+
+  Status Expand(VertexSet& r, VertexSet p, VertexSet x) {
+    if (p.empty() && x.empty()) {
+      if (r.size() >= min_size_) {
+        if (max_cliques_ != 0 && cliques_.size() >= max_cliques_) {
+          return Status::OutOfRange("maximal clique budget exceeded");
+        }
+        VertexSet clique = r;
+        std::sort(clique.begin(), clique.end());
+        cliques_.push_back(std::move(clique));
+      }
+      return Status::OK();
+    }
+    if (r.size() + p.size() < min_size_) return Status::OK();
+
+    // Tomita pivot: the vertex of P ∪ X with the most neighbors in P.
+    VertexId pivot = kInvalidVertex;
+    std::size_t best = 0;
+    for (const VertexSet* side : {&p, &x}) {
+      for (VertexId u : *side) {
+        const std::size_t count =
+            SortedIntersectSize(p, NeighborsOf(u));
+        if (pivot == kInvalidVertex || count > best) {
+          pivot = u;
+          best = count;
+        }
+      }
+    }
+    VertexSet candidates;
+    if (pivot == kInvalidVertex) {
+      candidates = p;
+    } else {
+      SortedDifference(p, NeighborsOf(pivot), &candidates);
+    }
+
+    for (VertexId v : candidates) {
+      const VertexSet nbrs = NeighborsOf(v);
+      VertexSet p_next, x_next;
+      SortedIntersect(p, nbrs, &p_next);
+      SortedIntersect(x, nbrs, &x_next);
+      r.push_back(v);
+      SCPM_RETURN_IF_ERROR(Expand(r, std::move(p_next), std::move(x_next)));
+      r.pop_back();
+      SortedErase(&p, v);
+      SortedInsert(&x, v);
+    }
+    return Status::OK();
+  }
+
+  const Graph& graph_;
+  std::uint32_t min_size_;
+  std::uint64_t max_cliques_;
+  std::vector<VertexSet> cliques_;
+};
+
+}  // namespace
+
+Result<std::vector<VertexSet>> MaximalCliques(const Graph& graph,
+                                              std::uint32_t min_size,
+                                              std::uint64_t max_cliques) {
+  Enumerator enumerator(graph, min_size, max_cliques);
+  SCPM_RETURN_IF_ERROR(enumerator.Run());
+  return enumerator.TakeCliques();
+}
+
+}  // namespace scpm

@@ -1,0 +1,30 @@
+// Bron–Kerbosch maximal clique enumeration with pivoting.
+//
+// Cliques are the gamma = 1 special case of quasi-cliques; this dedicated
+// miner serves as an independent reference implementation (the test suite
+// cross-checks QuasiCliqueMiner at gamma = 1 against it) and as a faster
+// path for clique workloads.
+
+#ifndef SCPM_QCLIQUE_BRON_KERBOSCH_H_
+#define SCPM_QCLIQUE_BRON_KERBOSCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/result.h"
+
+namespace scpm {
+
+/// All maximal cliques with at least `min_size` vertices, ordered by
+/// decreasing size then lexicographically. Uses Bron–Kerbosch with the
+/// Tomita max-degree pivot; `max_cliques` (0 = unlimited) caps the output
+/// as a safety valve for pathological graphs.
+Result<std::vector<VertexSet>> MaximalCliques(const Graph& graph,
+                                              std::uint32_t min_size,
+                                              std::uint64_t max_cliques = 0);
+
+}  // namespace scpm
+
+#endif  // SCPM_QCLIQUE_BRON_KERBOSCH_H_

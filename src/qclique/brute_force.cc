@@ -1,0 +1,86 @@
+#include "qclique/brute_force.h"
+
+#include <algorithm>
+
+#include "util/sorted_ops.h"
+
+namespace scpm {
+namespace {
+
+constexpr VertexId kMaxBruteForceVertices = 24;
+
+Status CheckSize(const Graph& graph) {
+  if (graph.NumVertices() > kMaxBruteForceVertices) {
+    return Status::InvalidArgument(
+        "brute-force reference limited to tiny graphs");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<VertexSet>> BruteForceSatisfyingSets(
+    const Graph& graph, const QuasiCliqueParams& params) {
+  SCPM_RETURN_IF_ERROR(CheckSize(graph));
+  SCPM_RETURN_IF_ERROR(params.Validate());
+  const VertexId n = graph.NumVertices();
+  std::vector<VertexSet> out;
+  VertexSet q;
+  for (std::uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+    if (static_cast<std::uint32_t>(__builtin_popcountll(mask)) <
+        params.min_size) {
+      continue;
+    }
+    q.clear();
+    for (VertexId v = 0; v < n; ++v) {
+      if (mask & (1ULL << v)) q.push_back(v);
+    }
+    if (SatisfiesDegreeConstraint(graph, q, params)) out.push_back(q);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const VertexSet& a, const VertexSet& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  return out;
+}
+
+Result<std::vector<VertexSet>> BruteForceMaximalQuasiCliques(
+    const Graph& graph, const QuasiCliqueParams& params) {
+  Result<std::vector<VertexSet>> all = BruteForceSatisfyingSets(graph, params);
+  if (!all.ok()) return all.status();
+  std::vector<VertexSet> maximal;
+  for (const VertexSet& q : *all) {
+    bool dominated = false;
+    for (const VertexSet& other : *all) {
+      if (other.size() > q.size() && SortedIsSubset(q, other)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) maximal.push_back(q);
+  }
+  std::sort(maximal.begin(), maximal.end(),
+            [](const VertexSet& a, const VertexSet& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a < b;
+            });
+  return maximal;
+}
+
+Result<VertexSet> BruteForceCoverage(const Graph& graph,
+                                     const QuasiCliqueParams& params) {
+  Result<std::vector<VertexSet>> all = BruteForceSatisfyingSets(graph, params);
+  if (!all.ok()) return all.status();
+  std::vector<bool> covered(graph.NumVertices(), false);
+  for (const VertexSet& q : *all) {
+    for (VertexId v : q) covered[v] = true;
+  }
+  VertexSet out;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (covered[v]) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace scpm

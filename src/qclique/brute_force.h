@@ -1,0 +1,35 @@
+// Exponential reference implementations used to validate the miner.
+//
+// These enumerate every vertex subset, so they are only usable on tiny
+// graphs (guarded at ~24 vertices); the test suite compares the optimized
+// miner against them on randomized inputs.
+
+#ifndef SCPM_QCLIQUE_BRUTE_FORCE_H_
+#define SCPM_QCLIQUE_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "qclique/quasi_clique.h"
+#include "util/result.h"
+
+namespace scpm {
+
+/// Every vertex set satisfying size + degree constraints, in increasing
+/// (size, lexicographic) order.
+Result<std::vector<VertexSet>> BruteForceSatisfyingSets(
+    const Graph& graph, const QuasiCliqueParams& params);
+
+/// The maximal satisfying sets (no satisfying strict superset), ordered by
+/// decreasing size then lexicographically.
+Result<std::vector<VertexSet>> BruteForceMaximalQuasiCliques(
+    const Graph& graph, const QuasiCliqueParams& params);
+
+/// Sorted union of all satisfying sets: the paper's K for this graph.
+Result<VertexSet> BruteForceCoverage(const Graph& graph,
+                                     const QuasiCliqueParams& params);
+
+}  // namespace scpm
+
+#endif  // SCPM_QCLIQUE_BRUTE_FORCE_H_

@@ -1,0 +1,219 @@
+#include "qclique/candidate.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/sorted_ops.h"
+
+namespace scpm {
+namespace {
+
+/// Bitset degree counting pays off until the bitset scan (n/64 words)
+/// exceeds typical adjacency sizes by too much; 4096 vertices = 64 words
+/// per query, still far cheaper than cache-missing adjacency walks.
+constexpr VertexId kMaxBitsetVertices = 4096;
+
+}  // namespace
+
+CandidateScratch::CandidateScratch(const Graph& graph)
+    : graph_(graph),
+      epoch_of_(graph.NumVertices(), 0),
+      in_x_(graph.NumVertices(), 0) {
+  const VertexId n = graph.NumVertices();
+  if (n > 0 && n <= kMaxBitsetVertices) {
+    use_bitsets_ = true;
+    words_ = (static_cast<std::size_t>(n) + 63) / 64;
+    adjacency_bits_.assign(static_cast<std::size_t>(n) * words_, 0);
+    marked_bits_.assign(words_, 0);
+    x_bits_.assign(words_, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      std::uint64_t* row = &adjacency_bits_[v * words_];
+      for (VertexId u : graph.Neighbors(v)) {
+        row[u / 64] |= std::uint64_t{1} << (u % 64);
+      }
+    }
+  }
+}
+
+void CandidateScratch::Mark(VertexId v, bool in_x) {
+  epoch_of_[v] = epoch_;
+  in_x_[v] = in_x ? 1 : 0;
+  if (use_bitsets_) {
+    const std::uint64_t bit = std::uint64_t{1} << (v % 64);
+    marked_bits_[v / 64] |= bit;
+    if (in_x) {
+      x_bits_[v / 64] |= bit;
+    } else {
+      x_bits_[v / 64] &= ~bit;
+    }
+  }
+}
+
+void CandidateScratch::Unmark(VertexId v) {
+  epoch_of_[v] = epoch_ - 1;
+  if (use_bitsets_) {
+    const std::uint64_t bit = std::uint64_t{1} << (v % 64);
+    marked_bits_[v / 64] &= ~bit;
+    x_bits_[v / 64] &= ~bit;
+  }
+}
+
+std::uint32_t CandidateScratch::MarkedDegree(VertexId v) const {
+  if (use_bitsets_) {
+    const std::uint64_t* row = &adjacency_bits_[v * words_];
+    std::uint32_t deg = 0;
+    for (std::size_t w = 0; w < words_; ++w) {
+      deg += static_cast<std::uint32_t>(
+          std::popcount(row[w] & marked_bits_[w]));
+    }
+    return deg;
+  }
+  std::uint32_t deg = 0;
+  for (VertexId u : graph_.Neighbors(v)) {
+    if (epoch_of_[u] == epoch_) ++deg;
+  }
+  return deg;
+}
+
+std::uint32_t CandidateScratch::MarkedDegreeInX(VertexId v) const {
+  if (use_bitsets_) {
+    const std::uint64_t* row = &adjacency_bits_[v * words_];
+    std::uint32_t deg = 0;
+    for (std::size_t w = 0; w < words_; ++w) {
+      deg += static_cast<std::uint32_t>(std::popcount(row[w] & x_bits_[w]));
+    }
+    return deg;
+  }
+  std::uint32_t deg = 0;
+  for (VertexId u : graph_.Neighbors(v)) {
+    if (epoch_of_[u] == epoch_ && in_x_[u]) ++deg;
+  }
+  return deg;
+}
+
+CandidateAnalysis CandidateScratch::Analyze(const Candidate& candidate,
+                                            const QuasiCliqueParams& params,
+                                            bool enable_size_bound,
+                                            bool enable_lookahead,
+                                            bool enable_critical_vertex) {
+  CandidateAnalysis out;
+  if (epoch_ == static_cast<std::uint32_t>(-1)) {
+    std::fill(epoch_of_.begin(), epoch_of_.end(), 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+  if (use_bitsets_) {
+    std::fill(marked_bits_.begin(), marked_bits_.end(), 0);
+    std::fill(x_bits_.begin(), x_bits_.end(), 0);
+  }
+  for (VertexId v : candidate.x) Mark(v, /*in_x=*/true);
+  for (VertexId v : candidate.ext) Mark(v, /*in_x=*/false);
+
+  VertexSet alive = candidate.ext;
+  const std::size_t x_size = candidate.x.size();
+  // Any set in this subtree containing an extension vertex has size at
+  // least max(min_size, |x| + 1).
+  const std::uint32_t ext_required = params.RequiredDegree(
+      std::max<std::size_t>(params.min_size, x_size + 1));
+
+  // Iteratively drop extension vertices whose degree inside x ∪ alive can
+  // no longer meet the constraint; each removal may cascade.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < alive.size();) {
+      const VertexId v = alive[i];
+      if (MarkedDegree(v) < ext_required) {
+        Unmark(v);
+        alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(i));
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Feasibility of x itself: each chosen vertex must be able to meet the
+  // constraint in some set of size >= max(min_size, |x|) drawn from
+  // x ∪ alive.
+  const std::uint32_t x_required = params.RequiredDegree(
+      std::max<std::size_t>(params.min_size, x_size));
+  std::size_t max_reachable = x_size + alive.size();
+  for (VertexId v : candidate.x) {
+    const std::uint32_t deg = MarkedDegree(v);
+    if (deg < x_required) {
+      out.verdict = CandidateVerdict::kPrune;
+      return out;
+    }
+    if (enable_size_bound) {
+      max_reachable = std::min(max_reachable, params.MaxSizeForDegree(deg));
+    }
+  }
+  if (x_size + alive.size() < params.min_size ||
+      max_reachable < params.min_size) {
+    out.verdict = CandidateVerdict::kPrune;
+    return out;
+  }
+
+  // Is x already a satisfying set? (Degrees counted within x only.)
+  if (x_size >= params.min_size) {
+    const std::uint32_t req_x = params.RequiredDegree(x_size);
+    out.x_is_satisfying = true;
+    for (VertexId v : candidate.x) {
+      if (MarkedDegreeInX(v) < req_x) {
+        out.x_is_satisfying = false;
+        break;
+      }
+    }
+  }
+
+  // Lookahead (paper Alg. 1 line 9): if x ∪ alive satisfies the degree
+  // constraint, it dominates every subset in the subtree.
+  if (enable_lookahead) {
+    const std::size_t all_size = x_size + alive.size();
+    if (all_size >= params.min_size) {
+      const std::uint32_t req_all = params.RequiredDegree(all_size);
+      bool all_ok = true;
+      for (VertexId v : candidate.x) {
+        if (MarkedDegree(v) < req_all) {
+          all_ok = false;
+          break;
+        }
+      }
+      if (all_ok) {
+        for (VertexId v : alive) {
+          if (MarkedDegree(v) < req_all) {
+            all_ok = false;
+            break;
+          }
+        }
+      }
+      if (all_ok) {
+        out.verdict = CandidateVerdict::kLookahead;
+        out.pruned_ext = std::move(alive);
+        return out;
+      }
+    }
+  }
+
+  // Critical-vertex technique (Quick): if a chosen vertex's degree budget
+  // inside x ∪ alive is exactly the minimum it needs, every satisfying
+  // set in this subtree must include all of its alive neighbors. (Note a
+  // non-empty forced set implies x itself is not satisfying: the critical
+  // vertex is short of degree within x alone.)
+  if (enable_critical_vertex) {
+    for (VertexId u : candidate.x) {
+      if (MarkedDegree(u) != x_required) continue;
+      for (VertexId w : graph_.Neighbors(u)) {
+        if (epoch_of_[w] == epoch_ && !in_x_[w]) out.forced.push_back(w);
+      }
+    }
+    SortUnique(&out.forced);
+  }
+
+  out.verdict = CandidateVerdict::kExpand;
+  out.pruned_ext = std::move(alive);
+  return out;
+}
+
+}  // namespace scpm

@@ -1,0 +1,93 @@
+// Candidate quasi-cliques: the (X, candExts(X)) pairs of paper Algorithm 1.
+//
+// The set-enumeration tree explores all subsets Q with X ⊆ Q ⊆ X ∪ ext;
+// CandidateScratch centralizes the per-candidate degree computation and the
+// iterative pruning shared by all mining modes.
+
+#ifndef SCPM_QCLIQUE_CANDIDATE_H_
+#define SCPM_QCLIQUE_CANDIDATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "qclique/quasi_clique.h"
+
+namespace scpm {
+
+/// One node of the quasi-clique search tree.
+struct Candidate {
+  VertexSet x;    // chosen vertices (sorted)
+  VertexSet ext;  // candidate extensions (sorted, disjoint from x)
+};
+
+/// Outcome of analyzing a candidate.
+enum class CandidateVerdict {
+  kPrune,          // no satisfying set can exist in this subtree
+  kLookahead,      // x ∪ ext is itself a satisfying set (report; subtree done)
+  kExpand,         // keep searching; x may additionally be a satisfying set
+};
+
+/// Per-candidate analysis results.
+struct CandidateAnalysis {
+  CandidateVerdict verdict = CandidateVerdict::kPrune;
+  bool x_is_satisfying = false;  // |x| >= min_size and degree constraint holds
+  VertexSet pruned_ext;          // ext after iterative vertex pruning
+  /// Quick's critical-vertex technique: extension vertices that every
+  /// satisfying set of this subtree must contain (the neighbors of a
+  /// chosen vertex whose degree budget is exactly tight). When non-empty
+  /// (and the verdict is kExpand), the caller should jump directly to the
+  /// candidate (x ∪ forced, pruned_ext \ forced).
+  VertexSet forced;
+};
+
+/// Reusable scratch buffers for candidate analysis on one graph. Not
+/// thread-safe; create one per mining thread.
+class CandidateScratch {
+ public:
+  explicit CandidateScratch(const Graph& graph);
+
+  /// Analyzes (x, ext): computes in-(x ∪ ext) degrees, iteratively removes
+  /// hopeless extension vertices, applies the size upper bound and the
+  /// lookahead test.
+  ///
+  /// `enable_size_bound` toggles the MaxSizeForDegree subtree bound;
+  /// `enable_lookahead` toggles the x ∪ ext satisfying-set shortcut;
+  /// `enable_critical_vertex` toggles the forced-extension detection.
+  CandidateAnalysis Analyze(const Candidate& candidate,
+                            const QuasiCliqueParams& params,
+                            bool enable_size_bound, bool enable_lookahead,
+                            bool enable_critical_vertex = false);
+
+ private:
+  /// Degree of `v` counted against vertices whose mark_ equals the current
+  /// epoch (i.e., current members of x ∪ ext).
+  std::uint32_t MarkedDegree(VertexId v) const;
+
+  /// Degree of `v` within x only.
+  std::uint32_t MarkedDegreeInX(VertexId v) const;
+
+  void Mark(VertexId v, bool in_x);
+  void Unmark(VertexId v);
+
+  const Graph& graph_;
+  std::vector<std::uint32_t> epoch_of_;  // stamp per vertex
+  std::vector<std::uint8_t> in_x_;       // valid when epoch matches
+
+  // Bitset fast path, used when the graph is small enough (the common
+  // case: miners run on induced subgraphs). adjacency_bits_[v] holds v's
+  // neighborhood; marked_bits_ / x_bits_ mirror the epoch marks, so
+  // degree queries become AND + popcount scans.
+  bool use_bitsets_ = false;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> adjacency_bits_;  // n * words_
+  std::vector<std::uint64_t> marked_bits_;
+  std::vector<std::uint64_t> x_bits_;
+
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace scpm
+
+#endif  // SCPM_QCLIQUE_CANDIDATE_H_

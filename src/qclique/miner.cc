@@ -1,0 +1,393 @@
+#include "qclique/miner.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "graph/subgraph.h"
+#include "qclique/candidate.h"
+#include "util/logging.h"
+#include "util/sorted_ops.h"
+
+namespace scpm {
+
+Status QuasiCliqueMinerOptions::Validate() const { return params.Validate(); }
+
+namespace {
+
+/// Iteratively removes vertices of degree < RequiredDegree(min_size);
+/// returns the sorted survivors. Survivors of this peeling form a
+/// superset of every satisfying set.
+VertexSet ReduceVertices(const Graph& graph, const QuasiCliqueParams& params) {
+  const std::uint32_t threshold = params.RequiredDegree(params.min_size);
+  std::vector<std::uint32_t> degree(graph.NumVertices());
+  std::vector<bool> removed(graph.NumVertices(), false);
+  std::deque<VertexId> queue;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    degree[v] = graph.Degree(v);
+    if (degree[v] < threshold) {
+      removed[v] = true;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId u : graph.Neighbors(v)) {
+      if (!removed[u] && --degree[u] < threshold) {
+        removed[u] = true;
+        queue.push_back(u);
+      }
+    }
+  }
+  VertexSet keep;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (!removed[v]) keep.push_back(v);
+  }
+  return keep;
+}
+
+/// Collection of the best (size, ratio) satisfying sets seen so far,
+/// maintained as an antichain under set inclusion: an offered set that is
+/// contained in a kept set is non-maximal and rejected; kept sets contained
+/// in the offered set are evicted. This keeps the §3.2.3 size threshold
+/// from being inflated by sets that would later be filtered as
+/// non-maximal.
+class TopKCollector {
+ public:
+  explicit TopKCollector(std::size_t k) : k_(k) {}
+
+  void Offer(RankedQuasiClique entry) {
+    // Reject entries dominated by (or equal to) a kept set.
+    for (const RankedQuasiClique& kept : entries_) {
+      if (kept.size() >= entry.size() &&
+          SortedIsSubset(entry.vertices, kept.vertices)) {
+        return;
+      }
+    }
+    // Evict kept sets dominated by the new entry (sorted by size desc, so
+    // only smaller suffix entries can be subsets).
+    entries_.erase(
+        std::remove_if(entries_.begin(), entries_.end(),
+                       [&entry](const RankedQuasiClique& kept) {
+                         return kept.size() < entry.size() &&
+                                SortedIsSubset(kept.vertices, entry.vertices);
+                       }),
+        entries_.end());
+    auto pos = std::lower_bound(
+        entries_.begin(), entries_.end(), entry,
+        [](const RankedQuasiClique& a, const RankedQuasiClique& b) {
+          if (a.size() != b.size()) return a.size() > b.size();
+          return a.min_degree_ratio > b.min_degree_ratio;
+        });
+    entries_.insert(pos, std::move(entry));
+    // Keep generous slack beyond k: evicting the tail is safe because an
+    // entry can only leave the antichain when a strictly larger superset
+    // arrives, which preserves the count above it.
+    if (entries_.size() > 4 * k_ + 8) entries_.pop_back();
+  }
+
+  bool Full() const { return entries_.size() >= k_; }
+
+  /// Size of the k-th best entry; candidates whose whole X ∪ candExts is
+  /// smaller cannot enter the top-k (paper §3.2.3).
+  std::size_t KthSize() const {
+    SCPM_CHECK(Full());
+    return entries_[k_ - 1].size();
+  }
+
+  std::vector<RankedQuasiClique> Finalize() {
+    if (entries_.size() > k_) entries_.resize(k_);
+    return std::move(entries_);
+  }
+
+ private:
+  std::size_t k_;
+  std::vector<RankedQuasiClique> entries_;  // antichain, (size, ratio) desc
+};
+
+enum class Mode { kMaximal, kCoverage, kTopK };
+
+/// Shared search over one (already vertex-reduced) local graph.
+class Search {
+ public:
+  Search(const Graph& graph, const QuasiCliqueMinerOptions& options,
+         Mode mode, std::size_t k, MinerStats* stats)
+      : graph_(graph),
+        options_(options),
+        mode_(mode),
+        stats_(stats),
+        scratch_(graph),
+        covered_(graph.NumVertices(), false),
+        collector_(k == 0 ? 1 : k),
+        neighbor_epoch_(graph.NumVertices(), 0) {}
+
+  Status Run() {
+    const VertexId n = graph_.NumVertices();
+    if (n < options_.params.min_size) return Status::OK();
+
+    Candidate root;
+    root.ext.resize(n);
+    for (VertexId v = 0; v < n; ++v) root.ext[v] = v;
+    std::deque<Candidate> work;
+    work.push_back(std::move(root));
+
+    while (!work.empty()) {
+      Candidate cand;
+      if (options_.order == SearchOrder::kBfs) {
+        cand = std::move(work.front());
+        work.pop_front();
+      } else {
+        cand = std::move(work.back());
+        work.pop_back();
+      }
+      ++stats_->candidates_processed;
+      if (options_.max_candidates != 0 &&
+          stats_->candidates_processed > options_.max_candidates) {
+        return Status::OutOfRange("candidate budget exceeded");
+      }
+
+      if (mode_ == Mode::kCoverage) {
+        if (covered_count_ == n) break;  // Everything already covered.
+        if (AllCovered(cand)) {
+          ++stats_->pruned_by_coverage;
+          continue;
+        }
+      }
+
+      // The paper §3.2.3: once k patterns are known, candidates that
+      // cannot reach the k-th size are pruned; the raised size also
+      // strengthens every degree bound inside Analyze.
+      QuasiCliqueParams params = options_.params;
+      if (mode_ == Mode::kTopK && collector_.Full()) {
+        const std::size_t kth = collector_.KthSize();
+        if (cand.x.size() + cand.ext.size() < kth) {
+          ++stats_->pruned_by_topk;
+          continue;
+        }
+        params.min_size = std::max<std::uint32_t>(
+            params.min_size, static_cast<std::uint32_t>(kth));
+      }
+
+      CandidateAnalysis analysis =
+          scratch_.Analyze(cand, params, options_.enable_size_bound,
+                           options_.enable_lookahead,
+                           options_.enable_critical_vertex);
+      if (analysis.verdict == CandidateVerdict::kPrune) {
+        ++stats_->pruned_by_analysis;
+        continue;
+      }
+      if (analysis.verdict == CandidateVerdict::kLookahead) {
+        ++stats_->lookahead_hits;
+        VertexSet whole;
+        SortedUnion(cand.x, analysis.pruned_ext, &whole);
+        Report(std::move(whole));
+        continue;
+      }
+      if (!analysis.forced.empty()) {
+        // Critical vertex: every satisfying set of this subtree contains
+        // the forced vertices, so jump straight to that candidate.
+        ++stats_->critical_vertex_jumps;
+        Candidate jump;
+        SortedUnion(cand.x, analysis.forced, &jump.x);
+        SortedDifference(analysis.pruned_ext, analysis.forced, &jump.ext);
+        work.push_back(std::move(jump));
+        continue;
+      }
+      if (analysis.x_is_satisfying) Report(cand.x);
+
+      ExpandChildren(cand, analysis.pruned_ext, &work);
+    }
+    return Status::OK();
+  }
+
+  std::vector<VertexSet> TakeMaximal() {
+    // Drop reported sets contained in another reported set; every maximal
+    // satisfying set is reported, so survivors are exactly the maximal
+    // ones.
+    std::sort(reported_.begin(), reported_.end(),
+              [](const VertexSet& a, const VertexSet& b) {
+                if (a.size() != b.size()) return a.size() > b.size();
+                return a < b;
+              });
+    reported_.erase(std::unique(reported_.begin(), reported_.end()),
+                    reported_.end());
+    std::vector<VertexSet> keep;
+    for (auto& q : reported_) {
+      bool dominated = false;
+      for (const auto& big : keep) {
+        if (big.size() > q.size() && SortedIsSubset(q, big)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) keep.push_back(std::move(q));
+    }
+    stats_->sets_reported = keep.size();
+    return keep;
+  }
+
+  VertexSet TakeCoverage() const {
+    VertexSet out;
+    for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+      if (covered_[v]) out.push_back(v);
+    }
+    return out;
+  }
+
+  std::vector<RankedQuasiClique> TakeTopK() { return collector_.Finalize(); }
+
+ private:
+  bool AllCovered(const Candidate& cand) const {
+    for (VertexId v : cand.x) {
+      if (!covered_[v]) return false;
+    }
+    for (VertexId v : cand.ext) {
+      if (!covered_[v]) return false;
+    }
+    return true;
+  }
+
+  void Report(VertexSet q) {
+    switch (mode_) {
+      case Mode::kMaximal:
+        reported_.push_back(std::move(q));
+        break;
+      case Mode::kCoverage:
+        for (VertexId v : q) {
+          if (!covered_[v]) {
+            covered_[v] = true;
+            ++covered_count_;
+          }
+        }
+        break;
+      case Mode::kTopK: {
+        RankedQuasiClique entry;
+        entry.min_degree_ratio = MinDegreeRatio(graph_, q);
+        entry.vertices = std::move(q);
+        collector_.Offer(std::move(entry));
+        break;
+      }
+    }
+  }
+
+  void ExpandChildren(const Candidate& cand, const VertexSet& ext,
+                      std::deque<Candidate>* work) {
+    const bool use_diameter =
+        options_.enable_diameter_filter && options_.params.gamma >= 0.5;
+    std::vector<Candidate> children;
+    children.reserve(ext.size());
+    for (std::size_t i = 0; i < ext.size(); ++i) {
+      const VertexId v = ext[i];
+      Candidate child;
+      child.x = cand.x;
+      SortedInsert(&child.x, v);
+      if (use_diameter) MarkWithinTwoHops(v);
+      for (std::size_t j = i + 1; j < ext.size(); ++j) {
+        const VertexId u = ext[j];
+        if (use_diameter && neighbor_epoch_[u] != current_epoch_) continue;
+        child.ext.push_back(u);
+      }
+      if (child.x.size() + child.ext.size() >= options_.params.min_size) {
+        children.push_back(std::move(child));
+      }
+    }
+    if (options_.order == SearchOrder::kBfs) {
+      for (auto& c : children) work->push_back(std::move(c));
+    } else {
+      // Stack: push in reverse so the first child is expanded first.
+      for (auto it = children.rbegin(); it != children.rend(); ++it) {
+        work->push_back(std::move(*it));
+      }
+    }
+  }
+
+  /// Stamps every vertex within graph distance <= 2 of v. Sound filter for
+  /// gamma >= 0.5: any two members of a satisfying set are within two hops
+  /// inside the set, hence within two hops in the graph.
+  void MarkWithinTwoHops(VertexId v) {
+    ++current_epoch_;
+    if (current_epoch_ == 0) {  // Wrapped: re-zero.
+      std::fill(neighbor_epoch_.begin(), neighbor_epoch_.end(), 0);
+      current_epoch_ = 1;
+    }
+    for (VertexId u : graph_.Neighbors(v)) {
+      neighbor_epoch_[u] = current_epoch_;
+      for (VertexId w : graph_.Neighbors(u)) {
+        neighbor_epoch_[w] = current_epoch_;
+      }
+    }
+  }
+
+  const Graph& graph_;
+  const QuasiCliqueMinerOptions& options_;
+  Mode mode_;
+  MinerStats* stats_;
+  CandidateScratch scratch_;
+
+  std::vector<VertexSet> reported_;      // kMaximal
+  std::vector<bool> covered_;            // kCoverage
+  VertexId covered_count_ = 0;           // kCoverage
+  TopKCollector collector_;              // kTopK
+
+  std::vector<std::uint32_t> neighbor_epoch_;  // diameter filter scratch
+  std::uint32_t current_epoch_ = 0;
+};
+
+/// Applies vertex reduction and returns the working subgraph.
+Result<InducedSubgraph> Reduce(const Graph& graph,
+                               const QuasiCliqueMinerOptions& options) {
+  VertexSet keep;
+  if (options.enable_vertex_reduction) {
+    keep = ReduceVertices(graph, options.params);
+  } else {
+    keep.resize(graph.NumVertices());
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) keep[v] = v;
+  }
+  return InducedSubgraph::Create(graph, std::move(keep));
+}
+
+}  // namespace
+
+Result<std::vector<VertexSet>> QuasiCliqueMiner::MineMaximal(
+    const Graph& graph) {
+  SCPM_RETURN_IF_ERROR(options_.Validate());
+  stats_ = MinerStats{};
+  Result<InducedSubgraph> sub = Reduce(graph, options_);
+  if (!sub.ok()) return sub.status();
+  Search search(sub->graph(), options_, Mode::kMaximal, 0, &stats_);
+  SCPM_RETURN_IF_ERROR(search.Run());
+  std::vector<VertexSet> local = search.TakeMaximal();
+  std::vector<VertexSet> out;
+  out.reserve(local.size());
+  for (const VertexSet& q : local) out.push_back(sub->ToGlobal(q));
+  return out;
+}
+
+Result<VertexSet> QuasiCliqueMiner::MineCoverage(const Graph& graph) {
+  SCPM_RETURN_IF_ERROR(options_.Validate());
+  stats_ = MinerStats{};
+  Result<InducedSubgraph> sub = Reduce(graph, options_);
+  if (!sub.ok()) return sub.status();
+  Search search(sub->graph(), options_, Mode::kCoverage, 0, &stats_);
+  SCPM_RETURN_IF_ERROR(search.Run());
+  return sub->ToGlobal(search.TakeCoverage());
+}
+
+Result<std::vector<RankedQuasiClique>> QuasiCliqueMiner::MineTopK(
+    const Graph& graph, std::size_t k) {
+  SCPM_RETURN_IF_ERROR(options_.Validate());
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  stats_ = MinerStats{};
+  Result<InducedSubgraph> sub = Reduce(graph, options_);
+  if (!sub.ok()) return sub.status();
+  Search search(sub->graph(), options_, Mode::kTopK, k, &stats_);
+  SCPM_RETURN_IF_ERROR(search.Run());
+  std::vector<RankedQuasiClique> local = search.TakeTopK();
+  for (RankedQuasiClique& q : local) {
+    q.vertices = sub->ToGlobal(q.vertices);
+  }
+  return local;
+}
+
+}  // namespace scpm

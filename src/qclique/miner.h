@@ -1,0 +1,111 @@
+// Quasi-clique miner in the style of Quick [Liu & Wong 2008], following
+// the paper's Algorithm 1.
+//
+// Three modes over the same set-enumeration search:
+//  * MineMaximal  — all maximal satisfying sets (maximal by inclusion).
+//  * MineCoverage — the vertex set K covered by at least one satisfying
+//                   set, with the paper's §3.2.2 coverage pruning (prune a
+//                   candidate whose whole X ∪ candExts is already covered).
+//  * MineTopK     — the k best satisfying sets by (size, min-degree ratio),
+//                   with the paper's §3.2.3 dynamic min-size raising.
+//
+// BFS (queue) and DFS (stack) candidate orders are both supported
+// (paper §3.2.2); they are equivalent in output for MineMaximal and
+// MineCoverage and only differ in traversal cost.
+
+#ifndef SCPM_QCLIQUE_MINER_H_
+#define SCPM_QCLIQUE_MINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "qclique/quasi_clique.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace scpm {
+
+/// Order in which candidate quasi-cliques are expanded (paper §3.2.2).
+enum class SearchOrder {
+  kDfs,  // stack: extend vertex sets as far as possible first
+  kBfs,  // queue: smaller vertex sets before larger ones
+};
+
+/// Tuning knobs; the enable_* flags exist for ablation benchmarks and
+/// equivalence tests — all default on.
+struct QuasiCliqueMinerOptions {
+  QuasiCliqueParams params;
+  SearchOrder order = SearchOrder::kDfs;
+
+  /// Iteratively peel vertices that cannot be in any satisfying set before
+  /// searching (vertex pruning, paper §3.2.1 group 1).
+  bool enable_vertex_reduction = true;
+  /// Subtree size upper bound from member degrees.
+  bool enable_size_bound = true;
+  /// Report X ∪ candExts directly when it satisfies the constraint.
+  bool enable_lookahead = true;
+  /// Restrict child extensions to distance <= 2 from the chosen vertex
+  /// (sound for gamma >= 0.5, ignored otherwise).
+  bool enable_diameter_filter = true;
+  /// Quick's critical-vertex technique: jump directly to forced
+  /// extensions when a chosen vertex's degree budget is exactly tight.
+  bool enable_critical_vertex = true;
+  /// Abort with an error after this many candidates (0 = unlimited).
+  std::uint64_t max_candidates = 0;
+
+  Status Validate() const;
+};
+
+/// Search-effort counters from the most recent mining call.
+struct MinerStats {
+  std::uint64_t candidates_processed = 0;
+  std::uint64_t pruned_by_analysis = 0;
+  std::uint64_t pruned_by_coverage = 0;
+  std::uint64_t pruned_by_topk = 0;
+  std::uint64_t lookahead_hits = 0;
+  std::uint64_t critical_vertex_jumps = 0;
+  std::uint64_t sets_reported = 0;
+};
+
+/// A top-k entry: the vertex set plus its ranking keys.
+struct RankedQuasiClique {
+  VertexSet vertices;
+  double min_degree_ratio = 0.0;  // the paper's per-pattern gamma
+
+  std::size_t size() const { return vertices.size(); }
+};
+
+/// Reusable miner; each Mine* call is independent. Not thread-safe.
+class QuasiCliqueMiner {
+ public:
+  explicit QuasiCliqueMiner(QuasiCliqueMinerOptions options)
+      : options_(options) {}
+
+  const QuasiCliqueMinerOptions& options() const { return options_; }
+
+  /// All maximal satisfying sets, each sorted; the list is ordered by
+  /// decreasing size then lexicographically.
+  Result<std::vector<VertexSet>> MineMaximal(const Graph& graph);
+
+  /// Sorted set of vertices covered by at least one satisfying set
+  /// (the paper's K for this graph).
+  Result<VertexSet> MineCoverage(const Graph& graph);
+
+  /// Top-k satisfying sets by (size desc, min-degree ratio desc), maximal
+  /// among the reported sets. May return fewer than k.
+  Result<std::vector<RankedQuasiClique>> MineTopK(const Graph& graph,
+                                                  std::size_t k);
+
+  /// Counters from the most recent call.
+  const MinerStats& stats() const { return stats_; }
+
+ private:
+  QuasiCliqueMinerOptions options_;
+  MinerStats stats_;
+};
+
+}  // namespace scpm
+
+#endif  // SCPM_QCLIQUE_MINER_H_

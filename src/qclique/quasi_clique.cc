@@ -1,0 +1,84 @@
+#include "qclique/quasi_clique.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/sorted_ops.h"
+
+namespace scpm {
+
+Status QuasiCliqueParams::Validate() const {
+  if (!(gamma > 0.0) || gamma > 1.0) {
+    return Status::InvalidArgument("gamma must be in (0, 1]");
+  }
+  if (min_size < 2) {
+    return Status::InvalidArgument("min_size must be >= 2");
+  }
+  return Status::OK();
+}
+
+std::uint32_t QuasiCliqueParams::RequiredDegree(std::size_t size) const {
+  if (size <= 1) return 0;
+  return static_cast<std::uint32_t>(
+      std::ceil(gamma * static_cast<double>(size - 1) -
+                1e-9));  // Guard against FP noise at exact integers.
+}
+
+std::size_t QuasiCliqueParams::MaxSizeForDegree(std::size_t degree) const {
+  // RequiredDegree(s) <= degree  <=>  ceil(gamma (s-1)) <= degree
+  // <=> gamma (s-1) <= degree  <=>  s <= degree / gamma + 1.
+  return static_cast<std::size_t>(
+      std::floor(static_cast<double>(degree) / gamma + 1e-9)) + 1;
+}
+
+namespace {
+
+/// In-set degree of q[i] via sorted merge of its adjacency with q.
+std::uint32_t InSetDegree(const Graph& graph, const VertexSet& q,
+                          VertexId v) {
+  auto nbrs = graph.Neighbors(v);
+  std::uint32_t deg = 0;
+  auto a = nbrs.begin();
+  auto b = q.begin();
+  while (a != nbrs.end() && b != q.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      ++deg;
+      ++a;
+      ++b;
+    }
+  }
+  return deg;
+}
+
+}  // namespace
+
+bool SatisfiesDegreeConstraint(const Graph& graph, const VertexSet& q,
+                               const QuasiCliqueParams& params) {
+  const std::uint32_t required = params.RequiredDegree(q.size());
+  for (VertexId v : q) {
+    if (InSetDegree(graph, q, v) < required) return false;
+  }
+  return true;
+}
+
+bool IsSatisfyingSet(const Graph& graph, const VertexSet& q,
+                     const QuasiCliqueParams& params) {
+  return q.size() >= params.min_size &&
+         SatisfiesDegreeConstraint(graph, q, params);
+}
+
+double MinDegreeRatio(const Graph& graph, const VertexSet& q) {
+  if (q.size() < 2) return 0.0;
+  std::uint32_t min_degree = static_cast<std::uint32_t>(q.size());
+  for (VertexId v : q) {
+    min_degree = std::min(min_degree, InSetDegree(graph, q, v));
+  }
+  return static_cast<double>(min_degree) /
+         static_cast<double>(q.size() - 1);
+}
+
+}  // namespace scpm

@@ -1,0 +1,55 @@
+// Quasi-clique definitions (paper Definition 1).
+//
+// A gamma-quasi-clique is a vertex set Q, |Q| >= min_size, in which every
+// vertex has at least ceil(gamma * (|Q| - 1)) neighbors inside Q; the
+// mining problem asks for the maximal such sets. Following the paper's
+// Table 1, a pattern's reported "gamma" is its min-degree ratio
+// min_v deg_Q(v) / (|Q| - 1).
+
+#ifndef SCPM_QCLIQUE_QUASI_CLIQUE_H_
+#define SCPM_QCLIQUE_QUASI_CLIQUE_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace scpm {
+
+/// gamma_min and min_size thresholds shared by everything downstream.
+struct QuasiCliqueParams {
+  /// Minimum density threshold gamma_min in (0, 1].
+  double gamma = 0.5;
+  /// Minimum quasi-clique size (number of vertices), >= 2.
+  std::uint32_t min_size = 2;
+
+  Status Validate() const;
+
+  /// ceil(gamma * (size - 1)): minimum in-set degree for a member of a
+  /// satisfying set with `size` vertices.
+  std::uint32_t RequiredDegree(std::size_t size) const;
+
+  /// Largest set size in which a vertex of in-set degree `degree` can still
+  /// meet the constraint: max { s : RequiredDegree(s) <= degree }.
+  std::size_t MaxSizeForDegree(std::size_t degree) const;
+};
+
+/// True iff every vertex of (sorted) `q` has at least RequiredDegree(|q|)
+/// neighbors inside `q`. Does not check min_size.
+bool SatisfiesDegreeConstraint(const Graph& graph, const VertexSet& q,
+                               const QuasiCliqueParams& params);
+
+/// Degree + size check: |q| >= min_size and SatisfiesDegreeConstraint.
+/// (Maximality is a property relative to all satisfying sets and is
+/// handled by the miners.)
+bool IsSatisfyingSet(const Graph& graph, const VertexSet& q,
+                     const QuasiCliqueParams& params);
+
+/// min_v deg_q(v) / (|q| - 1); 0 for |q| < 2. The paper's per-pattern
+/// "gamma" column.
+double MinDegreeRatio(const Graph& graph, const VertexSet& q);
+
+}  // namespace scpm
+
+#endif  // SCPM_QCLIQUE_QUASI_CLIQUE_H_

@@ -1,0 +1,73 @@
+// Minimal leveled logging and check macros.
+//
+// SCPM_LOG(INFO) << "...";    -- leveled logging to stderr
+// SCPM_CHECK(cond) << "...";  -- fatal invariant check (aborts)
+//
+// Checks guard programmer errors; user/input errors go through Status.
+
+#ifndef SCPM_UTIL_LOGGING_H_
+#define SCPM_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace scpm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level actually emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (and aborts for kFatal) on
+/// destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the log level is disabled.
+struct LogMessageVoidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace scpm
+
+#define SCPM_LOG_INTERNAL_(level)                                         \
+  ::scpm::internal::LogMessage(::scpm::LogLevel::k##level, __FILE__, __LINE__)
+
+#define SCPM_LOG(level)                                      \
+  (::scpm::LogLevel::k##level < ::scpm::GetLogLevel())       \
+      ? (void)0                                              \
+      : ::scpm::internal::LogMessageVoidify() & SCPM_LOG_INTERNAL_(level)
+
+#define SCPM_CHECK(cond)            \
+  (cond) ? (void)0                  \
+         : ::scpm::internal::LogMessageVoidify() &           \
+               (SCPM_LOG_INTERNAL_(Fatal) << "Check failed: " #cond " ")
+
+#define SCPM_CHECK_EQ(a, b) SCPM_CHECK((a) == (b))
+#define SCPM_CHECK_NE(a, b) SCPM_CHECK((a) != (b))
+#define SCPM_CHECK_LT(a, b) SCPM_CHECK((a) < (b))
+#define SCPM_CHECK_LE(a, b) SCPM_CHECK((a) <= (b))
+#define SCPM_CHECK_GT(a, b) SCPM_CHECK((a) > (b))
+#define SCPM_CHECK_GE(a, b) SCPM_CHECK((a) >= (b))
+
+#endif  // SCPM_UTIL_LOGGING_H_

@@ -1,0 +1,78 @@
+// Result<T>: value-or-Status, the payload-carrying companion of Status.
+
+#ifndef SCPM_UTIL_RESULT_H_
+#define SCPM_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace scpm {
+
+/// Holds either a value of type T or a non-OK Status describing why the
+/// value is absent. Accessing the value of an errored Result is a fatal
+/// programming error (checked via SCPM_CHECK).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return MakeGraph(...);`
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    SCPM_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SCPM_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SCPM_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SCPM_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ is set.
+};
+
+}  // namespace scpm
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// move-assigns the value into `lhs`.
+#define SCPM_ASSIGN_OR_RETURN(lhs, rexpr)                     \
+  SCPM_ASSIGN_OR_RETURN_IMPL_(                                \
+      SCPM_CONCAT_(_scpm_result_, __LINE__), lhs, rexpr)
+
+#define SCPM_CONCAT_INNER_(a, b) a##b
+#define SCPM_CONCAT_(a, b) SCPM_CONCAT_INNER_(a, b)
+#define SCPM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // SCPM_UTIL_RESULT_H_

@@ -1,0 +1,55 @@
+// Minimal fixed-size thread pool for coarse-grained task parallelism.
+//
+// Used by the parallel SCPM mode to fan independent attribute-set
+// subtrees across cores. Submission is thread-safe; Wait() blocks until
+// every submitted task has finished.
+
+#ifndef SCPM_UTIL_THREAD_POOL_H_
+#define SCPM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scpm {
+
+/// Fixed pool of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not Submit-and-Wait recursively on the
+  /// same pool (risk of deadlock); fan out first, then Wait from outside.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace scpm
+
+#endif  // SCPM_UTIL_THREAD_POOL_H_

@@ -1,0 +1,187 @@
+// Tests for src/datasets: the Figure-1 reconstruction's structural
+// invariants and the synthetic planted-topic generator.
+
+#include <gtest/gtest.h>
+
+#include "datasets/paper_example.h"
+#include "datasets/synthetic.h"
+#include "graph/metrics.h"
+#include "qclique/quasi_clique.h"
+#include "util/sorted_ops.h"
+
+namespace scpm {
+namespace {
+
+// ------------------------------------------------------------- Figure 1
+
+TEST(PaperExampleTest, AttributeTableMatchesFigure1a) {
+  const AttributedGraph g = PaperExampleGraph();
+  const struct {
+    VertexId paper_id;
+    std::string attrs;
+  } want[] = {
+      {1, "AC"},  {2, "A"},  {3, "ACD"}, {4, "AD"},  {5, "AE"},  {6, "ABC"},
+      {7, "ABE"}, {8, "AB"}, {9, "AB"},  {10, "ABD"}, {11, "AB"},
+  };
+  for (const auto& row : want) {
+    std::string got;
+    for (AttributeId a : g.Attributes(row.paper_id - 1)) {
+      got += g.AttributeName(a);
+    }
+    std::sort(got.begin(), got.end());
+    std::string expected = row.attrs;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected) << "paper vertex " << row.paper_id;
+  }
+  EXPECT_EQ(g.NumAttributes(), 5u);  // A..E
+}
+
+TEST(PaperExampleTest, Figure1cCliqueAndFigure1dQuasiClique) {
+  const AttributedGraph g = PaperExampleGraph();
+  // Figure 1(c): {3,4,5,6} is a 1-quasi-clique of size 4 (a clique).
+  const VertexSet clique{2, 3, 4, 5};  // paper ids 3,4,5,6
+  EXPECT_TRUE(
+      IsSatisfyingSet(g.graph(), clique, {.gamma = 1.0, .min_size = 4}));
+  // Figure 1(d): {6..11} is a 0.6-quasi-clique of size 6.
+  const VertexSet prism{5, 6, 7, 8, 9, 10};  // paper ids 6..11
+  EXPECT_TRUE(
+      IsSatisfyingSet(g.graph(), prism, {.gamma = 0.6, .min_size = 6}));
+  EXPECT_DOUBLE_EQ(MinDegreeRatio(g.graph(), prism), 0.6);
+  EXPECT_DOUBLE_EQ(SubsetDensity(g.graph(), prism), 0.6);
+}
+
+TEST(PaperExampleTest, SupportValues) {
+  const AttributedGraph g = PaperExampleGraph();
+  EXPECT_EQ(g.VerticesWith(g.FindAttribute("A")).size(), 11u);
+  EXPECT_EQ(g.VerticesWith(g.FindAttribute("B")).size(), 6u);
+  EXPECT_EQ(g.VerticesWith(g.FindAttribute("C")).size(), 3u);
+  EXPECT_EQ(g.VerticesWith(g.FindAttribute("D")).size(), 3u);
+  EXPECT_EQ(g.VerticesWith(g.FindAttribute("E")).size(), 2u);
+}
+
+// ------------------------------------------------------------- Synthetic
+
+TEST(SyntheticTest, ValidatesConfig) {
+  SyntheticConfig c;
+  c.num_vertices = 5;
+  c.community_max_size = 10;
+  EXPECT_FALSE(GenerateSynthetic(c).ok());
+  c = SyntheticConfig{};
+  c.powerlaw_exponent = 1.5;
+  EXPECT_FALSE(GenerateSynthetic(c).ok());
+  c = SyntheticConfig{};
+  c.num_topics = 0;
+  EXPECT_FALSE(GenerateSynthetic(c).ok());
+}
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  SyntheticConfig c;
+  c.num_vertices = 300;
+  c.num_communities = 6;
+  Result<SyntheticDataset> a = GenerateSynthetic(c);
+  Result<SyntheticDataset> b = GenerateSynthetic(c);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->graph.graph().NumEdges(), b->graph.graph().NumEdges());
+  EXPECT_EQ(a->graph.NumAttributeOccurrences(),
+            b->graph.NumAttributeOccurrences());
+}
+
+TEST(SyntheticTest, GroundTruthShapes) {
+  SyntheticConfig c;
+  c.num_vertices = 500;
+  c.num_communities = 10;
+  c.num_topics = 4;
+  Result<SyntheticDataset> d = GenerateSynthetic(c);
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->communities.size(), 10u);
+  EXPECT_EQ(d->topics.size(), 4u);
+  EXPECT_EQ(d->community_topic.size(), 10u);
+  for (std::size_t t : d->community_topic) EXPECT_LT(t, 4u);
+  for (const AttributeSet& topic : d->topics) {
+    EXPECT_EQ(topic.size(), c.topic_size);
+    for (AttributeId a : topic) {
+      EXPECT_LT(a, d->graph.NumAttributes());
+    }
+  }
+}
+
+TEST(SyntheticTest, CommunitiesAreDense) {
+  SyntheticConfig c;
+  c.num_vertices = 800;
+  c.num_communities = 12;
+  c.community_density = 0.9;
+  Result<SyntheticDataset> d = GenerateSynthetic(c);
+  ASSERT_TRUE(d.ok());
+  double avg_density = 0;
+  for (const PlantedGroup& community : d->communities) {
+    avg_density += SubsetDensity(d->graph.graph(), community.members);
+  }
+  avg_density /= static_cast<double>(d->communities.size());
+  // Planted density plus background edges.
+  EXPECT_GT(avg_density, 0.75);
+  // The global graph stays sparse.
+  EXPECT_LT(EdgeDensity(d->graph.graph()), 0.05);
+}
+
+TEST(SyntheticTest, TopicAttributesConcentrateInCommunities) {
+  SyntheticConfig c;
+  c.num_vertices = 1000;
+  c.num_communities = 8;
+  c.topic_affinity = 0.95;
+  c.topic_noise = 0.005;
+  Result<SyntheticDataset> d = GenerateSynthetic(c);
+  ASSERT_TRUE(d.ok());
+  // Members should carry their community's topic attributes far more often
+  // than random vertices do.
+  std::size_t member_hits = 0, member_total = 0;
+  for (std::size_t i = 0; i < d->communities.size(); ++i) {
+    const AttributeSet& topic = d->topics[d->community_topic[i]];
+    for (VertexId v : d->communities[i].members) {
+      for (AttributeId a : topic) {
+        ++member_total;
+        member_hits += d->graph.VertexHasAttribute(v, a) ? 1 : 0;
+      }
+    }
+  }
+  const double member_rate =
+      static_cast<double>(member_hits) / static_cast<double>(member_total);
+  EXPECT_GT(member_rate, 0.85);
+
+  std::size_t noise_hits = 0, noise_total = 0;
+  const AttributeSet& topic0 = d->topics[0];
+  for (VertexId v = 0; v < d->graph.NumVertices(); ++v) {
+    for (AttributeId a : topic0) {
+      ++noise_total;
+      noise_hits += d->graph.VertexHasAttribute(v, a) ? 1 : 0;
+    }
+  }
+  const double global_rate =
+      static_cast<double>(noise_hits) / static_cast<double>(noise_total);
+  EXPECT_LT(global_rate, 0.2);
+  EXPECT_GT(member_rate, 3 * global_rate);
+}
+
+TEST(SyntheticTest, PresetsScale) {
+  for (auto maker : {DblpLikeConfig, LastFmLikeConfig, CiteSeerLikeConfig,
+                     SmallDblpConfig}) {
+    SyntheticConfig half = maker(0.5);
+    SyntheticConfig full = maker(1.0);
+    EXPECT_LT(half.num_vertices, full.num_vertices);
+    EXPECT_TRUE(GenerateSynthetic(half).ok());
+  }
+}
+
+TEST(SyntheticTest, PresetDegreeShapes) {
+  Result<SyntheticDataset> dblp = GenerateSynthetic(DblpLikeConfig(0.3));
+  Result<SyntheticDataset> lastfm = GenerateSynthetic(LastFmLikeConfig(0.3));
+  ASSERT_TRUE(dblp.ok());
+  ASSERT_TRUE(lastfm.ok());
+  // LastFm-like is sparser than DBLP-like, as in the paper's crawls.
+  EXPECT_LT(AverageDegree(lastfm->graph.graph()) /
+                (1.0 + AverageDegree(dblp->graph.graph())),
+            1.0);
+}
+
+}  // namespace
+}  // namespace scpm

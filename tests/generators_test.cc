@@ -1,0 +1,187 @@
+// Unit tests for src/graph/generators.cc: distributional sanity of the
+// random graph models and the planted-group machinery.
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "util/random.h"
+#include "util/sorted_ops.h"
+
+namespace scpm {
+namespace {
+
+TEST(ErdosRenyiTest, RejectsBadProbability) {
+  Rng rng(1);
+  EXPECT_FALSE(ErdosRenyi(10, -0.1, rng).ok());
+  EXPECT_FALSE(ErdosRenyi(10, 1.1, rng).ok());
+}
+
+TEST(ErdosRenyiTest, ZeroAndOneProbability) {
+  Rng rng(2);
+  Result<Graph> empty = ErdosRenyi(20, 0.0, rng);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->NumEdges(), 0u);
+  Result<Graph> full = ErdosRenyi(20, 1.0, rng);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->NumEdges(), 190u);  // C(20,2)
+}
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  Rng rng(3);
+  const VertexId n = 300;
+  const double p = 0.05;
+  Result<Graph> g = ErdosRenyi(n, p, rng);
+  ASSERT_TRUE(g.ok());
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g->NumEdges()), expected,
+              4.0 * std::sqrt(expected));  // ~4 sigma
+}
+
+TEST(ErdosRenyiTest, DeterministicPerSeed) {
+  Rng a(7), b(7);
+  Result<Graph> ga = ErdosRenyi(50, 0.1, a);
+  Result<Graph> gb = ErdosRenyi(50, 0.1, b);
+  ASSERT_TRUE(ga.ok());
+  ASSERT_TRUE(gb.ok());
+  EXPECT_EQ(ga->Edges(), gb->Edges());
+}
+
+TEST(BarabasiAlbertTest, ValidatesArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(BarabasiAlbert(5, 0, rng).ok());
+  EXPECT_FALSE(BarabasiAlbert(3, 3, rng).ok());
+}
+
+TEST(BarabasiAlbertTest, EdgeCountFormula) {
+  Rng rng(4);
+  const VertexId n = 200;
+  const std::uint32_t m = 3;
+  Result<Graph> g = BarabasiAlbert(n, m, rng);
+  ASSERT_TRUE(g.ok());
+  // Seed clique C(m+1,2) plus m edges per additional vertex.
+  EXPECT_EQ(g->NumEdges(), 6u + (n - m - 1) * m);
+}
+
+TEST(BarabasiAlbertTest, ProducesHubs) {
+  Rng rng(5);
+  Result<Graph> g = BarabasiAlbert(500, 2, rng);
+  ASSERT_TRUE(g.ok());
+  // Preferential attachment should concentrate degree well above the mean.
+  EXPECT_GT(g->MaxDegree(), 4 * AverageDegree(*g));
+}
+
+TEST(PowerLawWeightsTest, AverageMatches) {
+  const auto weights = PowerLawWeights(1000, 2.5, 6.0);
+  const double mean =
+      std::accumulate(weights.begin(), weights.end(), 0.0) / 1000.0;
+  EXPECT_NEAR(mean, 6.0, 1e-9);
+  EXPECT_TRUE(std::is_sorted(weights.rbegin(), weights.rend()));
+}
+
+TEST(ChungLuTest, RejectsNegativeWeights) {
+  Rng rng(1);
+  EXPECT_FALSE(ChungLu({1.0, -2.0}, rng).ok());
+}
+
+TEST(ChungLuTest, EmptyWeights) {
+  Rng rng(1);
+  Result<Graph> g = ChungLu({}, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 0u);
+}
+
+TEST(ChungLuTest, AverageDegreeNearTarget) {
+  Rng rng(6);
+  Result<Graph> g = ChungLu(PowerLawWeights(2000, 2.8, 5.0), rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(AverageDegree(*g), 5.0, 1.0);
+}
+
+TEST(ChungLuTest, HighWeightVerticesGetHigherDegree) {
+  Rng rng(7);
+  std::vector<double> weights(500, 1.0);
+  weights[0] = 100.0;
+  Result<Graph> g = ChungLu(weights, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(g->Degree(0), 10 * AverageDegree(*g) / 2);
+}
+
+TEST(WattsStrogatzTest, ValidatesArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(WattsStrogatz(10, 3, 0.1, rng).ok());  // odd k
+  EXPECT_FALSE(WattsStrogatz(10, 0, 0.1, rng).ok());
+  EXPECT_FALSE(WattsStrogatz(4, 4, 0.1, rng).ok());   // n <= k
+  EXPECT_FALSE(WattsStrogatz(10, 4, 1.5, rng).ok());
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  Rng rng(2);
+  Result<Graph> g = WattsStrogatz(20, 4, 0.0, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 40u);  // n * k / 2
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(g->Degree(v), 4u);
+  // Ring lattice with k=4 has high clustering.
+  EXPECT_GT(GlobalClusteringCoefficient(*g), 0.4);
+}
+
+TEST(WattsStrogatzTest, RewiringLowersClustering) {
+  Rng rng(3);
+  Result<Graph> lattice = WattsStrogatz(300, 6, 0.0, rng);
+  Result<Graph> random = WattsStrogatz(300, 6, 1.0, rng);
+  ASSERT_TRUE(lattice.ok());
+  ASSERT_TRUE(random.ok());
+  EXPECT_GT(GlobalClusteringCoefficient(*lattice),
+            2.0 * GlobalClusteringCoefficient(*random));
+}
+
+TEST(PlantGroupsTest, FullDensityPlantsCliques) {
+  Rng rng(8);
+  std::vector<Edge> edges;
+  const auto groups = PlantGroups(100, 5, 6, 6, 1.0, rng, &edges);
+  ASSERT_EQ(groups.size(), 5u);
+  Result<Graph> g = Graph::FromEdges(100, edges);
+  ASSERT_TRUE(g.ok());
+  for (const PlantedGroup& group : groups) {
+    ASSERT_EQ(group.members.size(), 6u);
+    for (std::size_t i = 0; i < 6; ++i) {
+      for (std::size_t j = i + 1; j < 6; ++j) {
+        EXPECT_TRUE(g->HasEdge(group.members[i], group.members[j]));
+      }
+    }
+  }
+}
+
+TEST(PlantGroupsTest, SizesWithinRange) {
+  Rng rng(9);
+  std::vector<Edge> edges;
+  const auto groups = PlantGroups(200, 20, 4, 9, 0.5, rng, &edges);
+  for (const auto& group : groups) {
+    EXPECT_GE(group.members.size(), 4u);
+    EXPECT_LE(group.members.size(), 9u);
+    EXPECT_TRUE(IsStrictlySorted(group.members));
+  }
+}
+
+class PlantedDensitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PlantedDensitySweep, GroupDensityNearTarget) {
+  const double density = GetParam();
+  Rng rng(11);
+  std::vector<Edge> edges;
+  const auto groups = PlantGroups(400, 30, 12, 12, density, rng, &edges);
+  Result<Graph> g = Graph::FromEdges(400, edges);
+  ASSERT_TRUE(g.ok());
+  double sum = 0;
+  for (const auto& group : groups) sum += SubsetDensity(*g, group.members);
+  EXPECT_NEAR(sum / static_cast<double>(groups.size()), density, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, PlantedDensitySweep,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace scpm

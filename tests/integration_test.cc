@@ -1,0 +1,272 @@
+// End-to-end tests: SCPM on synthetic planted-topic datasets must recover
+// the planted signal; IO round-trips feed the miner; the null model
+// separates planted topics from popular filler attributes.
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/naive.h"
+#include "core/report.h"
+#include "core/scpm.h"
+#include "core/statistics.h"
+#include "core/validation.h"
+#include "datasets/synthetic.h"
+#include "graph/io.h"
+#include "nullmodel/expectation.h"
+
+namespace scpm {
+namespace {
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig c;
+  c.num_vertices = 600;
+  c.avg_degree = 4.0;
+  c.num_communities = 10;
+  c.community_min_size = 8;
+  c.community_max_size = 12;
+  c.community_density = 0.9;
+  c.vocab_size = 60;
+  c.attrs_per_vertex = 3;
+  c.num_topics = 5;
+  c.topic_size = 2;
+  c.topic_affinity = 0.95;
+  c.topic_noise = 0.01;
+  c.seed = 7;
+  return c;
+}
+
+ScpmOptions SmallOptions() {
+  ScpmOptions o;
+  o.quasi_clique.gamma = 0.6;
+  o.quasi_clique.min_size = 5;
+  o.min_support = 8;
+  o.min_epsilon = 0.2;
+  o.top_k = 3;
+  return o;
+}
+
+TEST(IntegrationTest, RecoversPlantedTopics) {
+  Result<SyntheticDataset> d = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(d.ok()) << d.status();
+  ScpmMiner miner(SmallOptions());
+  Result<ScpmResult> result = miner.Mine(d->graph);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_FALSE(result->attribute_sets.empty());
+
+  // Every planted topic pair should be reported with high eps.
+  std::set<AttributeSet> reported;
+  for (const auto& s : result->attribute_sets) {
+    reported.insert(s.attributes);
+  }
+  std::size_t recovered = 0;
+  for (const AttributeSet& topic : d->topics) {
+    if (reported.count(topic)) ++recovered;
+  }
+  EXPECT_GE(recovered, d->topics.size() - 1)
+      << "planted topics should pass the eps threshold";
+
+  // Patterns reported for a topic should overlap its planted communities.
+  for (const auto& p : result->patterns) {
+    EXPECT_GE(p.size(), 5u);
+    EXPECT_GE(p.min_degree_ratio, 0.6 * (p.size() - 1 - 1e-9) / (p.size() - 1));
+  }
+}
+
+TEST(IntegrationTest, ResultsValidateAgainstDefinition) {
+  Result<SyntheticDataset> d = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(d.ok());
+  ScpmOptions options = SmallOptions();
+  Graph topology = d->graph.graph();
+  MaxExpectationModel model(topology, options.quasi_clique);
+  ScpmMiner miner(options, &model);
+  Result<ScpmResult> result = miner.Mine(d->graph);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ValidateResult(d->graph, options, *result).ok())
+      << ValidateResult(d->graph, options, *result);
+
+  NaiveMiner naive(options, &model);
+  Result<ScpmResult> naive_result = naive.Mine(d->graph);
+  ASSERT_TRUE(naive_result.ok());
+  EXPECT_TRUE(ValidateResult(d->graph, options, *naive_result).ok());
+}
+
+TEST(IntegrationTest, ValidatorCatchesCorruption) {
+  Result<SyntheticDataset> d = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(d.ok());
+  ScpmOptions options = SmallOptions();
+  ScpmMiner miner(options);
+  Result<ScpmResult> result = miner.Mine(d->graph);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->attribute_sets.empty());
+
+  ScpmResult corrupted = *result;
+  corrupted.attribute_sets[0].support += 1;
+  EXPECT_FALSE(ValidateResult(d->graph, options, corrupted).ok());
+
+  if (!result->patterns.empty()) {
+    ScpmResult bad_pattern = *result;
+    bad_pattern.patterns[0].min_degree_ratio = 0.123456;
+    EXPECT_FALSE(ValidateResult(d->graph, options, bad_pattern).ok());
+  }
+}
+
+TEST(IntegrationTest, ParallelMatchesSequentialOnSynthetic) {
+  Result<SyntheticDataset> d = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(d.ok());
+  ScpmOptions sequential = SmallOptions();
+  ScpmOptions parallel = SmallOptions();
+  parallel.num_threads = 3;
+  ScpmMiner a(sequential), b(parallel);
+  Result<ScpmResult> ra = a.Mine(d->graph);
+  Result<ScpmResult> rb = b.Mine(d->graph);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_EQ(ra->attribute_sets.size(), rb->attribute_sets.size());
+  for (std::size_t i = 0; i < ra->attribute_sets.size(); ++i) {
+    EXPECT_EQ(ra->attribute_sets[i].attributes,
+              rb->attribute_sets[i].attributes);
+    EXPECT_EQ(ra->attribute_sets[i].covered, rb->attribute_sets[i].covered);
+  }
+}
+
+TEST(IntegrationTest, TopicsBeatFillerOnEpsilon) {
+  Result<SyntheticDataset> d = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(d.ok());
+  ScpmOptions options = SmallOptions();
+  options.min_epsilon = 0.0;  // Rank everything.
+  options.collect_patterns = false;
+  options.max_attribute_set_size = 1;
+  ScpmMiner miner(options);
+  Result<ScpmResult> result = miner.Mine(d->graph);
+  ASSERT_TRUE(result.ok());
+
+  // Average eps of topic attributes vs filler attributes.
+  std::set<AttributeId> topic_attrs;
+  for (const auto& topic : d->topics) {
+    topic_attrs.insert(topic.begin(), topic.end());
+  }
+  double topic_eps = 0, filler_eps = 0;
+  std::size_t topic_n = 0, filler_n = 0;
+  for (const auto& s : result->attribute_sets) {
+    if (topic_attrs.count(s.attributes[0])) {
+      topic_eps += s.epsilon;
+      ++topic_n;
+    } else {
+      filler_eps += s.epsilon;
+      ++filler_n;
+    }
+  }
+  ASSERT_GT(topic_n, 0u);
+  ASSERT_GT(filler_n, 0u);
+  EXPECT_GT(topic_eps / topic_n, 2.0 * (filler_eps / filler_n));
+}
+
+TEST(IntegrationTest, DeltaSeparatesBetterThanSupport) {
+  // The paper's core qualitative claim (Tables 2-4): top-support sets are
+  // generic, top-delta sets are the planted topics.
+  Result<SyntheticDataset> d = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(d.ok());
+  Graph topology = d->graph.graph();
+  MaxExpectationModel model(topology, SmallOptions().quasi_clique);
+
+  ScpmOptions options = SmallOptions();
+  options.min_epsilon = 0.0;
+  options.collect_patterns = false;
+  ScpmMiner miner(options, &model);
+  Result<ScpmResult> result = miner.Mine(d->graph);
+  ASSERT_TRUE(result.ok());
+
+  std::set<AttributeId> topic_attrs;
+  for (const auto& topic : d->topics) {
+    topic_attrs.insert(topic.begin(), topic.end());
+  }
+  auto is_topic_row = [&](const AttributeSetStats& s) {
+    for (AttributeId a : s.attributes) {
+      if (topic_attrs.count(a)) return true;
+    }
+    return false;
+  };
+
+  const auto by_support =
+      RankAttributeSets(result->attribute_sets, AttributeSetOrder::kBySupport);
+  const auto by_delta =
+      RankAttributeSets(result->attribute_sets, AttributeSetOrder::kByDelta);
+  const std::size_t top = std::min<std::size_t>(5, by_support.size());
+  int support_topics = 0, delta_topics = 0;
+  for (std::size_t i = 0; i < top; ++i) {
+    support_topics += is_topic_row(by_support[i]) ? 1 : 0;
+    delta_topics += is_topic_row(by_delta[i]) ? 1 : 0;
+  }
+  EXPECT_GE(delta_topics, support_topics);
+  EXPECT_GT(delta_topics, 0);
+}
+
+TEST(IntegrationTest, SavedDatasetMinesIdentically) {
+  Result<SyntheticDataset> d = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(d.ok());
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("scpm_integration_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string graph_path = (dir / "graph.txt").string();
+  const std::string attr_path = (dir / "attrs.txt").string();
+  ASSERT_TRUE(SaveAttributedGraph(d->graph, graph_path, attr_path).ok());
+  Result<AttributedGraph> loaded = LoadAttributedGraph(graph_path, attr_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  std::filesystem::remove_all(dir);
+
+  ScpmOptions options = SmallOptions();
+  options.collect_patterns = false;
+  ScpmMiner a(options), b(options);
+  Result<ScpmResult> ra = a.Mine(d->graph);
+  Result<ScpmResult> rb = b.Mine(*loaded);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_EQ(ra->attribute_sets.size(), rb->attribute_sets.size());
+  // Attribute ids may be permuted by IO; compare (support, eps) multisets.
+  std::multiset<std::pair<std::size_t, double>> ka, kb;
+  for (const auto& s : ra->attribute_sets) ka.insert({s.support, s.epsilon});
+  for (const auto& s : rb->attribute_sets) kb.insert({s.support, s.epsilon});
+  EXPECT_EQ(ka, kb);
+}
+
+TEST(IntegrationTest, BfsAndDfsScpmAgree) {
+  Result<SyntheticDataset> d = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(d.ok());
+  ScpmOptions dfs = SmallOptions();
+  dfs.search_order = SearchOrder::kDfs;
+  ScpmOptions bfs = SmallOptions();
+  bfs.search_order = SearchOrder::kBfs;
+  ScpmMiner ma(dfs), mb(bfs);
+  Result<ScpmResult> ra = ma.Mine(d->graph);
+  Result<ScpmResult> rb = mb.Mine(d->graph);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_EQ(ra->attribute_sets.size(), rb->attribute_sets.size());
+  for (std::size_t i = 0; i < ra->attribute_sets.size(); ++i) {
+    EXPECT_EQ(ra->attribute_sets[i].attributes,
+              rb->attribute_sets[i].attributes);
+    EXPECT_DOUBLE_EQ(ra->attribute_sets[i].epsilon,
+                     rb->attribute_sets[i].epsilon);
+  }
+}
+
+TEST(IntegrationTest, SensitivitySummaryBehaves) {
+  Result<SyntheticDataset> d = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(d.ok());
+  ScpmOptions options = SmallOptions();
+  options.min_epsilon = 0.0;
+  options.collect_patterns = false;
+  ScpmMiner miner(options);
+  Result<ScpmResult> result = miner.Mine(d->graph);
+  ASSERT_TRUE(result.ok());
+  const OutputSummary summary = SummarizeOutput(result->attribute_sets);
+  EXPECT_GT(summary.num_attribute_sets, 0u);
+  EXPECT_GE(summary.avg_epsilon_top10, summary.avg_epsilon_global);
+  EXPECT_GE(summary.avg_delta_top10, summary.avg_delta_global);
+}
+
+}  // namespace
+}  // namespace scpm

@@ -1,0 +1,445 @@
+// Unit + property tests for src/qclique: definitions, the miner's three
+// modes against brute force, BFS/DFS equivalence, pruning ablations.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "qclique/bron_kerbosch.h"
+#include "qclique/brute_force.h"
+#include "qclique/candidate.h"
+#include "qclique/miner.h"
+#include "qclique/quasi_clique.h"
+#include "util/random.h"
+#include "util/sorted_ops.h"
+
+namespace scpm {
+namespace {
+
+Graph MakeGraph(VertexId n, std::vector<Edge> edges) {
+  Result<Graph> g = Graph::FromEdges(n, std::move(edges));
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+// ------------------------------------------------------------- Params
+
+TEST(QuasiCliqueParamsTest, Validation) {
+  QuasiCliqueParams p;
+  EXPECT_TRUE(p.Validate().ok());
+  p.gamma = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p.gamma = 1.5;
+  EXPECT_FALSE(p.Validate().ok());
+  p = QuasiCliqueParams{};
+  p.min_size = 1;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(QuasiCliqueParamsTest, RequiredDegree) {
+  QuasiCliqueParams p{.gamma = 0.6, .min_size = 4};
+  EXPECT_EQ(p.RequiredDegree(1), 0u);
+  EXPECT_EQ(p.RequiredDegree(4), 2u);   // ceil(0.6*3) = 2
+  EXPECT_EQ(p.RequiredDegree(6), 3u);   // ceil(0.6*5) = 3
+  QuasiCliqueParams clique{.gamma = 1.0, .min_size = 3};
+  EXPECT_EQ(clique.RequiredDegree(5), 4u);
+  QuasiCliqueParams half{.gamma = 0.5, .min_size = 2};
+  EXPECT_EQ(half.RequiredDegree(5), 2u);  // ceil(0.5*4) = 2, exact integer
+  EXPECT_EQ(half.RequiredDegree(4), 2u);  // ceil(1.5) = 2
+}
+
+TEST(QuasiCliqueParamsTest, MaxSizeForDegreeIsInverse) {
+  for (double gamma : {0.3, 0.5, 0.6, 0.75, 1.0}) {
+    QuasiCliqueParams p{.gamma = gamma, .min_size = 2};
+    for (std::size_t degree = 0; degree <= 20; ++degree) {
+      const std::size_t s = p.MaxSizeForDegree(degree);
+      EXPECT_LE(p.RequiredDegree(s), degree) << gamma << " " << degree;
+      EXPECT_GT(p.RequiredDegree(s + 1), degree) << gamma << " " << degree;
+    }
+  }
+}
+
+// ---------------------------------------------------------- Definitions
+
+TEST(QuasiCliqueDefTest, CliqueIsQuasiClique) {
+  Graph g = MakeGraph(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  QuasiCliqueParams p{.gamma = 1.0, .min_size = 4};
+  EXPECT_TRUE(IsSatisfyingSet(g, {0, 1, 2, 3}, p));
+  EXPECT_DOUBLE_EQ(MinDegreeRatio(g, {0, 1, 2, 3}), 1.0);
+}
+
+TEST(QuasiCliqueDefTest, PathFailsHighGamma) {
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  QuasiCliqueParams p{.gamma = 0.6, .min_size = 4};
+  EXPECT_FALSE(IsSatisfyingSet(g, {0, 1, 2, 3}, p));  // endpoints deg 1 < 2
+  QuasiCliqueParams loose{.gamma = 0.3, .min_size = 4};
+  EXPECT_TRUE(IsSatisfyingSet(g, {0, 1, 2, 3}, loose));  // need deg 1
+}
+
+TEST(QuasiCliqueDefTest, SizeGate) {
+  Graph g = MakeGraph(3, {{0, 1}, {1, 2}, {0, 2}});
+  QuasiCliqueParams p{.gamma = 1.0, .min_size = 4};
+  EXPECT_FALSE(IsSatisfyingSet(g, {0, 1, 2}, p));
+  p.min_size = 3;
+  EXPECT_TRUE(IsSatisfyingSet(g, {0, 1, 2}, p));
+}
+
+TEST(QuasiCliqueDefTest, MinDegreeRatioOfCycle) {
+  Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  EXPECT_DOUBLE_EQ(MinDegreeRatio(g, {0, 1, 2, 3, 4}), 0.5);  // 2/4
+  EXPECT_DOUBLE_EQ(MinDegreeRatio(g, {0}), 0.0);
+}
+
+// ------------------------------------------------------------ BruteForce
+
+TEST(BruteForceTest, TriangleWithPendant) {
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  QuasiCliqueParams p{.gamma = 1.0, .min_size = 3};
+  Result<std::vector<VertexSet>> maximal =
+      BruteForceMaximalQuasiCliques(g, p);
+  ASSERT_TRUE(maximal.ok());
+  ASSERT_EQ(maximal->size(), 1u);
+  EXPECT_EQ(maximal->front(), (VertexSet{0, 1, 2}));
+  Result<VertexSet> covered = BruteForceCoverage(g, p);
+  ASSERT_TRUE(covered.ok());
+  EXPECT_EQ(*covered, (VertexSet{0, 1, 2}));
+}
+
+TEST(BruteForceTest, RefusesLargeGraphs) {
+  Graph g(40);
+  QuasiCliqueParams p;
+  EXPECT_FALSE(BruteForceSatisfyingSets(g, p).ok());
+}
+
+// ----------------------------------------------------------------- Miner
+
+QuasiCliqueMinerOptions Opts(double gamma, std::uint32_t min_size,
+                             SearchOrder order = SearchOrder::kDfs) {
+  QuasiCliqueMinerOptions o;
+  o.params.gamma = gamma;
+  o.params.min_size = min_size;
+  o.order = order;
+  return o;
+}
+
+TEST(MinerTest, FindsPlantedClique) {
+  Rng rng(1);
+  std::vector<Edge> edges;
+  // Sparse background + one 6-clique on {10..15}.
+  Result<Graph> bg = ErdosRenyi(30, 0.03, rng);
+  ASSERT_TRUE(bg.ok());
+  edges = bg->Edges();
+  for (VertexId u = 10; u <= 15; ++u) {
+    for (VertexId v = u + 1; v <= 15; ++v) edges.push_back({u, v});
+  }
+  Graph g = MakeGraph(30, std::move(edges));
+  QuasiCliqueMiner miner(Opts(1.0, 6));
+  Result<std::vector<VertexSet>> cliques = miner.MineMaximal(g);
+  ASSERT_TRUE(cliques.ok());
+  ASSERT_GE(cliques->size(), 1u);
+  bool found = false;
+  for (const auto& q : *cliques) {
+    found |= (q == VertexSet{10, 11, 12, 13, 14, 15});
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MinerTest, EmptyAndTinyGraphs) {
+  QuasiCliqueMiner miner(Opts(0.5, 3));
+  Graph empty(0);
+  EXPECT_TRUE(miner.MineMaximal(empty)->empty());
+  Graph isolated(5);
+  EXPECT_TRUE(miner.MineMaximal(isolated)->empty());
+  EXPECT_TRUE(miner.MineCoverage(isolated)->empty());
+}
+
+TEST(MinerTest, TopKValidatesK) {
+  QuasiCliqueMiner miner(Opts(0.5, 3));
+  Graph g(3);
+  EXPECT_FALSE(miner.MineTopK(g, 0).ok());
+}
+
+TEST(MinerTest, CandidateBudget) {
+  Rng rng(3);
+  Result<Graph> g = ErdosRenyi(40, 0.3, rng);
+  ASSERT_TRUE(g.ok());
+  QuasiCliqueMinerOptions o = Opts(0.5, 3);
+  o.max_candidates = 5;
+  QuasiCliqueMiner miner(o);
+  Result<std::vector<VertexSet>> r = miner.MineMaximal(*g);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+struct MinerSweepParam {
+  int seed;
+  double gamma;
+  std::uint32_t min_size;
+  double edge_p;
+};
+
+class MinerSweep : public ::testing::TestWithParam<MinerSweepParam> {
+ protected:
+  Graph RandomGraph() {
+    Rng rng(GetParam().seed);
+    Result<Graph> g = ErdosRenyi(13, GetParam().edge_p, rng);
+    EXPECT_TRUE(g.ok());
+    return std::move(g).value();
+  }
+  QuasiCliqueParams Params() const {
+    return {.gamma = GetParam().gamma, .min_size = GetParam().min_size};
+  }
+};
+
+TEST_P(MinerSweep, MaximalMatchesBruteForce) {
+  Graph g = RandomGraph();
+  QuasiCliqueMinerOptions o;
+  o.params = Params();
+  QuasiCliqueMiner miner(o);
+  Result<std::vector<VertexSet>> got = miner.MineMaximal(g);
+  ASSERT_TRUE(got.ok());
+  Result<std::vector<VertexSet>> want =
+      BruteForceMaximalQuasiCliques(g, o.params);
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(*got, *want);
+}
+
+TEST_P(MinerSweep, CoverageMatchesBruteForce) {
+  Graph g = RandomGraph();
+  QuasiCliqueMinerOptions o;
+  o.params = Params();
+  QuasiCliqueMiner miner(o);
+  Result<VertexSet> got = miner.MineCoverage(g);
+  ASSERT_TRUE(got.ok());
+  Result<VertexSet> want = BruteForceCoverage(g, o.params);
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(*got, *want);
+}
+
+TEST_P(MinerSweep, BfsAndDfsAgree) {
+  Graph g = RandomGraph();
+  QuasiCliqueMinerOptions dfs;
+  dfs.params = Params();
+  dfs.order = SearchOrder::kDfs;
+  QuasiCliqueMinerOptions bfs = dfs;
+  bfs.order = SearchOrder::kBfs;
+  QuasiCliqueMiner dfs_miner(dfs), bfs_miner(bfs);
+  EXPECT_EQ(*dfs_miner.MineMaximal(g), *bfs_miner.MineMaximal(g));
+  EXPECT_EQ(*dfs_miner.MineCoverage(g), *bfs_miner.MineCoverage(g));
+}
+
+TEST_P(MinerSweep, AblationsPreserveOutput) {
+  Graph g = RandomGraph();
+  QuasiCliqueMinerOptions base;
+  base.params = Params();
+  QuasiCliqueMiner reference(base);
+  const auto want = *reference.MineMaximal(g);
+
+  for (int bit = 0; bit < 5; ++bit) {
+    QuasiCliqueMinerOptions o = base;
+    o.enable_vertex_reduction = bit != 0;
+    o.enable_size_bound = bit != 1;
+    o.enable_lookahead = bit != 2;
+    o.enable_diameter_filter = bit != 3;
+    o.enable_critical_vertex = bit != 4;
+    QuasiCliqueMiner miner(o);
+    Result<std::vector<VertexSet>> got = miner.MineMaximal(g);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, want) << "disabled flag #" << bit;
+  }
+}
+
+TEST_P(MinerSweep, TopKIsPrefixOfRankedMaximal) {
+  Graph g = RandomGraph();
+  QuasiCliqueMinerOptions o;
+  o.params = Params();
+  QuasiCliqueMiner miner(o);
+  const auto maximal = *miner.MineMaximal(g);
+  // Rank all maximal sets by (size, min-degree ratio).
+  std::vector<RankedQuasiClique> ranked;
+  for (const auto& q : maximal) {
+    ranked.push_back({q, MinDegreeRatio(g, q)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedQuasiClique& a, const RankedQuasiClique& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a.min_degree_ratio > b.min_degree_ratio;
+            });
+  for (std::size_t k : {std::size_t{1}, std::size_t{3}, std::size_t{7}}) {
+    Result<std::vector<RankedQuasiClique>> top = miner.MineTopK(g, k);
+    ASSERT_TRUE(top.ok());
+    const std::size_t expected = std::min(k, ranked.size());
+    ASSERT_EQ(top->size(), expected) << "k=" << k;
+    for (std::size_t i = 0; i < expected; ++i) {
+      // Keys must match the ranked maximal list (sets may differ on ties).
+      EXPECT_EQ((*top)[i].size(), ranked[i].size()) << "k=" << k;
+      EXPECT_DOUBLE_EQ((*top)[i].min_degree_ratio,
+                       ranked[i].min_degree_ratio)
+          << "k=" << k;
+      // And each reported set must genuinely satisfy the constraints.
+      EXPECT_TRUE(IsSatisfyingSet(g, (*top)[i].vertices, o.params));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, MinerSweep,
+    ::testing::Values(
+        MinerSweepParam{0, 0.5, 3, 0.25}, MinerSweepParam{1, 0.5, 3, 0.35},
+        MinerSweepParam{2, 0.6, 4, 0.30}, MinerSweepParam{3, 0.6, 4, 0.45},
+        MinerSweepParam{4, 0.7, 3, 0.40}, MinerSweepParam{5, 0.8, 4, 0.50},
+        MinerSweepParam{6, 1.0, 3, 0.40}, MinerSweepParam{7, 1.0, 4, 0.55},
+        MinerSweepParam{8, 0.5, 5, 0.40}, MinerSweepParam{9, 0.9, 3, 0.45},
+        MinerSweepParam{10, 0.5, 2, 0.20}, MinerSweepParam{11, 0.6, 5, 0.50},
+        MinerSweepParam{12, 0.75, 4, 0.40},
+        MinerSweepParam{13, 0.55, 3, 0.30},
+        MinerSweepParam{14, 0.65, 4, 0.35},
+        MinerSweepParam{15, 1.0, 5, 0.60}));
+
+// Low-gamma sweep: diameter filter must auto-disable (gamma < 0.5).
+class LowGammaSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LowGammaSweep, MatchesBruteForceWithoutDiameterAssumption) {
+  Rng rng(GetParam());
+  Result<Graph> g = ErdosRenyi(11, 0.2, rng);
+  ASSERT_TRUE(g.ok());
+  QuasiCliqueMinerOptions o = Opts(0.34, 3);
+  QuasiCliqueMiner miner(o);
+  Result<std::vector<VertexSet>> got = miner.MineMaximal(*g);
+  ASSERT_TRUE(got.ok());
+  Result<std::vector<VertexSet>> want =
+      BruteForceMaximalQuasiCliques(*g, o.params);
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(*got, *want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LowGammaSweep, ::testing::Range(0, 8));
+
+TEST(MinerTest, StatsArePopulated) {
+  Rng rng(5);
+  Result<Graph> g = ErdosRenyi(20, 0.3, rng);
+  ASSERT_TRUE(g.ok());
+  QuasiCliqueMiner miner(Opts(0.6, 3));
+  ASSERT_TRUE(miner.MineMaximal(*g).ok());
+  EXPECT_GT(miner.stats().candidates_processed, 0u);
+}
+
+// --------------------------------------------------------- BronKerbosch
+
+TEST(BronKerboschTest, TriangleWithPendant) {
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  Result<std::vector<VertexSet>> cliques = MaximalCliques(g, 2);
+  ASSERT_TRUE(cliques.ok());
+  ASSERT_EQ(cliques->size(), 2u);
+  EXPECT_EQ((*cliques)[0], (VertexSet{0, 1, 2}));
+  EXPECT_EQ((*cliques)[1], (VertexSet{2, 3}));
+}
+
+TEST(BronKerboschTest, MinSizeFilters) {
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  Result<std::vector<VertexSet>> cliques = MaximalCliques(g, 3);
+  ASSERT_TRUE(cliques.ok());
+  ASSERT_EQ(cliques->size(), 1u);
+}
+
+TEST(BronKerboschTest, CliqueBudget) {
+  Rng rng(12);
+  Result<Graph> g = ErdosRenyi(30, 0.5, rng);
+  ASSERT_TRUE(g.ok());
+  Result<std::vector<VertexSet>> cliques = MaximalCliques(*g, 2, 3);
+  EXPECT_FALSE(cliques.ok());
+  EXPECT_EQ(cliques.status().code(), StatusCode::kOutOfRange);
+}
+
+class BronKerboschSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BronKerboschSweep, AgreesWithQuasiCliqueMinerAtGammaOne) {
+  Rng rng(GetParam());
+  Result<Graph> g = ErdosRenyi(16, 0.4, rng);
+  ASSERT_TRUE(g.ok());
+  for (std::uint32_t min_size : {2u, 3u, 4u}) {
+    Result<std::vector<VertexSet>> bk = MaximalCliques(*g, min_size);
+    ASSERT_TRUE(bk.ok());
+    QuasiCliqueMiner miner(Opts(1.0, min_size));
+    Result<std::vector<VertexSet>> qc = miner.MineMaximal(*g);
+    ASSERT_TRUE(qc.ok());
+    EXPECT_EQ(*bk, *qc) << "min_size=" << min_size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BronKerboschSweep, ::testing::Range(0, 10));
+
+TEST(MinerTest, LargeGraphScalarPathFindsPlantedCliques) {
+  // Graphs above the bitset threshold (4096 vertices) take the scalar
+  // degree-counting path in CandidateScratch; verify it end to end
+  // against the independent Bron-Kerbosch implementation.
+  Rng rng(77);
+  const VertexId n = 5000;
+  std::vector<Edge> edges;
+  Result<Graph> bg = ErdosRenyi(n, 1.5 / n, rng);
+  ASSERT_TRUE(bg.ok());
+  edges = bg->Edges();
+  const auto groups = PlantGroups(n, 6, 6, 6, 1.0, rng, &edges);
+  Graph g = MakeGraph(n, std::move(edges));
+
+  QuasiCliqueMiner miner(Opts(1.0, 6));
+  Result<std::vector<VertexSet>> got = miner.MineMaximal(g);
+  ASSERT_TRUE(got.ok());
+  Result<std::vector<VertexSet>> want = MaximalCliques(g, 6);
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(*got, *want);
+  // Every planted 6-clique must be found (possibly inside a bigger one).
+  for (const PlantedGroup& group : groups) {
+    bool found = false;
+    for (const VertexSet& q : *got) {
+      if (SortedIsSubset(group.members, q)) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+  // Coverage on the same graph agrees with the union of maximal cliques.
+  Result<VertexSet> covered = miner.MineCoverage(g);
+  ASSERT_TRUE(covered.ok());
+  VertexSet union_of_cliques;
+  for (const VertexSet& q : *want) {
+    VertexSet tmp;
+    SortedUnion(union_of_cliques, q, &tmp);
+    union_of_cliques.swap(tmp);
+  }
+  EXPECT_EQ(*covered, union_of_cliques);
+}
+
+TEST(MinerTest, CriticalVertexJumpsReduceCandidates) {
+  Rng rng(21);
+  Result<Graph> g = ErdosRenyi(22, 0.35, rng);
+  ASSERT_TRUE(g.ok());
+  QuasiCliqueMinerOptions with = Opts(0.6, 4);
+  QuasiCliqueMinerOptions without = Opts(0.6, 4);
+  without.enable_critical_vertex = false;
+  QuasiCliqueMiner miner_with(with), miner_without(without);
+  const auto want = *miner_without.MineMaximal(*g);
+  const auto got = *miner_with.MineMaximal(*g);
+  EXPECT_EQ(got, want);
+  EXPECT_LE(miner_with.stats().candidates_processed,
+            miner_without.stats().candidates_processed);
+}
+
+TEST(MinerTest, CoveragePruningReducesWork) {
+  Rng rng(6);
+  Result<Graph> g = ErdosRenyi(24, 0.45, rng);
+  ASSERT_TRUE(g.ok());
+  QuasiCliqueMiner miner(Opts(0.5, 3));
+  ASSERT_TRUE(miner.MineCoverage(*g).ok());
+  const auto coverage_work = miner.stats().candidates_processed;
+  ASSERT_TRUE(miner.MineMaximal(*g).ok());
+  const auto full_work = miner.stats().candidates_processed;
+  EXPECT_LT(coverage_work, full_work);
+}
+
+}  // namespace
+}  // namespace scpm
