@@ -151,5 +151,23 @@ int main() {
               << std::setprecision(4) << dfs << std::setw(14) << naive
               << "\n";
   }
+
+  // Beyond the paper: scaling of the work-stealing parallel engine
+  // (output is byte-identical to num_threads=1 at every point).
+  scpm::bench::SectionHeader("(g) runtime x num_threads (SCPM-DFS)");
+  std::cout << std::setw(10) << "threads" << std::setw(14) << "SCPM-DFS(s)"
+            << std::setw(14) << "speedup" << "\n";
+  double base = 0.0;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ScpmOptions o = Defaults();
+    o.search_order = scpm::SearchOrder::kDfs;
+    o.num_threads = threads;
+    const double t = TimeMiner(false, o);
+    if (threads == 1) base = t;
+    std::cout << std::setw(10) << threads << std::setw(14) << std::fixed
+              << std::setprecision(4) << t << std::setw(14)
+              << std::setprecision(2) << (t > 0 ? base / t : 0.0)
+              << std::setprecision(4) << "\n";
+  }
   return 0;
 }

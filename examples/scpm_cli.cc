@@ -15,6 +15,7 @@
 //                      (enables the max-exp null model when > 0)
 //   --top-k 5          patterns reported per attribute set
 //   --order dfs|bfs    candidate search order
+//   --threads 1        worker threads (output is identical for any count)
 //   --top-n 10         rows printed per ranking table
 
 #include <cstdlib>
@@ -33,7 +34,8 @@ namespace {
 void Usage() {
   std::cerr << "usage: scpm_cli <edges.txt> <attrs.txt> [--gamma G] "
                "[--min-size S] [--sigma-min N] [--eps-min E] "
-               "[--delta-min D] [--top-k K] [--order dfs|bfs] [--top-n N]\n";
+               "[--delta-min D] [--top-k K] [--order dfs|bfs] "
+               "[--threads T] [--top-n N]\n";
 }
 
 }  // namespace
@@ -75,6 +77,8 @@ int main(int argc, char** argv) {
       options.search_order = std::strcmp(value, "bfs") == 0
                                  ? scpm::SearchOrder::kBfs
                                  : scpm::SearchOrder::kDfs;
+    } else if (flag == "--threads") {
+      options.num_threads = static_cast<std::size_t>(std::atoll(value));
     } else if (flag == "--top-n") {
       top_n = static_cast<std::size_t>(std::atoll(value));
     } else {

@@ -1,10 +1,17 @@
 #include "core/scpm.h"
 
 #include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "graph/metrics.h"
 #include "graph/subgraph.h"
+#include "util/logging.h"
 #include "util/sorted_ops.h"
 #include "util/thread_pool.h"
 
@@ -35,259 +42,418 @@ Status ScpmOptions::Validate() const {
   if (num_threads < 1) {
     return Status::InvalidArgument("num_threads must be >= 1");
   }
+  // Each thread gets a worker state and an OS thread up front; an absurd
+  // count (e.g. a negative CLI value wrapped to SIZE_MAX) must fail
+  // cleanly here rather than abort inside an allocation.
+  if (num_threads > 1024) {
+    return Status::InvalidArgument("num_threads must be <= 1024");
+  }
   return Status::OK();
 }
 
 namespace {
 
-/// One node of the attribute-set enumeration tree.
+/// One node of the attribute-set enumeration tree. The covered set K_S is
+/// not stored here: it lives in the shared CoveredSetCache while children
+/// may still need it for Theorem-3 pruning.
 struct Node {
   AttributeSet items;
-  VertexSet tidset;   // V(S)
-  VertexSet covered;  // K_S, for Theorem 3 restriction of children
+  VertexSet tidset;  // V(S)
 };
 
-/// Per-task mining state: its own quasi-clique miner and result shard.
-/// Shards are merged deterministically (root order) at the end.
-struct TaskContext {
-  explicit TaskContext(const ScpmOptions& options)
-      : miner(options.miner_options()) {}
+/// FNV-1a over the attribute ids.
+struct AttributeSetHash {
+  std::size_t operator()(const AttributeSet& items) const {
+    std::uint64_t h = 1469598103934665603ull;
+    for (AttributeId a : items) {
+      h ^= a;
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
 
+/// Concurrent map S -> K_S sharing Theorem-3 covered-vertex sets across
+/// workers. Mutex-striped so unrelated attribute sets do not contend.
+///
+/// Usage is deterministic by construction: an entry is inserted before any
+/// task that reads it is spawned (children of an equivalence class are
+/// spawned only after every class member is evaluated), and only the two
+/// generating parents of a child are consulted — never whichever other
+/// subsets happen to be resident. That keeps the mined output and every
+/// counter independent of thread timing.
+class CoveredSetCache {
+ public:
+  using Entry = std::shared_ptr<const VertexSet>;
+
+  void Insert(const AttributeSet& items, Entry covered) {
+    Shard& shard = ShardFor(items);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map[items] = std::move(covered);
+  }
+
+  Entry Lookup(const AttributeSet& items) {
+    Shard& shard = ShardFor(items);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(items);
+    return it == shard.map.end() ? nullptr : it->second;
+  }
+
+  void Erase(const AttributeSet& items) {
+    Shard& shard = ShardFor(items);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.erase(items);
+  }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<AttributeSet, Entry, AttributeSetHash> map;
+  };
+
+  Shard& ShardFor(const AttributeSet& items) {
+    return shards_[AttributeSetHash{}(items) % shards_.size()];
+  }
+
+  std::array<Shard, 16> shards_;
+};
+
+/// An evaluated equivalence class whose members may still be extended.
+/// Destruction (when the last subtree task referencing the class finishes)
+/// evicts the members' covered sets from the cache.
+struct ClassNode {
+  explicit ClassNode(CoveredSetCache* cache) : cache(cache) {}
+  ~ClassNode() {
+    for (const Node& s : siblings) cache->Erase(s.items);
+  }
+  ClassNode(const ClassNode&) = delete;
+  ClassNode& operator=(const ClassNode&) = delete;
+
+  std::vector<Node> siblings;
+  CoveredSetCache* cache;
+};
+
+/// Mutable per-worker state: a reusable quasi-clique miner, the induced-
+/// subgraph workspace feeding it, and this worker's share of the counters
+/// (summed on join).
+struct WorkerState {
+  explicit WorkerState(const ScpmOptions& options)
+      : miner(options.miner_options()) {
+    miner.set_workspace(&workspace);
+  }
+
+  SubgraphWorkspace workspace;  // before miner: it must outlive it
   QuasiCliqueMiner miner;
-  ScpmResult result;
+  ScpmCounters counters;
+};
+
+/// Evaluation output a parent task needs from a child-evaluation task.
+struct EvalSlot {
+  Node node;
+  CoveredSetCache::Entry covered;  // set only when extendable
+  bool extendable = false;
+};
+
+/// Reported stats/patterns of one attribute set, tagged with its position
+/// in the sequential enumeration order (see Key below).
+struct ResultShard {
+  std::vector<std::uint32_t> key;
+  std::vector<AttributeSetStats> attribute_sets;
+  std::vector<StructuralCorrelationPattern> patterns;
 };
 
 /// Shared mining state across the (possibly parallel) enumeration.
+///
+/// Parallel structure: every sibling of every equivalence class is a task
+/// that (a) forks one evaluation task per child attribute set, (b) waits
+/// for them — helping the pool, so fork/join nests freely — and (c) forks
+/// subtree tasks for the extendable children. Work stealing balances
+/// heavy subtrees across workers at every lattice level.
+///
+/// Determinism: each reported attribute set carries a key encoding its
+/// position in the sequential depth-first order. A class at key prefix P
+/// emits sibling i's child evaluations under P+{i,0,j} and its descendant
+/// subtree under P+{i,1,...}; singleton roots use {0,idx} and root
+/// subtrees {1,...}. Lexicographic order of the keys therefore equals the
+/// exact sequential emission order, so sorting the shards at the end makes
+/// the output byte-identical to a single-threaded run.
 class Mining {
  public:
+  using Key = std::vector<std::uint32_t>;
+
   Mining(const AttributedGraph& graph, const ScpmOptions& options,
          ExpectationModel* null_model)
-      : graph_(graph), options_(options), null_model_(null_model) {}
+      : graph_(graph), options_(options), null_model_(null_model) {
+    const std::size_t workers = std::max<std::size_t>(1, options_.num_threads);
+    states_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      states_.push_back(std::make_unique<WorkerState>(options_));
+    }
+    if (options_.num_threads > 1) {
+      pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    }
+  }
 
   /// Paper Algorithm 2: evaluate frequent single attributes, then extend
-  /// (Algorithm 3). Root subtrees are independent given the roots'
-  /// covered sets, so they can be fanned across a thread pool.
+  /// (Algorithm 3) with one task per class sibling.
   Status Run() {
-    std::vector<Node> candidates;
+    std::vector<EvalSlot> singles;
     for (AttributeId a = 0; a < graph_.NumAttributes(); ++a) {
       const VertexSet& tidset = graph_.VerticesWith(a);
       if (tidset.size() < options_.min_support) continue;
-      Node node;
-      node.items = {a};
-      node.tidset = tidset;
-      candidates.push_back(std::move(node));
+      EvalSlot slot;
+      slot.node.items = {a};
+      slot.node.tidset = tidset;
+      singles.push_back(std::move(slot));
     }
 
-    // Phase 1: evaluate every frequent singleton.
-    const std::size_t n = candidates.size();
-    std::vector<TaskContext> contexts;
-    contexts.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) contexts.emplace_back(options_);
-    std::vector<Status> statuses(n);
-    std::vector<char> extendable(n, 0);
-    RunTasks(n, [&](std::size_t i) {
-      bool flag = false;
-      statuses[i] =
-          Evaluate(&candidates[i], nullptr, nullptr, &flag, &contexts[i]);
-      extendable[i] = flag ? 1 : 0;
-    });
-    std::vector<Node> roots;
-    for (std::size_t i = 0; i < n; ++i) {
-      SCPM_RETURN_IF_ERROR(statuses[i]);
-      Merge(std::move(contexts[i].result));
-      if (extendable[i]) roots.push_back(std::move(candidates[i]));
+    // Phase 1: evaluate every frequent singleton (keys {0, idx}).
+    ThreadPool::TaskGroup phase1;
+    for (std::size_t i = 0; i < singles.size(); ++i) {
+      Launch(&phase1, [this, &slot = singles[i], i] {
+        EvaluateNode(&slot, nullptr, nullptr,
+                     Key{0, static_cast<std::uint32_t>(i)});
+      });
     }
-    result_.counters.attribute_sets_extended += roots.size();
-    if (options_.max_attribute_set_size <= 1 || roots.size() < 2) {
-      return Status::OK();
+    Await(&phase1);
+    SCPM_RETURN_IF_ERROR(FirstError());
+
+    auto roots = std::make_shared<ClassNode>(&cache_);
+    for (EvalSlot& slot : singles) {
+      if (!slot.extendable) continue;
+      cache_.Insert(slot.node.items, std::move(slot.covered));
+      roots->siblings.push_back(std::move(slot.node));
+    }
+    states_[0]->counters.attribute_sets_extended += roots->siblings.size();
+    if (options_.max_attribute_set_size <= 1 || roots->siblings.size() < 2) {
+      return FirstError();
     }
 
-    // Phase 2: one independent subtree per root.
-    const std::size_t r = roots.size();
-    std::vector<TaskContext> subtree_contexts;
-    subtree_contexts.reserve(r);
-    for (std::size_t i = 0; i < r; ++i) subtree_contexts.emplace_back(options_);
-    std::vector<Status> subtree_statuses(r);
-    RunTasks(r, [&](std::size_t i) {
-      subtree_statuses[i] = ProcessRoot(i, roots, &subtree_contexts[i]);
-    });
-    for (std::size_t i = 0; i < r; ++i) {
-      SCPM_RETURN_IF_ERROR(subtree_statuses[i]);
-      Merge(std::move(subtree_contexts[i].result));
+    // Phase 2: one subtree task per root (keys {1, i, ...}); every
+    // descendant class sibling forks its own task into the same group.
+    for (std::size_t i = 0; i < roots->siblings.size(); ++i) {
+      Launch(&tree_, [this, roots, i] { ProcessSibling(roots, i, Key{1}); });
     }
-    return Status::OK();
+    Await(&tree_);
+    return FirstError();
   }
 
   ScpmResult TakeResult() {
+    std::sort(shards_.begin(), shards_.end(),
+              [](const ResultShard& a, const ResultShard& b) {
+                return a.key < b.key;
+              });
+    for (ResultShard& shard : shards_) {
+      for (auto& s : shard.attribute_sets) {
+        result_.attribute_sets.push_back(std::move(s));
+      }
+      for (auto& p : shard.patterns) {
+        result_.patterns.push_back(std::move(p));
+      }
+    }
+    for (const std::unique_ptr<WorkerState>& ws : states_) {
+      result_.counters.attribute_sets_evaluated +=
+          ws->counters.attribute_sets_evaluated;
+      result_.counters.attribute_sets_reported +=
+          ws->counters.attribute_sets_reported;
+      result_.counters.attribute_sets_extended +=
+          ws->counters.attribute_sets_extended;
+      result_.counters.coverage_candidates += ws->counters.coverage_candidates;
+    }
     SortPatterns(&result_.patterns);
     return std::move(result_);
   }
 
  private:
-  /// Runs `count` index tasks either inline or on a pool.
-  template <typename Fn>
-  void RunTasks(std::size_t count, Fn&& fn) {
-    if (options_.num_threads <= 1 || count <= 1) {
-      for (std::size_t i = 0; i < count; ++i) fn(i);
+  /// Runs `fn` inline (sequential mode) or as a pool task.
+  void Launch(ThreadPool::TaskGroup* group, std::function<void()> fn) {
+    if (pool_ != nullptr) {
+      pool_->Spawn(group, std::move(fn));
+    } else {
+      fn();
+    }
+  }
+
+  void Await(ThreadPool::TaskGroup* group) {
+    if (pool_ != nullptr) pool_->WaitFor(group);
+  }
+
+  /// The calling worker's state (slot 0 in sequential mode and for the
+  /// coordinating thread, which only touches it while no task is live).
+  WorkerState& State() {
+    const int index = pool_ != nullptr ? pool_->current_worker_index() : -1;
+    return *states_[index < 0 ? 0 : static_cast<std::size_t>(index)];
+  }
+
+  void RecordError(Status status) {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (first_error_.ok()) first_error_ = std::move(status);
+    has_error_.store(true);
+  }
+
+  Status FirstError() {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    return first_error_;
+  }
+
+  /// Task body for sibling i of the class `cls` (whose key prefix is
+  /// `cls_path`): evaluates the children of cls->siblings[i] within its
+  /// class, then forks one task per extendable child (paper Algorithm 3).
+  void ProcessSibling(const std::shared_ptr<ClassNode>& cls, std::size_t i,
+                      const Key& cls_path) {
+    if (has_error_.load()) return;
+    const std::vector<Node>& siblings = cls->siblings;
+
+    std::vector<EvalSlot> slots;
+    std::vector<std::size_t> js;
+    for (std::size_t j = i + 1; j < siblings.size(); ++j) {
+      EvalSlot slot;
+      SortedUnion(siblings[i].items, siblings[j].items, &slot.node.items);
+      SortedIntersect(siblings[i].tidset, siblings[j].tidset,
+                      &slot.node.tidset);
+      if (slot.node.tidset.size() < options_.min_support) continue;
+      slots.push_back(std::move(slot));
+      js.push_back(j);
+    }
+    if (slots.empty()) return;
+
+    ThreadPool::TaskGroup evals;
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      Key key = cls_path;
+      key.reserve(key.size() + 3);
+      key.push_back(static_cast<std::uint32_t>(i));
+      key.push_back(0);
+      key.push_back(static_cast<std::uint32_t>(js[s]));
+      Launch(&evals, [this, &cls, i, j = js[s], &slot = slots[s],
+                      key = std::move(key)] {
+        EvaluateNode(&slot, &cls->siblings[i].items, &cls->siblings[j].items,
+                     key);
+      });
+    }
+    Await(&evals);
+    if (has_error_.load()) return;
+
+    auto child_class = std::make_shared<ClassNode>(&cache_);
+    for (EvalSlot& slot : slots) {
+      if (!slot.extendable) continue;
+      cache_.Insert(slot.node.items, std::move(slot.covered));
+      child_class->siblings.push_back(std::move(slot.node));
+    }
+    State().counters.attribute_sets_extended += child_class->siblings.size();
+    if (child_class->siblings.empty() ||
+        child_class->siblings.front().items.size() >=
+            options_.max_attribute_set_size) {
       return;
     }
-    ThreadPool pool(std::min<std::size_t>(options_.num_threads, count));
-    for (std::size_t i = 0; i < count; ++i) {
-      pool.Submit([&fn, i] { fn(i); });
+    Key child_path = cls_path;
+    child_path.push_back(static_cast<std::uint32_t>(i));
+    child_path.push_back(1);
+    for (std::size_t c = 0; c < child_class->siblings.size(); ++c) {
+      Launch(&tree_, [this, child_class, c, child_path] {
+        ProcessSibling(child_class, c, child_path);
+      });
     }
-    pool.Wait();
-  }
-
-  void Merge(ScpmResult&& shard) {
-    for (auto& s : shard.attribute_sets) {
-      result_.attribute_sets.push_back(std::move(s));
-    }
-    for (auto& p : shard.patterns) {
-      result_.patterns.push_back(std::move(p));
-    }
-    result_.counters.attribute_sets_evaluated +=
-        shard.counters.attribute_sets_evaluated;
-    result_.counters.attribute_sets_reported +=
-        shard.counters.attribute_sets_reported;
-    result_.counters.attribute_sets_extended +=
-        shard.counters.attribute_sets_extended;
-    result_.counters.coverage_candidates +=
-        shard.counters.coverage_candidates;
-  }
-
-  /// Root i combined with its right siblings, then the recursive
-  /// extension of the resulting class (paper Algorithm 3).
-  Status ProcessRoot(std::size_t i, const std::vector<Node>& roots,
-                     TaskContext* ctx) {
-    std::vector<Node> children;
-    SCPM_RETURN_IF_ERROR(CombineClass(roots, i, ctx, &children));
-    ctx->result.counters.attribute_sets_extended += children.size();
-    if (!children.empty() &&
-        children.front().items.size() < options_.max_attribute_set_size) {
-      SCPM_RETURN_IF_ERROR(ExtendClass(children, ctx));
-    }
-    return Status::OK();
-  }
-
-  /// Builds the extendable children of siblings[i] within its class.
-  Status CombineClass(const std::vector<Node>& siblings, std::size_t i,
-                      TaskContext* ctx, std::vector<Node>* children) {
-    for (std::size_t j = i + 1; j < siblings.size(); ++j) {
-      Node child;
-      SortedUnion(siblings[i].items, siblings[j].items, &child.items);
-      SortedIntersect(siblings[i].tidset, siblings[j].tidset,
-                      &child.tidset);
-      if (child.tidset.size() < options_.min_support) continue;
-      bool extendable = false;
-      SCPM_RETURN_IF_ERROR(
-          Evaluate(&child, &siblings[i], &siblings[j], &extendable, ctx));
-      if (extendable) children->push_back(std::move(child));
-    }
-    return Status::OK();
-  }
-
-  /// Sequential recursion over one equivalence class.
-  Status ExtendClass(std::vector<Node>& siblings, TaskContext* ctx) {
-    for (std::size_t i = 0; i < siblings.size(); ++i) {
-      std::vector<Node> children;
-      SCPM_RETURN_IF_ERROR(CombineClass(siblings, i, ctx, &children));
-      ctx->result.counters.attribute_sets_extended += children.size();
-      if (!children.empty() &&
-          children.front().items.size() < options_.max_attribute_set_size) {
-        SCPM_RETURN_IF_ERROR(ExtendClass(children, ctx));
-      }
-    }
-    return Status::OK();
   }
 
   /// Computes K_S / eps / delta for a node, reports it (and its patterns)
-  /// when it passes the thresholds, and decides extendability per
-  /// Theorems 4 and 5.
-  Status Evaluate(Node* node, const Node* parent_a, const Node* parent_b,
-                  bool* extendable, TaskContext* ctx) {
-    ++ctx->result.counters.attribute_sets_evaluated;
+  /// into a keyed shard when it passes the thresholds, and decides
+  /// extendability per Theorems 4 and 5.
+  void EvaluateNode(EvalSlot* slot, const AttributeSet* parent_a,
+                    const AttributeSet* parent_b, const Key& key) {
+    if (has_error_.load()) return;
+    WorkerState& ws = State();
+    ++ws.counters.attribute_sets_evaluated;
+    Node& node = slot->node;
 
     // Theorem 3: quasi-cliques of G(S) live inside the parents' covered
     // sets, so the search universe can be restricted to them.
-    VertexSet universe = node->tidset;
+    VertexSet universe = node.tidset;
     if (options_.use_vertex_pruning) {
       VertexSet tmp;
-      if (parent_a != nullptr) {
-        SortedIntersect(universe, parent_a->covered, &tmp);
-        universe.swap(tmp);
-      }
-      if (parent_b != nullptr) {
-        SortedIntersect(universe, parent_b->covered, &tmp);
+      for (const AttributeSet* parent : {parent_a, parent_b}) {
+        if (parent == nullptr) continue;
+        CoveredSetCache::Entry covered = cache_.Lookup(*parent);
+        SCPM_CHECK(covered != nullptr)
+            << "parent covered set evicted before its children finished";
+        SortedIntersect(universe, *covered, &tmp);
         universe.swap(tmp);
       }
     }
 
     Result<InducedSubgraph> sub =
-        InducedSubgraph::Create(graph_.graph(), std::move(universe));
-    if (!sub.ok()) return sub.status();
-    Result<VertexSet> covered = ctx->miner.MineCoverage(sub->graph());
-    if (!covered.ok()) return covered.status();
-    ctx->result.counters.coverage_candidates +=
-        ctx->miner.stats().candidates_processed;
-    node->covered = sub->ToGlobal(*covered);
+        ws.workspace.Build(graph_.graph(), std::move(universe));
+    if (!sub.ok()) return RecordError(sub.status());
+    Result<VertexSet> covered = ws.miner.MineCoverage(sub->graph());
+    if (!covered.ok()) return RecordError(covered.status());
+    ws.counters.coverage_candidates += ws.miner.stats().candidates_processed;
+    VertexSet covered_global = sub->ToGlobal(*covered);
 
-    const std::size_t support = node->tidset.size();
-    const double eps = static_cast<double>(node->covered.size()) /
+    const std::size_t support = node.tidset.size();
+    const double eps = static_cast<double>(covered_global.size()) /
                        static_cast<double>(support);
     const double expected =
         null_model_ != nullptr ? null_model_->Expectation(support) : 1.0;
     const double delta =
         expected > 0.0 ? eps / expected : (eps > 0.0 ? 1e300 : 0.0);
 
-    const bool passes = eps >= options_.min_epsilon &&
-                        delta >= options_.min_delta;
-    if (passes && node->items.size() >= options_.min_report_size) {
-      ++ctx->result.counters.attribute_sets_reported;
+    const bool passes =
+        eps >= options_.min_epsilon && delta >= options_.min_delta;
+    if (passes && node.items.size() >= options_.min_report_size) {
+      ++ws.counters.attribute_sets_reported;
+      ResultShard shard;
+      shard.key = key;
       AttributeSetStats stats;
-      stats.attributes = node->items;
+      stats.attributes = node.items;
       stats.support = support;
-      stats.covered = node->covered.size();
+      stats.covered = covered_global.size();
       stats.epsilon = eps;
       stats.expected_epsilon = expected;
       stats.delta = delta;
-      ctx->result.attribute_sets.push_back(std::move(stats));
-      if (options_.collect_patterns && !node->covered.empty()) {
-        SCPM_RETURN_IF_ERROR(CollectPatterns(*node, *sub, ctx));
+      shard.attribute_sets.push_back(std::move(stats));
+      if (options_.collect_patterns && !covered_global.empty()) {
+        Status status = CollectPatterns(node, *sub, &ws, &shard);
+        if (!status.ok()) return RecordError(std::move(status));
       }
+      std::lock_guard<std::mutex> lock(shards_mutex_);
+      shards_.push_back(std::move(shard));
     }
+    ws.workspace.Recycle(std::move(sub).value());
 
     // Theorems 4 and 5: upper bounds on eps / delta of any extension.
     const double mass = eps * static_cast<double>(support);
-    *extendable = true;
+    bool extendable = true;
     if (options_.use_epsilon_pruning &&
-        mass < options_.min_epsilon *
-                   static_cast<double>(options_.min_support)) {
-      *extendable = false;
+        mass <
+            options_.min_epsilon * static_cast<double>(options_.min_support)) {
+      extendable = false;
     }
-    if (*extendable && options_.use_delta_pruning && null_model_ != nullptr) {
+    if (extendable && options_.use_delta_pruning && null_model_ != nullptr) {
       const double expected_at_min =
           null_model_->Expectation(options_.min_support);
       if (mass < options_.min_delta * expected_at_min *
                      static_cast<double>(options_.min_support)) {
-        *extendable = false;
+        extendable = false;
       }
     }
-    return Status::OK();
+    slot->extendable = extendable;
+    if (extendable) {
+      slot->covered =
+          std::make_shared<const VertexSet>(std::move(covered_global));
+    }
   }
 
   /// Patterns of G(S): top-k (paper §3.2.3) or the complete maximal set
   /// (SCORP semantics), reported in global ids.
   Status CollectPatterns(const Node& node, const InducedSubgraph& sub,
-                         TaskContext* ctx) {
+                         WorkerState* ws, ResultShard* shard) {
     std::vector<RankedQuasiClique> found;
     if (options_.pattern_scope == PatternScope::kTopK) {
       Result<std::vector<RankedQuasiClique>> top =
-          ctx->miner.MineTopK(sub.graph(), options_.top_k);
+          ws->miner.MineTopK(sub.graph(), options_.top_k);
       if (!top.ok()) return top.status();
       found = std::move(top).value();
     } else {
-      Result<std::vector<VertexSet>> all =
-          ctx->miner.MineMaximal(sub.graph());
+      Result<std::vector<VertexSet>> all = ws->miner.MineMaximal(sub.graph());
       if (!all.ok()) return all.status();
       found.reserve(all->size());
       for (VertexSet& q : *all) {
@@ -297,15 +463,14 @@ class Mining {
         found.push_back(std::move(entry));
       }
     }
-    ctx->result.counters.coverage_candidates +=
-        ctx->miner.stats().candidates_processed;
+    ws->counters.coverage_candidates += ws->miner.stats().candidates_processed;
     for (RankedQuasiClique& q : found) {
       StructuralCorrelationPattern pattern;
       pattern.attributes = node.items;
       pattern.min_degree_ratio = q.min_degree_ratio;
       pattern.edge_density = SubsetDensity(sub.graph(), q.vertices);
       pattern.vertices = sub.ToGlobal(q.vertices);
-      ctx->result.patterns.push_back(std::move(pattern));
+      shard->patterns.push_back(std::move(pattern));
     }
     return Status::OK();
   }
@@ -313,7 +478,24 @@ class Mining {
   const AttributedGraph& graph_;
   const ScpmOptions& options_;
   ExpectationModel* null_model_;
+
+  std::vector<std::unique_ptr<WorkerState>> states_;
+  ThreadPool::TaskGroup tree_;
+  CoveredSetCache cache_;
+
+  std::mutex shards_mutex_;
+  std::vector<ResultShard> shards_;
+
+  std::mutex error_mutex_;
+  Status first_error_;
+  std::atomic<bool> has_error_{false};
+
   ScpmResult result_;
+
+  // Declared last, destroyed first: joining the workers destroys every
+  // outstanding task closure, whose captured ClassNode references erase
+  // cache entries — all of which must still be alive at that point.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace

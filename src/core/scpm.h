@@ -75,10 +75,12 @@ struct ScpmOptions {
   /// parameter-sensitivity experiments, which ignore the pattern lists).
   bool collect_patterns = true;
 
-  /// Worker threads for the enumeration. Root attribute subtrees are
-  /// independent and are fanned across a pool; output is deterministic
-  /// and identical to the sequential order. Requires a thread-safe null
-  /// model (both bundled models are).
+  /// Worker threads for the enumeration. Attribute-set evaluations and
+  /// subtree expansions at every lattice level become tasks on a
+  /// work-stealing pool, so one heavy attribute subtree no longer
+  /// serializes the run. Output (attribute sets, patterns, and counters)
+  /// is byte-identical to the sequential order for any thread count.
+  /// Requires a thread-safe null model (both bundled models are).
   std::size_t num_threads = 1;
 
   /// Forwarded to the quasi-clique miner.

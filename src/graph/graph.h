@@ -65,6 +65,10 @@ class Graph {
   std::vector<Edge> Edges() const;
 
  private:
+  // SubgraphWorkspace builds CSR arrays directly into recycled buffers and
+  // takes them back when a subgraph dies.
+  friend class SubgraphWorkspace;
+
   Graph(std::vector<std::size_t> offsets, std::vector<VertexId> adjacency)
       : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {}
 

@@ -58,4 +58,58 @@ VertexSet InducedSubgraph::ToGlobal(const VertexSet& locals) const {
   return out;
 }
 
+Result<InducedSubgraph> SubgraphWorkspace::Build(const Graph& parent,
+                                                 VertexSet vertices) {
+  if (!IsStrictlySorted(vertices)) {
+    return Status::InvalidArgument(
+        "induced vertex set must be sorted and duplicate-free");
+  }
+  if (!vertices.empty() && vertices.back() >= parent.NumVertices()) {
+    return Status::InvalidArgument("induced vertex id out of range");
+  }
+
+  if (stamp_.size() < parent.NumVertices()) {
+    stamp_.resize(parent.NumVertices(), epoch_);
+    local_of_.resize(parent.NumVertices());
+  }
+  if (++epoch_ == 0) {  // Wrapped: every stale stamp now collides.
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  const VertexId n = static_cast<VertexId>(vertices.size());
+  for (VertexId local = 0; local < n; ++local) {
+    stamp_[vertices[local]] = epoch_;
+    local_of_[vertices[local]] = local;
+  }
+
+  CsrBuffers csr;
+  if (!free_.empty()) {
+    csr = std::move(free_.back());
+    free_.pop_back();
+  }
+  csr.offsets.clear();
+  csr.adjacency.clear();
+  csr.offsets.reserve(static_cast<std::size_t>(n) + 1);
+  csr.offsets.push_back(0);
+  // Vertices are processed in local order and parent adjacency is sorted,
+  // so each local neighbor list comes out sorted (the mapping is
+  // monotone) and the CSR fills front to back in one pass.
+  for (VertexId local = 0; local < n; ++local) {
+    for (VertexId w : parent.Neighbors(vertices[local])) {
+      if (stamp_[w] == epoch_) csr.adjacency.push_back(local_of_[w]);
+    }
+    csr.offsets.push_back(csr.adjacency.size());
+  }
+  return InducedSubgraph(
+      Graph(std::move(csr.offsets), std::move(csr.adjacency)),
+      std::move(vertices));
+}
+
+void SubgraphWorkspace::Recycle(InducedSubgraph&& sub) {
+  CsrBuffers csr;
+  csr.offsets = std::move(sub.graph_.offsets_);
+  csr.adjacency = std::move(sub.graph_.adjacency_);
+  free_.push_back(std::move(csr));
+}
+
 }  // namespace scpm

@@ -4,10 +4,17 @@
 // carrying an attribute set S; InducedSubgraph relabels that vertex set to
 // [0, k) and builds a local CSR graph, keeping the mapping back to the
 // parent graph.
+//
+// SubgraphWorkspace removes the materialization from the allocation hot
+// path: it builds the local CSR directly (single pass over the parent
+// adjacency, no intermediate edge list, no sorting) into buffers that are
+// recycled across calls, using an epoch-stamped global-to-local map that
+// never needs clearing.
 
 #ifndef SCPM_GRAPH_SUBGRAPH_H_
 #define SCPM_GRAPH_SUBGRAPH_H_
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -16,6 +23,8 @@
 #include "util/result.h"
 
 namespace scpm {
+
+class SubgraphWorkspace;
 
 /// A subgraph of a parent graph induced by a vertex subset.
 class InducedSubgraph {
@@ -45,11 +54,47 @@ class InducedSubgraph {
   VertexSet ToGlobal(const VertexSet& locals) const;
 
  private:
+  friend class SubgraphWorkspace;
+
   InducedSubgraph(Graph graph, VertexSet global_ids)
       : graph_(std::move(graph)), global_ids_(std::move(global_ids)) {}
 
   Graph graph_;
   VertexSet global_ids_;
+};
+
+/// Scratch buffers for repeated subgraph induction against one (or more)
+/// parent graphs. Build() produces a regular InducedSubgraph whose CSR
+/// storage comes from an internal free list; Recycle() takes the storage
+/// back once the subgraph is dead. Nested use is fine (a subgraph built
+/// from a workspace may itself be a parent in the next Build before being
+/// recycled); the workspace is not thread-safe — use one per worker.
+class SubgraphWorkspace {
+ public:
+  SubgraphWorkspace() = default;
+
+  /// Same contract and result as InducedSubgraph::Create, but allocation-
+  /// free once the free list and the id map have warmed up.
+  Result<InducedSubgraph> Build(const Graph& parent, VertexSet vertices);
+
+  /// Reclaims the CSR buffers of a subgraph produced by Build; the
+  /// subgraph is consumed.
+  void Recycle(InducedSubgraph&& sub);
+
+ private:
+  struct CsrBuffers {
+    std::vector<std::size_t> offsets;
+    std::vector<VertexId> adjacency;
+  };
+
+  std::vector<CsrBuffers> free_;
+
+  // stamp_[g] == epoch_ marks g as a member of the vertex set currently
+  // being built, with local id local_of_[g]. Bumping epoch_ invalidates
+  // the whole map in O(1).
+  std::vector<std::uint32_t> stamp_;
+  std::vector<VertexId> local_of_;
+  std::uint32_t epoch_ = 0;
 };
 
 }  // namespace scpm

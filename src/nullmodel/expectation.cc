@@ -54,25 +54,33 @@ SimExpectationModel::SimExpectationModel(const Graph& graph,
     : graph_(graph),
       params_(params),
       num_samples_(num_samples),
-      rng_(seed) {
+      seed_(seed) {
   SCPM_CHECK_GE(num_samples, 1u);
 }
 
 double SimExpectationModel::Expectation(std::size_t support) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = cache_.find(support); it != cache_.end()) {
+      return it->second;
+    }
+  }
+  // Computed outside the lock: the estimate is a pure function of
+  // (seed, support), so concurrent first-touches of the same support
+  // redundantly compute the same value instead of serializing every
+  // worker behind one Monte-Carlo loop.
+  const double value = ComputeEstimate(support).mean;
   std::lock_guard<std::mutex> lock(mutex_);
-  if (auto it = cache_.find(support); it != cache_.end()) return it->second;
-  const double value = EstimateWithStddevLocked(support).mean;
   cache_.emplace(support, value);
   return value;
 }
 
 SimExpectationModel::Estimate SimExpectationModel::EstimateWithStddev(
     std::size_t support) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return EstimateWithStddevLocked(support);
+  return ComputeEstimate(support);
 }
 
-SimExpectationModel::Estimate SimExpectationModel::EstimateWithStddevLocked(
+SimExpectationModel::Estimate SimExpectationModel::ComputeEstimate(
     std::size_t support) {
   Estimate out;
   if (graph_.NumVertices() == 0 || support == 0) return out;
@@ -84,10 +92,19 @@ SimExpectationModel::Estimate SimExpectationModel::EstimateWithStddevLocked(
   miner_options.params = params_;
   QuasiCliqueMiner miner(miner_options);
 
+  // Each support draws from its own seed-derived stream (splitmix64 mix)
+  // so the estimate does not depend on which supports were queried
+  // before it — parallel mining first-touches supports in thread-timing
+  // order, and the result must not care.
+  std::uint64_t z = seed_ ^ (support + 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e9b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  Rng rng(z ^ (z >> 31));
+
   double sum = 0.0;
   double sum_sq = 0.0;
   for (std::size_t s = 0; s < num_samples_; ++s) {
-    const VertexSet sample = rng_.SampleWithoutReplacement(n, sample_size);
+    const VertexSet sample = rng.SampleWithoutReplacement(n, sample_size);
     Result<InducedSubgraph> sub = InducedSubgraph::Create(graph_, sample);
     SCPM_CHECK(sub.ok()) << sub.status();
     Result<VertexSet> covered = miner.MineCoverage(sub->graph());

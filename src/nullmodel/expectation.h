@@ -65,6 +65,12 @@ class MaxExpectationModel : public ExpectationModel {
 
 /// Monte-Carlo estimate of the expected structural correlation
 /// (the paper's sim-exp with r simulations per support value).
+///
+/// The estimate for a given support is a pure function of (graph, params,
+/// num_samples, seed, support) — each support value draws from its own
+/// seed-derived random stream — so results do not depend on the order in
+/// which supports are first queried. Parallel SCPM relies on this for its
+/// byte-identical-output guarantee.
 class SimExpectationModel : public ExpectationModel {
  public:
   /// `graph` must outlive the model.
@@ -82,13 +88,14 @@ class SimExpectationModel : public ExpectationModel {
   Estimate EstimateWithStddev(std::size_t support);
 
  private:
-  Estimate EstimateWithStddevLocked(std::size_t support);
+  /// The pure per-support Monte-Carlo computation; needs no lock.
+  Estimate ComputeEstimate(std::size_t support);
 
   const Graph& graph_;
   QuasiCliqueParams params_;
   std::size_t num_samples_;
-  std::mutex mutex_;  // guards rng_ and cache_
-  Rng rng_;
+  std::uint64_t seed_;
+  std::mutex mutex_;  // guards cache_
   std::unordered_map<std::size_t, double> cache_;
 };
 

@@ -336,7 +336,8 @@ class Search {
 
 /// Applies vertex reduction and returns the working subgraph.
 Result<InducedSubgraph> Reduce(const Graph& graph,
-                               const QuasiCliqueMinerOptions& options) {
+                               const QuasiCliqueMinerOptions& options,
+                               SubgraphWorkspace* workspace) {
   VertexSet keep;
   if (options.enable_vertex_reduction) {
     keep = ReduceVertices(graph, options.params);
@@ -344,7 +345,13 @@ Result<InducedSubgraph> Reduce(const Graph& graph,
     keep.resize(graph.NumVertices());
     for (VertexId v = 0; v < graph.NumVertices(); ++v) keep[v] = v;
   }
+  if (workspace != nullptr) return workspace->Build(graph, std::move(keep));
   return InducedSubgraph::Create(graph, std::move(keep));
+}
+
+/// Returns the subgraph's buffers to the workspace, if any.
+void Release(SubgraphWorkspace* workspace, InducedSubgraph&& sub) {
+  if (workspace != nullptr) workspace->Recycle(std::move(sub));
 }
 
 }  // namespace
@@ -353,7 +360,7 @@ Result<std::vector<VertexSet>> QuasiCliqueMiner::MineMaximal(
     const Graph& graph) {
   SCPM_RETURN_IF_ERROR(options_.Validate());
   stats_ = MinerStats{};
-  Result<InducedSubgraph> sub = Reduce(graph, options_);
+  Result<InducedSubgraph> sub = Reduce(graph, options_, workspace_);
   if (!sub.ok()) return sub.status();
   Search search(sub->graph(), options_, Mode::kMaximal, 0, &stats_);
   SCPM_RETURN_IF_ERROR(search.Run());
@@ -361,17 +368,20 @@ Result<std::vector<VertexSet>> QuasiCliqueMiner::MineMaximal(
   std::vector<VertexSet> out;
   out.reserve(local.size());
   for (const VertexSet& q : local) out.push_back(sub->ToGlobal(q));
+  Release(workspace_, std::move(sub).value());
   return out;
 }
 
 Result<VertexSet> QuasiCliqueMiner::MineCoverage(const Graph& graph) {
   SCPM_RETURN_IF_ERROR(options_.Validate());
   stats_ = MinerStats{};
-  Result<InducedSubgraph> sub = Reduce(graph, options_);
+  Result<InducedSubgraph> sub = Reduce(graph, options_, workspace_);
   if (!sub.ok()) return sub.status();
   Search search(sub->graph(), options_, Mode::kCoverage, 0, &stats_);
   SCPM_RETURN_IF_ERROR(search.Run());
-  return sub->ToGlobal(search.TakeCoverage());
+  VertexSet covered = sub->ToGlobal(search.TakeCoverage());
+  Release(workspace_, std::move(sub).value());
+  return covered;
 }
 
 Result<std::vector<RankedQuasiClique>> QuasiCliqueMiner::MineTopK(
@@ -379,7 +389,7 @@ Result<std::vector<RankedQuasiClique>> QuasiCliqueMiner::MineTopK(
   SCPM_RETURN_IF_ERROR(options_.Validate());
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   stats_ = MinerStats{};
-  Result<InducedSubgraph> sub = Reduce(graph, options_);
+  Result<InducedSubgraph> sub = Reduce(graph, options_, workspace_);
   if (!sub.ok()) return sub.status();
   Search search(sub->graph(), options_, Mode::kTopK, k, &stats_);
   SCPM_RETURN_IF_ERROR(search.Run());
@@ -387,6 +397,7 @@ Result<std::vector<RankedQuasiClique>> QuasiCliqueMiner::MineTopK(
   for (RankedQuasiClique& q : local) {
     q.vertices = sub->ToGlobal(q.vertices);
   }
+  Release(workspace_, std::move(sub).value());
   return local;
 }
 

@@ -27,6 +27,8 @@
 
 namespace scpm {
 
+class SubgraphWorkspace;
+
 /// Order in which candidate quasi-cliques are expanded (paper §3.2.2).
 enum class SearchOrder {
   kDfs,  // stack: extend vertex sets as far as possible first
@@ -101,9 +103,16 @@ class QuasiCliqueMiner {
   /// Counters from the most recent call.
   const MinerStats& stats() const { return stats_; }
 
+  /// Optional borrowed workspace for the vertex-reduction subgraph; must
+  /// outlive the miner. Saves an allocation round per Mine* call when the
+  /// miner is reused (the parallel SCPM engine passes its per-worker
+  /// workspace).
+  void set_workspace(SubgraphWorkspace* workspace) { workspace_ = workspace; }
+
  private:
   QuasiCliqueMinerOptions options_;
   MinerStats stats_;
+  SubgraphWorkspace* workspace_ = nullptr;
 };
 
 }  // namespace scpm

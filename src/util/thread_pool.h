@@ -1,25 +1,53 @@
-// Minimal fixed-size thread pool for coarse-grained task parallelism.
+// Work-stealing thread pool for recursive task parallelism.
 //
-// Used by the parallel SCPM mode to fan independent attribute-set
-// subtrees across cores. Submission is thread-safe; Wait() blocks until
-// every submitted task has finished.
+// Each worker owns a deque: it pushes and pops spawned tasks at the back
+// (LIFO, keeping the working set hot and the traversal depth-first) while
+// idle workers steal from the front (FIFO, taking the largest pending
+// subtrees). External submissions land on a shared injection queue.
+//
+// Tasks may fork children and wait for them from inside the pool:
+// Spawn(group, fn) enqueues onto the calling worker's own deque and
+// WaitFor(group) *helps* — the waiting worker keeps executing queued
+// tasks of the awaited group (wherever they sit, including stealing them
+// back from other workers) until the group drains, so recursive fork/join
+// cannot deadlock the pool. Helping is restricted to the awaited group on
+// purpose: the helper only runs work its own wait transitively depends
+// on, so the nesting of blocked frames on its stack is bounded by the
+// logical fork/join depth, never by how many unrelated sibling subtrees
+// happen to be queued.
 
 #ifndef SCPM_UTIL_THREAD_POOL_H_
 #define SCPM_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace scpm {
 
-/// Fixed pool of worker threads draining a FIFO task queue.
+/// Fixed set of worker threads with per-worker stealing deques.
 class ThreadPool {
  public:
+  /// Completion counter for one fork/join scope. A group may be waited on
+  /// and reused repeatedly; it must outlive every task spawned into it.
+  class TaskGroup {
+   public:
+    TaskGroup() = default;
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+   private:
+    friend class ThreadPool;
+    std::atomic<std::size_t> pending_{0};
+  };
+
   /// Spawns `num_threads` workers (at least 1).
   explicit ThreadPool(std::size_t num_threads);
 
@@ -31,23 +59,78 @@ class ThreadPool {
 
   std::size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues a task. Tasks must not Submit-and-Wait recursively on the
-  /// same pool (risk of deadlock); fan out first, then Wait from outside.
+  /// Enqueues a task outside any group. Thread-safe; callable from worker
+  /// threads (lands on the caller's own deque) and external threads alike.
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and all workers are idle.
+  /// Enqueues a task accounted against `group`. Same routing as Submit.
+  void Spawn(TaskGroup* group, std::function<void()> task);
+
+  /// Blocks until every task in `group` has finished. When called from a
+  /// worker thread of this pool the worker executes the group's queued
+  /// tasks while waiting, so tasks can fork-and-join recursively (see the
+  /// file comment for why helping is limited to the awaited group).
+  void WaitFor(TaskGroup* group);
+
+  /// Blocks until every task (all groups and ungrouped submissions) has
+  /// finished. Must be called from outside the pool's worker threads; a
+  /// task waiting for "everything" would wait for itself.
   void Wait();
 
- private:
-  void WorkerLoop();
+  /// Index in [0, num_threads()) when called from one of this pool's
+  /// workers (including inside a task run while helping), -1 otherwise.
+  int current_worker_index() const;
 
+ private:
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
+  /// One worker's deque. Owner pushes/pops at the back; thieves and the
+  /// injection path take from the front.
+  struct Worker {
+    std::mutex mutex;
+    std::deque<Task> deque;
+  };
+
+  void WorkerLoop(std::size_t index);
+  void Enqueue(Task task);
+  /// Takes the newest (from_back) or oldest matching task out of `deque`;
+  /// a null `only_group` matches any task. Caller holds the deque's lock.
+  static bool TakeTask(std::deque<Task>* deque, const TaskGroup* only_group,
+                       bool from_back, Task* out);
+  /// Pops a runnable task: own deque back, then injection front, then
+  /// steal from victims' fronts. `only_group` non-null restricts the pop
+  /// to that group's tasks (the helping path of WaitFor).
+  bool PopTask(std::size_t self, const TaskGroup* only_group, Task* out);
+  bool RunOneTask(std::size_t self, const TaskGroup* only_group);
+  void FinishTask(const Task& task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::mutex injection_mutex_;
+  std::deque<Task> injection_;
+
+  // Sleep/wake machinery. Threads that can *run* tasks (workers, and
+  // workers helping inside WaitFor) park on cv_; enqueues bump epoch_ and
+  // wake them. External threads blocked in Wait/WaitFor park on done_cv_
+  // and are woken only by completions that drain a group (or everything)
+  // — an enqueue can never satisfy their predicate, so the per-task hot
+  // path does not touch them. All waiters re-check predicates against
+  // these atomics under mutex_.
   std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_idle_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  std::size_t active_ = 0;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::size_t> total_pending_{0};
+  // Threads parked on cv_ / done_cv_ respectively. Raised under mutex_
+  // before the predicate check; read without it on the notify fast paths,
+  // which skip the lock + notify entirely when nobody is parked.
+  std::atomic<std::size_t> sleepers_{0};
+  std::atomic<std::size_t> external_sleepers_{0};
   bool shutting_down_ = false;
+
+  std::vector<std::thread> threads_;
 };
 
 }  // namespace scpm

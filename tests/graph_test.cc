@@ -184,6 +184,86 @@ TEST_P(SubgraphSweep, MatchesBruteForceInduction) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SubgraphSweep, ::testing::Range(0, 10));
 
+// --------------------------------------------------- SubgraphWorkspace
+
+/// CSR equality: same offsets partitioning and same neighbor lists.
+void ExpectSameGraph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.NumVertices(), b.NumVertices());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (VertexId v = 0; v < a.NumVertices(); ++v) {
+    const auto na = a.Neighbors(v);
+    const auto nb = b.Neighbors(v);
+    ASSERT_EQ(VertexSet(na.begin(), na.end()), VertexSet(nb.begin(), nb.end()))
+        << "vertex " << v;
+  }
+}
+
+class SubgraphWorkspaceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubgraphWorkspaceSweep, MatchesCreateAcrossRecycledBuilds) {
+  Rng rng(GetParam());
+  Result<Graph> g = ErdosRenyi(60, 0.15, rng);
+  ASSERT_TRUE(g.ok());
+  SubgraphWorkspace workspace;
+  // Repeated builds reuse recycled buffers; each must equal the
+  // allocate-from-scratch path exactly.
+  for (int round = 0; round < 6; ++round) {
+    const VertexSet subset = rng.SampleWithoutReplacement(
+        60, 5 + static_cast<std::uint32_t>(rng.NextBounded(40)));
+    Result<InducedSubgraph> fresh = InducedSubgraph::Create(*g, subset);
+    Result<InducedSubgraph> reused = workspace.Build(*g, subset);
+    ASSERT_TRUE(fresh.ok());
+    ASSERT_TRUE(reused.ok());
+    EXPECT_EQ(fresh->global_ids(), reused->global_ids());
+    ExpectSameGraph(fresh->graph(), reused->graph());
+    workspace.Recycle(std::move(reused).value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubgraphWorkspaceSweep,
+                         ::testing::Range(0, 10));
+
+TEST(SubgraphWorkspaceTest, ValidatesLikeCreate) {
+  Graph g = Triangle();
+  SubgraphWorkspace workspace;
+  EXPECT_FALSE(workspace.Build(g, {2, 0}).ok());
+  EXPECT_FALSE(workspace.Build(g, {0, 0}).ok());
+  EXPECT_FALSE(workspace.Build(g, {0, 9}).ok());
+  Result<InducedSubgraph> empty = workspace.Build(g, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->NumVertices(), 0u);
+}
+
+TEST(SubgraphWorkspaceTest, NestedBuildsBeforeRecycle) {
+  // A workspace-built subgraph may itself be induced from (the miner does
+  // this) before either is recycled.
+  Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}, {1, 4}});
+  SubgraphWorkspace workspace;
+  Result<InducedSubgraph> outer = workspace.Build(g, {0, 1, 2, 4});
+  ASSERT_TRUE(outer.ok());
+  Result<InducedSubgraph> inner = workspace.Build(outer->graph(), {0, 1, 3});
+  ASSERT_TRUE(inner.ok());
+  // Locals {0,1,3} of outer are globals {0,1,4}: edges 0-1, 0-4, 1-4.
+  EXPECT_EQ(inner->graph().NumEdges(), 3u);
+  workspace.Recycle(std::move(inner).value());
+  EXPECT_TRUE(outer->graph().HasEdge(0, 1));  // outer unaffected
+  workspace.Recycle(std::move(outer).value());
+}
+
+TEST(SubgraphWorkspaceTest, ServesMultipleParentGraphs) {
+  Graph small = Triangle();
+  Graph big = MakeGraph(8, {{0, 7}, {1, 6}, {2, 5}, {5, 6}, {6, 7}});
+  SubgraphWorkspace workspace;
+  Result<InducedSubgraph> a = workspace.Build(big, {5, 6, 7});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->graph().NumEdges(), 2u);
+  workspace.Recycle(std::move(a).value());
+  Result<InducedSubgraph> b = workspace.Build(small, {0, 1});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->graph().NumEdges(), 1u);
+  workspace.Recycle(std::move(b).value());
+}
+
 // ------------------------------------------------------ AttributedGraph
 
 AttributedGraph SmallAttributed() {

@@ -164,6 +164,26 @@ TEST(SimExpTest, EstimateReportsStddev) {
   EXPECT_GE(est.mean, 0.0);
 }
 
+TEST(SimExpTest, EstimatesIndependentOfQueryOrder) {
+  // Parallel SCPM first-touches supports in thread-timing order; each
+  // support must draw from its own seed-derived stream so the estimate is
+  // the same whatever was queried before it.
+  Graph g = TestGraph(12, 120, 8.0);
+  const QuasiCliqueParams params{.gamma = 0.5, .min_size = 3};
+  SimExpectationModel forward(g, params, 8, 77);
+  SimExpectationModel backward(g, params, 8, 77);
+  const std::vector<std::size_t> supports = {10, 25, 40, 60, 90, 120};
+  std::vector<double> a;
+  for (std::size_t s : supports) a.push_back(forward.Expectation(s));
+  std::vector<double> b(supports.size());
+  for (std::size_t i = supports.size(); i-- > 0;) {
+    b[i] = backward.Expectation(supports[i]);
+  }
+  for (std::size_t i = 0; i < supports.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]) << "support " << supports[i];
+  }
+}
+
 TEST(MaxExpTest, ThreadSafeConcurrentAccess) {
   Graph g = TestGraph(9);
   MaxExpectationModel model(g, {.gamma = 0.5, .min_size = 4});

@@ -446,9 +446,114 @@ TEST_P(ParallelScpmSweep, ParallelEqualsSequential) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelScpmSweep, ::testing::Range(0, 8));
 
+/// Field-by-field equality of complete mining outputs, including the
+/// global pattern order and every counter: the parallel engine promises
+/// byte-identical output for any thread count.
+void ExpectIdenticalResults(const ScpmResult& a, const ScpmResult& b) {
+  ASSERT_EQ(a.attribute_sets.size(), b.attribute_sets.size());
+  for (std::size_t i = 0; i < a.attribute_sets.size(); ++i) {
+    const AttributeSetStats& x = a.attribute_sets[i];
+    const AttributeSetStats& y = b.attribute_sets[i];
+    EXPECT_EQ(x.attributes, y.attributes) << "row " << i;
+    EXPECT_EQ(x.support, y.support);
+    EXPECT_EQ(x.covered, y.covered);
+    EXPECT_DOUBLE_EQ(x.epsilon, y.epsilon);
+    EXPECT_DOUBLE_EQ(x.expected_epsilon, y.expected_epsilon);
+    EXPECT_DOUBLE_EQ(x.delta, y.delta);
+  }
+  ASSERT_EQ(a.patterns.size(), b.patterns.size());
+  for (std::size_t i = 0; i < a.patterns.size(); ++i) {
+    const StructuralCorrelationPattern& x = a.patterns[i];
+    const StructuralCorrelationPattern& y = b.patterns[i];
+    EXPECT_EQ(x.attributes, y.attributes) << "pattern " << i;
+    EXPECT_EQ(x.vertices, y.vertices) << "pattern " << i;
+    EXPECT_DOUBLE_EQ(x.min_degree_ratio, y.min_degree_ratio);
+    EXPECT_DOUBLE_EQ(x.edge_density, y.edge_density);
+  }
+  EXPECT_EQ(a.counters.attribute_sets_evaluated,
+            b.counters.attribute_sets_evaluated);
+  EXPECT_EQ(a.counters.attribute_sets_reported,
+            b.counters.attribute_sets_reported);
+  EXPECT_EQ(a.counters.attribute_sets_extended,
+            b.counters.attribute_sets_extended);
+  EXPECT_EQ(a.counters.coverage_candidates, b.counters.coverage_candidates);
+}
+
+void ExpectDeterministicAcrossThreadCounts(const AttributedGraph& g,
+                                           ScpmOptions options,
+                                           ExpectationModel* model) {
+  options.num_threads = 1;
+  ScpmMiner sequential(options, model);
+  Result<ScpmResult> baseline = sequential.Mine(g);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  for (std::size_t threads : {2u, 8u}) {
+    ScpmOptions parallel = options;
+    parallel.num_threads = threads;
+    ScpmMiner miner(parallel, model);
+    Result<ScpmResult> result = miner.Mine(g);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ExpectIdenticalResults(*baseline, *result);
+  }
+}
+
+TEST(ParallelScpmTest, ByteIdenticalOnPaperExample) {
+  const AttributedGraph g = PaperExampleGraph();
+  ExpectDeterministicAcrossThreadCounts(g, Table1Options(), nullptr);
+}
+
+TEST(ParallelScpmTest, ByteIdenticalWithSimulationNullModel) {
+  // The Monte-Carlo model estimates per-support values on first touch;
+  // parallel runs touch supports in timing order, so the estimates (and
+  // thus delta filtering) must be order-independent.
+  const AttributedGraph g = RandomAttributed(11, /*n=*/28, /*num_attrs=*/5);
+  ScpmOptions options;
+  options.quasi_clique.gamma = 0.6;
+  options.quasi_clique.min_size = 3;
+  options.min_support = 3;
+  options.min_epsilon = 0.1;
+  options.min_delta = 0.5;
+  options.top_k = 3;
+  Graph topology = g.graph();
+  SimExpectationModel model(topology, options.quasi_clique,
+                            /*num_samples=*/6, /*seed=*/5);
+  ExpectDeterministicAcrossThreadCounts(g, options, &model);
+}
+
+class ParallelDeterminismSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelDeterminismSweep, ByteIdenticalOnRandomGraphs) {
+  const AttributedGraph g =
+      RandomAttributed(GetParam(), /*n=*/32, /*num_attrs=*/6);
+  ScpmOptions options;
+  options.quasi_clique.gamma = 0.5;
+  options.quasi_clique.min_size = 3;
+  options.min_support = 3;
+  options.min_epsilon = 0.1;
+  options.top_k = 3;
+  Graph topology = g.graph();
+  MaxExpectationModel model(topology, options.quasi_clique);
+  options.min_delta = 0.25;
+  ExpectDeterministicAcrossThreadCounts(g, options, &model);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminismSweep,
+                         ::testing::Range(0, 4));
+
 TEST(ScpmOptionsTest, RejectsZeroThreads) {
   ScpmOptions o;
   o.num_threads = 0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(ScpmOptionsTest, RejectsAbsurdThreadCounts) {
+  ScpmOptions o;
+  // A negative CLI value wrapped through size_t must be a clean error,
+  // not an allocation abort.
+  o.num_threads = static_cast<std::size_t>(-1);
+  EXPECT_FALSE(o.Validate().ok());
+  o.num_threads = 1024;
+  EXPECT_TRUE(o.Validate().ok());
+  o.num_threads = 1025;
   EXPECT_FALSE(o.Validate().ok());
 }
 

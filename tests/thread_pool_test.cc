@@ -1,0 +1,197 @@
+// Tests for the work-stealing thread pool: recursive fork/join from
+// inside tasks (the old Submit-and-Wait deadlock case), Wait semantics
+// under contention, group reuse, and worker identity.
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace scpm {
+namespace {
+
+TEST(ThreadPoolSpawnTest, GroupedTasksAllRun) {
+  ThreadPool pool(4);
+  ThreadPool::TaskGroup group;
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Spawn(&group, [&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitFor(&group);
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolSpawnTest, WaitForOnlyWaitsForItsGroup) {
+  ThreadPool pool(2);
+  ThreadPool::TaskGroup fast, slow;
+  std::atomic<bool> release{false};
+  std::atomic<int> fast_done{0};
+  pool.Spawn(&slow, [&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  for (int i = 0; i < 10; ++i) {
+    pool.Spawn(&fast, [&fast_done] { fast_done.fetch_add(1); });
+  }
+  pool.WaitFor(&fast);  // Must not require the slow group to finish.
+  EXPECT_EQ(fast_done.load(), 10);
+  release.store(true);
+  pool.WaitFor(&slow);
+}
+
+// The case the pre-work-stealing pool documented as forbidden: a task that
+// submits children to the same pool and blocks on them. With one worker
+// this deadlocks unless the waiting task helps execute its children.
+TEST(ThreadPoolSpawnTest, RecursiveWaitOnSingleWorkerDoesNotDeadlock) {
+  ThreadPool pool(1);
+  ThreadPool::TaskGroup outer;
+  std::atomic<int> leaves{0};
+  pool.Spawn(&outer, [&] {
+    ThreadPool::TaskGroup inner;
+    for (int i = 0; i < 8; ++i) {
+      pool.Spawn(&inner, [&leaves] { leaves.fetch_add(1); });
+    }
+    pool.WaitFor(&inner);
+  });
+  pool.WaitFor(&outer);
+  EXPECT_EQ(leaves.load(), 8);
+}
+
+/// Recursive fork/join over a binary tree, returning the leaf count
+/// through per-node accumulators; exercises nested WaitFor at every level.
+int CountLeaves(ThreadPool& pool, int depth) {
+  if (depth == 0) return 1;
+  int left = 0, right = 0;
+  ThreadPool::TaskGroup children;
+  pool.Spawn(&children,
+             [&pool, &left, depth] { left = CountLeaves(pool, depth - 1); });
+  pool.Spawn(&children,
+             [&pool, &right, depth] { right = CountLeaves(pool, depth - 1); });
+  pool.WaitFor(&children);
+  return left + right;
+}
+
+class ThreadPoolRecursionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadPoolRecursionSweep, NestedForkJoinComputesTreeSize) {
+  ThreadPool pool(static_cast<std::size_t>(GetParam()));
+  int total = 0;
+  ThreadPool::TaskGroup root;
+  pool.Spawn(&root, [&pool, &total] { total = CountLeaves(pool, 7); });
+  pool.WaitFor(&root);
+  EXPECT_EQ(total, 128);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ThreadPoolRecursionSweep,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(ThreadPoolSpawnTest, GroupIsReusableAfterDraining) {
+  ThreadPool pool(2);
+  ThreadPool::TaskGroup group;
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Spawn(&group, [&counter] { counter.fetch_add(1); });
+    }
+    pool.WaitFor(&group);
+    EXPECT_EQ(counter.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolSpawnTest, WaitCoversGroupedAndUngroupedTasks) {
+  ThreadPool pool(3);
+  ThreadPool::TaskGroup group;
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Spawn(&group, [&counter] { counter.fetch_add(1); });
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolSpawnTest, TasksSpawnedDuringShutdownStillDrain) {
+  std::atomic<int> counter{0};
+  {
+    // Declared before the pool: the pool destructor drains tasks that
+    // still spawn into (and complete against) this group.
+    ThreadPool::TaskGroup group;
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) {
+      pool.Spawn(&group, [&pool, &group, &counter] {
+        counter.fetch_add(1);
+        pool.Spawn(&group, [&counter] { counter.fetch_add(1); });
+      });
+    }
+    // Destructor must drain both generations before joining.
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolIdentityTest, WorkerIndexInsideAndOutside) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.current_worker_index(), -1);
+  std::atomic<int> bad{0};
+  ThreadPool::TaskGroup group;
+  for (int i = 0; i < 60; ++i) {
+    pool.Spawn(&group, [&pool, &bad] {
+      const int index = pool.current_worker_index();
+      if (index < 0 || index >= 3) bad.fetch_add(1);
+    });
+  }
+  pool.WaitFor(&group);
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(pool.current_worker_index(), -1);
+}
+
+TEST(ThreadPoolIdentityTest, ForeignPoolIsNotMistakenForOwn) {
+  ThreadPool a(2), b(2);
+  std::atomic<int> bad{0};
+  ThreadPool::TaskGroup group;
+  a.Spawn(&group, [&b, &bad] {
+    if (b.current_worker_index() != -1) bad.fetch_add(1);
+  });
+  a.WaitFor(&group);
+  EXPECT_EQ(bad.load(), 0);
+}
+
+// Heavy mixed load: external waits racing helping waits, uneven task
+// sizes so stealing actually rebalances.
+TEST(ThreadPoolStressTest, ContendedForkJoin) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  ThreadPool::TaskGroup top;
+  for (int i = 0; i < 16; ++i) {
+    pool.Spawn(&top, [&pool, &sum, i] {
+      ThreadPool::TaskGroup nested;
+      const int fanout = 1 + (i % 7);
+      for (int j = 0; j < fanout; ++j) {
+        pool.Spawn(&nested, [&sum, j] {
+          long local = 0;
+          for (int k = 0; k <= j * 1000; ++k) local += k % 13;
+          sum.fetch_add(local + 1);
+        });
+      }
+      pool.WaitFor(&nested);
+    });
+  }
+  pool.WaitFor(&top);
+  pool.Wait();
+  long expected = 0;
+  for (int i = 0; i < 16; ++i) {
+    const int fanout = 1 + (i % 7);
+    for (int j = 0; j < fanout; ++j) {
+      long local = 0;
+      for (int k = 0; k <= j * 1000; ++k) local += k % 13;
+      expected += local + 1;
+    }
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace scpm
