@@ -7,13 +7,23 @@
 // Expected shape: SCPM-DFS <= SCPM-BFS << Naive (the paper reports up to
 // 3 orders of magnitude); SCPM runtimes drop as eps_min / delta_min grow
 // (Theorem 4/5 pruning), Naive is flat in those parameters.
+//
+// Beyond the paper, sweeps (g) and (h) track the parallel engine: (g)
+// thread scaling on the lattice-bound workload, (h) a small-lattice /
+// huge-G(S) workload where speedup must come from the intra-search
+// decomposition of single coverage computations. With SCPM_BENCH_JSON
+// set, every timing row is also written as JSON for the CI artifacts.
 
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/naive.h"
+#include "core/statistics.h"
+#include "graph/generators.h"
+#include "util/random.h"
 
 namespace {
 
@@ -27,6 +37,19 @@ struct Timing {
 
 const scpm::AttributedGraph* g_graph = nullptr;
 scpm::MaxExpectationModel* g_model = nullptr;
+scpm::bench::JsonReport g_json("bench_fig8");
+std::string g_section;
+
+void Section(const std::string& title) {
+  g_section = title;
+  scpm::bench::SectionHeader(title);
+}
+
+std::string Label(const char* param, double x, const char* miner) {
+  std::ostringstream os;
+  os << param << "=" << x << " " << miner;
+  return os.str();
+}
 
 double TimeMiner(bool naive, const ScpmOptions& options) {
   scpm::WallTimer timer;
@@ -52,10 +75,13 @@ Timing TimeAll(ScpmOptions options, bool run_naive = true) {
   return t;
 }
 
-void PrintRow(double x, const Timing& t) {
+void PrintRow(const char* param, double x, const Timing& t) {
   std::cout << std::setw(10) << x << std::setw(14) << std::fixed
             << std::setprecision(4) << t.scpm_bfs << std::setw(14)
             << t.scpm_dfs << std::setw(14) << t.naive << "\n";
+  g_json.Add(g_section, Label(param, x, "scpm_bfs"), t.scpm_bfs);
+  g_json.Add(g_section, Label(param, x, "scpm_dfs"), t.scpm_dfs);
+  g_json.Add(g_section, Label(param, x, "naive"), t.naive);
 }
 
 void Header(const char* param) {
@@ -75,6 +101,87 @@ ScpmOptions Defaults() {
   o.min_delta = 1.0;
   o.top_k = 5;
   return o;
+}
+
+/// Scenario (h): the hard half of the Fig. 8 workload inverted — a tiny
+/// attribute lattice (three near-global attributes, at most 7 sets) over
+/// a graph with planted dense groups, so nearly all runtime is a handful
+/// of coverage computations on huge G(S). Lattice-level parallelism has
+/// nothing to chew on here; speedup must come from the intra-search
+/// decomposition.
+scpm::Result<scpm::AttributedGraph> BuildHugeSubgraphDataset(double scale) {
+  const scpm::VertexId n = std::max<scpm::VertexId>(
+      200, static_cast<scpm::VertexId>(2000 * scale));
+  scpm::Rng rng(97);
+  scpm::Result<scpm::Graph> bg = scpm::ErdosRenyi(n, 3.0 / n, rng);
+  if (!bg.ok()) return bg.status();
+  std::vector<scpm::Edge> edges = bg->Edges();
+  scpm::PlantGroups(n, n / 40 + 4, 8, 14, 0.9, rng, &edges);
+  scpm::AttributedGraphBuilder builder(n);
+  for (const scpm::Edge& e : edges) builder.AddEdge(e.u, e.v);
+  for (const char* name : {"alpha", "beta", "delta"}) {
+    const scpm::AttributeId id = builder.InternAttribute(name);
+    for (scpm::VertexId v = 0; v < n; ++v) {
+      if (rng.NextBool(0.7)) {
+        if (auto status = builder.AddVertexAttribute(v, id); !status.ok()) {
+          return status;
+        }
+      }
+    }
+  }
+  return builder.Build();
+}
+
+void RunHugeSubgraphScenario() {
+  Section("(h) small lattice, huge G(S) — intra-search scaling");
+  scpm::Result<scpm::AttributedGraph> dataset =
+      BuildHugeSubgraphDataset(scpm::bench::Scale());
+  if (!dataset.ok()) {
+    std::cerr << "generation failed: " << dataset.status() << "\n";
+    return;
+  }
+  std::cout << "dataset: " << dataset->NumVertices() << " vertices, "
+            << dataset->graph().NumEdges() << " edges, "
+            << dataset->NumAttributes() << " attributes\n";
+
+  ScpmOptions o;
+  o.quasi_clique.gamma = 0.5;
+  o.quasi_clique.min_size = 6;
+  o.min_support = 10;
+  o.min_epsilon = 0.01;
+  o.top_k = 3;
+  o.search_order = scpm::SearchOrder::kDfs;
+  // Low trigger so the intra-search path is exercised at every
+  // SCPM_BENCH_SCALE, including the CI smoke scale.
+  o.intra_search_min_universe = 64;
+
+  std::cout << std::setw(10) << "threads" << std::setw(14) << "SCPM-DFS(s)"
+            << std::setw(14) << "speedup" << "\n";
+  double base = 0.0;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ScpmOptions run = o;
+    run.num_threads = threads;
+    scpm::ScpmMiner miner(run);
+    scpm::WallTimer timer;
+    scpm::Result<scpm::ScpmResult> result = miner.Mine(*dataset);
+    const double t = timer.ElapsedSeconds();
+    if (!result.ok()) {
+      std::cerr << "scpm failed: " << result.status() << "\n";
+      return;
+    }
+    if (threads == 1) {
+      base = t;
+      std::cout << "counters: "
+                << scpm::FormatScpmCounters(result->counters) << "\n";
+    }
+    std::cout << std::setw(10) << threads << std::setw(14) << std::fixed
+              << std::setprecision(4) << t << std::setw(14)
+              << std::setprecision(2) << (t > 0 ? base / t : 0.0)
+              << std::setprecision(4) << "\n";
+    g_json.Add(g_section,
+               Label("threads", static_cast<double>(threads), "scpm_dfs"), t,
+               "\"counters\":" + scpm::ScpmCountersJson(result->counters));
+  }
 }
 
 }  // namespace
@@ -98,47 +205,47 @@ int main() {
   scpm::MaxExpectationModel model(topology, Defaults().quasi_clique);
   g_model = &model;
 
-  scpm::bench::SectionHeader("(a) runtime x gamma_min");
+  Section("(a) runtime x gamma_min");
   Header("gamma");
   for (double gamma : {0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
     ScpmOptions o = Defaults();
     o.quasi_clique.gamma = gamma;
-    PrintRow(gamma, TimeAll(o));
+    PrintRow("gamma", gamma, TimeAll(o));
   }
 
-  scpm::bench::SectionHeader("(b) runtime x min_size");
+  Section("(b) runtime x min_size");
   Header("min_size");
   for (std::uint32_t min_size : {8u, 9u, 10u, 11u, 12u}) {
     ScpmOptions o = Defaults();
     o.quasi_clique.min_size = min_size;
-    PrintRow(min_size, TimeAll(o));
+    PrintRow("min_size", min_size, TimeAll(o));
   }
 
-  scpm::bench::SectionHeader("(c) runtime x sigma_min");
+  Section("(c) runtime x sigma_min");
   Header("sigma_min");
   for (std::size_t sigma : {15u, 20u, 25u, 35u, 50u}) {
     ScpmOptions o = Defaults();
     o.min_support = sigma;
-    PrintRow(static_cast<double>(sigma), TimeAll(o));
+    PrintRow("sigma_min", static_cast<double>(sigma), TimeAll(o));
   }
 
-  scpm::bench::SectionHeader("(d) runtime x eps_min");
+  Section("(d) runtime x eps_min");
   Header("eps_min");
   for (double eps : {0.1, 0.15, 0.2, 0.25}) {
     ScpmOptions o = Defaults();
     o.min_epsilon = eps;
-    PrintRow(eps, TimeAll(o));
+    PrintRow("eps_min", eps, TimeAll(o));
   }
 
-  scpm::bench::SectionHeader("(e) runtime x delta_min");
+  Section("(e) runtime x delta_min");
   Header("delta_min");
   for (double delta : {1.0, 10.0, 100.0, 1000.0, 10000.0}) {
     ScpmOptions o = Defaults();
     o.min_delta = delta;
-    PrintRow(delta, TimeAll(o));
+    PrintRow("delta_min", delta, TimeAll(o));
   }
 
-  scpm::bench::SectionHeader("(f) runtime x k (SCPM-DFS vs Naive)");
+  Section("(f) runtime x k (SCPM-DFS vs Naive)");
   std::cout << std::setw(10) << "k" << std::setw(14) << "SCPM-DFS(s)"
             << std::setw(14) << "Naive(s)" << "\n";
   for (std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
@@ -150,11 +257,14 @@ int main() {
     std::cout << std::setw(10) << k << std::setw(14) << std::fixed
               << std::setprecision(4) << dfs << std::setw(14) << naive
               << "\n";
+    g_json.Add(g_section, Label("k", static_cast<double>(k), "scpm_dfs"),
+               dfs);
+    g_json.Add(g_section, Label("k", static_cast<double>(k), "naive"), naive);
   }
 
   // Beyond the paper: scaling of the work-stealing parallel engine
   // (output is byte-identical to num_threads=1 at every point).
-  scpm::bench::SectionHeader("(g) runtime x num_threads (SCPM-DFS)");
+  Section("(g) runtime x num_threads (SCPM-DFS)");
   std::cout << std::setw(10) << "threads" << std::setw(14) << "SCPM-DFS(s)"
             << std::setw(14) << "speedup" << "\n";
   double base = 0.0;
@@ -168,6 +278,12 @@ int main() {
               << std::setprecision(4) << t << std::setw(14)
               << std::setprecision(2) << (t > 0 ? base / t : 0.0)
               << std::setprecision(4) << "\n";
+    g_json.Add(g_section, Label("threads", static_cast<double>(threads),
+                                "scpm_dfs"),
+               t);
   }
+
+  RunHugeSubgraphScenario();
+  g_json.Write();
   return 0;
 }

@@ -57,8 +57,9 @@ int main() {
         eps = s.epsilon;
       }
     }
-    std::cout << std::left << std::setw(34) << ("(" + attrs + "," + vertices + ")")
-              << std::right << std::setw(6) << p.size() << std::setw(8)
+    std::cout << std::left << std::setw(34)
+              << ("(" + attrs + "," + vertices + ")") << std::right
+              << std::setw(6) << p.size() << std::setw(8)
               << std::fixed << std::setprecision(2) << p.min_degree_ratio
               << std::setw(7) << sigma << std::setw(8) << eps << "\n";
   }

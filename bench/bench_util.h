@@ -4,9 +4,11 @@
 #define SCPM_BENCH_BENCH_UTIL_H_
 
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/report.h"
 #include "core/scpm.h"
@@ -37,6 +39,60 @@ inline void Banner(const std::string& artifact, const std::string& note) {
 inline void SectionHeader(const std::string& title) {
   std::cout << "\n--- " << title << " ---\n";
 }
+
+/// Machine-readable bench output for the CI perf-trajectory artifacts:
+/// collects one row per timing and writes them as JSON to the path named
+/// by SCPM_BENCH_JSON (a no-op when the variable is unset). Labels and
+/// extra fields are emitted verbatim; callers keep them quote-free.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  /// Records one timing row. `extra_json` (optional) is spliced into the
+  /// row object as additional fields, e.g. "\"threads\":4".
+  void Add(const std::string& section, const std::string& label,
+           double seconds, const std::string& extra_json = "") {
+    rows_.push_back({section, label, seconds, extra_json});
+  }
+
+  /// Writes the report; returns false (after a warning on stderr) when
+  /// the requested path cannot be written.
+  bool Write() const {
+    const char* path = std::getenv("SCPM_BENCH_JSON");
+    if (path == nullptr || *path == '\0') return true;
+    std::ofstream out(path);
+    out << "{\"bench\":\"" << name_ << "\",\"scale\":" << Scale()
+        << ",\"rows\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      if (i > 0) out << ",";
+      out << "{\"section\":\"" << row.section << "\",\"label\":\""
+          << row.label << "\",\"seconds\":" << row.seconds;
+      if (!row.extra_json.empty()) out << "," << row.extra_json;
+      out << "}";
+    }
+    out << "]}\n";
+    out.flush();
+    if (!out.good()) {
+      std::cerr << "warning: failed to write bench JSON to " << path << "\n";
+      return false;
+    }
+    std::cout << "\nwrote bench JSON: " << path << " (" << rows_.size()
+              << " rows)\n";
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string section;
+    std::string label;
+    double seconds;
+    std::string extra_json;
+  };
+
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 /// Shared driver for the Table 2/3/4 case studies: generate the synthetic
 /// analogue, mine with the max-exp null model, print top-10 by

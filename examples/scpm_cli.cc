@@ -16,6 +16,10 @@
 //   --top-k 5          patterns reported per attribute set
 //   --order dfs|bfs    candidate search order
 //   --threads 1        worker threads (output is identical for any count)
+//   --batch-grain 256  tidset mass per evaluation task (0 = one per task)
+//   --intra-min 512    |G(S)| at which one coverage search decomposes
+//                      into parallel branch tasks (0 = never)
+//   --intra-depth 12   decomposition depth of the intra-search tasks
 //   --top-n 10         rows printed per ranking table
 
 #include <cstdlib>
@@ -25,6 +29,7 @@
 
 #include "core/report.h"
 #include "core/scpm.h"
+#include "core/statistics.h"
 #include "graph/io.h"
 #include "nullmodel/expectation.h"
 #include "util/timer.h"
@@ -35,7 +40,8 @@ void Usage() {
   std::cerr << "usage: scpm_cli <edges.txt> <attrs.txt> [--gamma G] "
                "[--min-size S] [--sigma-min N] [--eps-min E] "
                "[--delta-min D] [--top-k K] [--order dfs|bfs] "
-               "[--threads T] [--top-n N]\n";
+               "[--threads T] [--batch-grain W] [--intra-min U] "
+               "[--intra-depth D] [--top-n N]\n";
 }
 
 }  // namespace
@@ -79,6 +85,14 @@ int main(int argc, char** argv) {
                                  : scpm::SearchOrder::kDfs;
     } else if (flag == "--threads") {
       options.num_threads = static_cast<std::size_t>(std::atoll(value));
+    } else if (flag == "--batch-grain") {
+      options.eval_batch_grain = static_cast<std::size_t>(std::atoll(value));
+    } else if (flag == "--intra-min") {
+      options.intra_search_min_universe =
+          static_cast<std::size_t>(std::atoll(value));
+    } else if (flag == "--intra-depth") {
+      options.intra_search_spawn_depth =
+          static_cast<std::uint32_t>(std::atoi(value));
     } else if (flag == "--top-n") {
       top_n = static_cast<std::size_t>(std::atoll(value));
     } else {
@@ -110,7 +124,9 @@ int main(int argc, char** argv) {
   }
   std::cout << "mined " << result->attribute_sets.size()
             << " attribute sets / " << result->patterns.size()
-            << " patterns in " << timer.ElapsedSeconds() << " s\n\n";
+            << " patterns in " << timer.ElapsedSeconds() << " s\n"
+            << "counters: " << scpm::FormatScpmCounters(result->counters)
+            << "\n\n";
   scpm::PrintTopAttributeSets(std::cout, *graph, result->attribute_sets,
                               top_n);
   std::cout << "\n";

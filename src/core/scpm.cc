@@ -48,6 +48,11 @@ Status ScpmOptions::Validate() const {
   if (num_threads > 1024) {
     return Status::InvalidArgument("num_threads must be <= 1024");
   }
+  // Branch-task keys grow one entry per decomposition level; anything
+  // past a handful of levels only adds bookkeeping.
+  if (intra_search_spawn_depth > 16) {
+    return Status::InvalidArgument("intra_search_spawn_depth must be <= 16");
+  }
   return Status::OK();
 }
 
@@ -183,7 +188,16 @@ class Mining {
 
   Mining(const AttributedGraph& graph, const ScpmOptions& options,
          ExpectationModel* null_model)
-      : graph_(graph), options_(options), null_model_(null_model) {
+      : graph_(graph),
+        options_(options),
+        null_model_(null_model),
+        // Slot count caps the intra-search branch tasks outstanding at
+        // once across ALL evaluations: a huge-G(S) evaluation that grabs
+        // slots is borrowing parallelism its sibling evaluations (and
+        // other searches) would otherwise spend, and returns it as its
+        // subtasks drain. 2x threads keeps the queues fed without
+        // flooding the pool with fine-grained tasks.
+        intra_budget_(options.num_threads > 1 ? 2 * options.num_threads : 0) {
     const std::size_t workers = std::max<std::size_t>(1, options_.num_threads);
     states_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i) {
@@ -191,6 +205,9 @@ class Mining {
     }
     if (options_.num_threads > 1) {
       pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    }
+    for (const std::unique_ptr<WorkerState>& ws : states_) {
+      ws->miner.set_parallel_context(pool_.get(), &intra_budget_);
     }
   }
 
@@ -207,12 +224,19 @@ class Mining {
       singles.push_back(std::move(slot));
     }
 
-    // Phase 1: evaluate every frequent singleton (keys {0, idx}).
+    // Phase 1: evaluate every frequent singleton (keys {0, idx}), tiny
+    // tidsets batched several per task. The batch count is recorded
+    // before the first Launch: once tasks run, worker 0 shares slot 0
+    // with this coordinating thread.
+    const auto single_ranges = BatchRanges(singles);
+    State().counters.evaluation_batches += single_ranges.size();
     ThreadPool::TaskGroup phase1;
-    for (std::size_t i = 0; i < singles.size(); ++i) {
-      Launch(&phase1, [this, &slot = singles[i], i] {
-        EvaluateNode(&slot, nullptr, nullptr,
-                     Key{0, static_cast<std::uint32_t>(i)});
+    for (const auto& [begin, end] : single_ranges) {
+      Launch(&phase1, [this, &singles, begin = begin, end = end] {
+        for (std::size_t i = begin; i < end; ++i) {
+          EvaluateNode(&singles[i], nullptr, nullptr,
+                       Key{0, static_cast<std::uint32_t>(i)});
+        }
       });
     }
     Await(&phase1);
@@ -259,6 +283,10 @@ class Mining {
       result_.counters.attribute_sets_extended +=
           ws->counters.attribute_sets_extended;
       result_.counters.coverage_candidates += ws->counters.coverage_candidates;
+      result_.counters.evaluation_batches += ws->counters.evaluation_batches;
+      result_.counters.intra_search_evaluations +=
+          ws->counters.intra_search_evaluations;
+      result_.counters.intra_branch_tasks += ws->counters.intra_branch_tasks;
     }
     SortPatterns(&result_.patterns);
     return std::move(result_);
@@ -276,6 +304,29 @@ class Mining {
 
   void Await(ThreadPool::TaskGroup* group) {
     if (pool_ != nullptr) pool_->WaitFor(group);
+  }
+
+  /// Greedy pack of evaluation slots into per-task index ranges:
+  /// consecutive slots share a task until their tidset sizes reach
+  /// eval_batch_grain. A pure function of the slot sizes, so the launch
+  /// plan — and every counter it feeds — is identical for every thread
+  /// count.
+  std::vector<std::pair<std::size_t, std::size_t>> BatchRanges(
+      const std::vector<EvalSlot>& slots) const {
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    const std::size_t grain = options_.eval_batch_grain;
+    std::size_t begin = 0;
+    std::size_t weight = 0;
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      weight += std::max<std::size_t>(1, slots[s].node.tidset.size());
+      if (grain == 0 || weight >= grain) {
+        ranges.emplace_back(begin, s + 1);
+        begin = s + 1;
+        weight = 0;
+      }
+    }
+    if (begin < slots.size()) ranges.emplace_back(begin, slots.size());
+    return ranges;
   }
 
   /// The calling worker's state (slot 0 in sequential mode and for the
@@ -317,17 +368,21 @@ class Mining {
     }
     if (slots.empty()) return;
 
+    const auto ranges = BatchRanges(slots);
+    State().counters.evaluation_batches += ranges.size();
     ThreadPool::TaskGroup evals;
-    for (std::size_t s = 0; s < slots.size(); ++s) {
-      Key key = cls_path;
-      key.reserve(key.size() + 3);
-      key.push_back(static_cast<std::uint32_t>(i));
-      key.push_back(0);
-      key.push_back(static_cast<std::uint32_t>(js[s]));
-      Launch(&evals, [this, &cls, i, j = js[s], &slot = slots[s],
-                      key = std::move(key)] {
-        EvaluateNode(&slot, &cls->siblings[i].items, &cls->siblings[j].items,
-                     key);
+    for (const auto& [begin, end] : ranges) {
+      Launch(&evals, [this, &cls, &cls_path, i, &slots, &js, begin = begin,
+                      end = end] {
+        for (std::size_t s = begin; s < end; ++s) {
+          Key key = cls_path;
+          key.reserve(key.size() + 3);
+          key.push_back(static_cast<std::uint32_t>(i));
+          key.push_back(0);
+          key.push_back(static_cast<std::uint32_t>(js[s]));
+          EvaluateNode(&slots[s], &cls->siblings[i].items,
+                       &cls->siblings[js[s]].items, key);
+        }
       });
     }
     Await(&evals);
@@ -380,12 +435,26 @@ class Mining {
       }
     }
 
+    // Adaptive granularity, subgraph side: a huge G(S) decomposes its own
+    // quasi-clique search into branch tasks, borrowing pool slots from
+    // the shared budget. The trigger compares deterministic sizes only,
+    // so the decision (and all counters downstream of it) is identical
+    // for every num_threads — with one thread the decomposed search
+    // simply runs inline.
+    const bool intra_search =
+        options_.intra_search_min_universe != 0 &&
+        universe.size() >= options_.intra_search_min_universe;
+    ws.miner.set_spawn_depth(intra_search ? options_.intra_search_spawn_depth
+                                          : 0);
+    if (intra_search) ++ws.counters.intra_search_evaluations;
+
     Result<InducedSubgraph> sub =
         ws.workspace.Build(graph_.graph(), std::move(universe));
     if (!sub.ok()) return RecordError(sub.status());
     Result<VertexSet> covered = ws.miner.MineCoverage(sub->graph());
     if (!covered.ok()) return RecordError(covered.status());
     ws.counters.coverage_candidates += ws.miner.stats().candidates_processed;
+    ws.counters.intra_branch_tasks += ws.miner.stats().branch_tasks;
     VertexSet covered_global = sub->ToGlobal(*covered);
 
     const std::size_t support = node.tidset.size();
@@ -464,6 +533,7 @@ class Mining {
       }
     }
     ws->counters.coverage_candidates += ws->miner.stats().candidates_processed;
+    ws->counters.intra_branch_tasks += ws->miner.stats().branch_tasks;
     for (RankedQuasiClique& q : found) {
       StructuralCorrelationPattern pattern;
       pattern.attributes = node.items;
@@ -478,6 +548,9 @@ class Mining {
   const AttributedGraph& graph_;
   const ScpmOptions& options_;
   ExpectationModel* null_model_;
+  // Shared by every worker's miner; must outlive pool_ (declared later,
+  // destroyed first) because draining tasks may still release slots.
+  ParallelismBudget intra_budget_;
 
   std::vector<std::unique_ptr<WorkerState>> states_;
   ThreadPool::TaskGroup tree_;

@@ -83,18 +83,49 @@ struct ScpmOptions {
   /// Requires a thread-safe null model (both bundled models are).
   std::size_t num_threads = 1;
 
+  /// Adaptive task granularity, lattice side: consecutive child
+  /// evaluations are packed into one task until their tidset sizes sum
+  /// to this grain, so lattices with many small tidsets stop paying one
+  /// task (and one steal) per child. 0 keeps one evaluation per task.
+  std::size_t eval_batch_grain = 256;
+
+  /// Adaptive task granularity, subgraph side: an evaluation whose
+  /// search universe |G(S)| reaches this size decomposes its coverage
+  /// quasi-clique search into intra-search branch tasks on the same pool
+  /// (borrowing the shared parallelism budget from its sibling
+  /// evaluations), so a small lattice with huge induced subgraphs still
+  /// saturates the workers. 0 disables intra-search parallelism. The
+  /// threshold compares against deterministic quantities only, so output
+  /// and counters remain byte-identical for any num_threads.
+  std::size_t intra_search_min_universe = 512;
+
+  /// Decomposition depth forwarded to the quasi-clique miner when the
+  /// intra-search path triggers (see QuasiCliqueMinerOptions::spawn_depth).
+  /// Deep by default: the miner's min_spawn_ext bounds task granularity,
+  /// so extra depth only decomposes branches still worth splitting.
+  std::uint32_t intra_search_spawn_depth = 12;
+
   /// Forwarded to the quasi-clique miner.
   QuasiCliqueMinerOptions miner_options() const;
 
   Status Validate() const;
 };
 
-/// Mining-effort counters.
+/// Mining-effort counters. All are exact and deterministic: the batching
+/// and intra-search policies they track depend only on the input and the
+/// options, never on thread count or timing.
 struct ScpmCounters {
   std::uint64_t attribute_sets_evaluated = 0;
   std::uint64_t attribute_sets_reported = 0;
   std::uint64_t attribute_sets_extended = 0;
   std::uint64_t coverage_candidates = 0;  // summed miner candidates
+  /// Evaluation tasks launched after batching (= evaluations when
+  /// eval_batch_grain is 0).
+  std::uint64_t evaluation_batches = 0;
+  /// Evaluations whose universe met intra_search_min_universe.
+  std::uint64_t intra_search_evaluations = 0;
+  /// Branch tasks the intra-search decompositions produced in total.
+  std::uint64_t intra_branch_tasks = 0;
 };
 
 /// Complete mining output.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 namespace scpm {
 namespace {
@@ -38,6 +39,30 @@ OutputSummary SummarizeOutput(const std::vector<AttributeSetStats>& stats) {
   out.avg_delta_global = Mean(delta, delta.size());
   out.avg_delta_top10 = Mean(delta, top);
   return out;
+}
+
+std::string FormatScpmCounters(const ScpmCounters& counters) {
+  std::ostringstream os;
+  os << "evaluated=" << counters.attribute_sets_evaluated
+     << " reported=" << counters.attribute_sets_reported
+     << " extended=" << counters.attribute_sets_extended
+     << " candidates=" << counters.coverage_candidates
+     << " batches=" << counters.evaluation_batches
+     << " intra_evals=" << counters.intra_search_evaluations
+     << " intra_tasks=" << counters.intra_branch_tasks;
+  return os.str();
+}
+
+std::string ScpmCountersJson(const ScpmCounters& counters) {
+  std::ostringstream os;
+  os << "{\"attribute_sets_evaluated\":" << counters.attribute_sets_evaluated
+     << ",\"attribute_sets_reported\":" << counters.attribute_sets_reported
+     << ",\"attribute_sets_extended\":" << counters.attribute_sets_extended
+     << ",\"coverage_candidates\":" << counters.coverage_candidates
+     << ",\"evaluation_batches\":" << counters.evaluation_batches
+     << ",\"intra_search_evaluations\":" << counters.intra_search_evaluations
+     << ",\"intra_branch_tasks\":" << counters.intra_branch_tasks << "}";
+  return os.str();
 }
 
 }  // namespace scpm

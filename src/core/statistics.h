@@ -1,12 +1,15 @@
-// Output summaries for the parameter-sensitivity experiments (Figure 10).
+// Output summaries for the parameter-sensitivity experiments (Figure 10)
+// and engine-effort reporting shared by the CLI and the benches.
 
 #ifndef SCPM_CORE_STATISTICS_H_
 #define SCPM_CORE_STATISTICS_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/pattern.h"
+#include "core/scpm.h"
 
 namespace scpm {
 
@@ -22,6 +25,16 @@ struct OutputSummary {
 
 /// Computes the Figure-10 summary statistics.
 OutputSummary SummarizeOutput(const std::vector<AttributeSetStats>& stats);
+
+/// One-line human-readable rendering of the engine counters, e.g.
+/// "evaluated=12 reported=7 extended=5 candidates=3301 batches=4
+/// intra_evals=1 intra_tasks=33".
+std::string FormatScpmCounters(const ScpmCounters& counters);
+
+/// The same counters as a flat JSON object (keys match the field names);
+/// the bench smoke jobs embed this in their BENCH_*.json artifacts so the
+/// effort trajectory is tracked alongside the timings.
+std::string ScpmCountersJson(const ScpmCounters& counters);
 
 }  // namespace scpm
 

@@ -51,7 +51,8 @@ class Eclat {
   explicit Eclat(EclatOptions options) : options_(options) {}
 
   /// Streams every frequent itemset to `visitor`.
-  Status Mine(const AttributedGraph& graph, const ItemsetVisitor& visitor) const;
+  Status Mine(const AttributedGraph& graph,
+              const ItemsetVisitor& visitor) const;
 
   /// Materializes the complete set of frequent itemsets.
   Result<std::vector<FrequentItemset>> MineAll(

@@ -23,15 +23,17 @@ CandidateScratch::CandidateScratch(const Graph& graph)
   if (n > 0 && n <= kMaxBitsetVertices) {
     use_bitsets_ = true;
     words_ = (static_cast<std::size_t>(n) + 63) / 64;
-    adjacency_bits_.assign(static_cast<std::size_t>(n) * words_, 0);
+    auto bits = std::make_shared<std::vector<std::uint64_t>>(
+        static_cast<std::size_t>(n) * words_, 0);
     marked_bits_.assign(words_, 0);
     x_bits_.assign(words_, 0);
     for (VertexId v = 0; v < n; ++v) {
-      std::uint64_t* row = &adjacency_bits_[v * words_];
+      std::uint64_t* row = &(*bits)[v * words_];
       for (VertexId u : graph.Neighbors(v)) {
         row[u / 64] |= std::uint64_t{1} << (u % 64);
       }
     }
+    adjacency_bits_ = std::move(bits);
   }
 }
 
@@ -60,7 +62,7 @@ void CandidateScratch::Unmark(VertexId v) {
 
 std::uint32_t CandidateScratch::MarkedDegree(VertexId v) const {
   if (use_bitsets_) {
-    const std::uint64_t* row = &adjacency_bits_[v * words_];
+    const std::uint64_t* row = adjacency_bits_->data() + v * words_;
     std::uint32_t deg = 0;
     for (std::size_t w = 0; w < words_; ++w) {
       deg += static_cast<std::uint32_t>(
@@ -77,7 +79,7 @@ std::uint32_t CandidateScratch::MarkedDegree(VertexId v) const {
 
 std::uint32_t CandidateScratch::MarkedDegreeInX(VertexId v) const {
   if (use_bitsets_) {
-    const std::uint64_t* row = &adjacency_bits_[v * words_];
+    const std::uint64_t* row = adjacency_bits_->data() + v * words_;
     std::uint32_t deg = 0;
     for (std::size_t w = 0; w < words_; ++w) {
       deg += static_cast<std::uint32_t>(std::popcount(row[w] & x_bits_[w]));

@@ -8,6 +8,7 @@
 #define SCPM_QCLIQUE_CANDIDATE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
@@ -43,7 +44,11 @@ struct CandidateAnalysis {
 };
 
 /// Reusable scratch buffers for candidate analysis on one graph. Not
-/// thread-safe; create one per mining thread.
+/// thread-safe; create one per mining thread. Copying is cheap by design:
+/// the adjacency bitset — the only O(n^2/64) part — is immutable after
+/// construction and shared between copies, so per-worker scratch arenas
+/// for a parallel search over one graph clone a prototype instead of
+/// re-walking every adjacency list.
 class CandidateScratch {
  public:
   explicit CandidateScratch(const Graph& graph);
@@ -78,10 +83,11 @@ class CandidateScratch {
   // Bitset fast path, used when the graph is small enough (the common
   // case: miners run on induced subgraphs). adjacency_bits_[v] holds v's
   // neighborhood; marked_bits_ / x_bits_ mirror the epoch marks, so
-  // degree queries become AND + popcount scans.
+  // degree queries become AND + popcount scans. The adjacency rows are
+  // immutable and shared across copies (see the class comment).
   bool use_bitsets_ = false;
   std::size_t words_ = 0;
-  std::vector<std::uint64_t> adjacency_bits_;  // n * words_
+  std::shared_ptr<const std::vector<std::uint64_t>> adjacency_bits_;
   std::vector<std::uint64_t> marked_bits_;
   std::vector<std::uint64_t> x_bits_;
 

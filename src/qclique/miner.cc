@@ -1,19 +1,61 @@
 #include "qclique/miner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
+#include <memory>
+#include <mutex>
 #include <utility>
 
 #include "graph/subgraph.h"
 #include "qclique/candidate.h"
 #include "util/logging.h"
 #include "util/sorted_ops.h"
+#include "util/thread_pool.h"
 
 namespace scpm {
 
 Status QuasiCliqueMinerOptions::Validate() const { return params.Validate(); }
 
+void MinerStats::MergeFrom(const MinerStats& other) {
+  candidates_processed += other.candidates_processed;
+  pruned_by_analysis += other.pruned_by_analysis;
+  pruned_by_coverage += other.pruned_by_coverage;
+  pruned_by_topk += other.pruned_by_topk;
+  lookahead_hits += other.lookahead_hits;
+  critical_vertex_jumps += other.critical_vertex_jumps;
+  sets_reported += other.sets_reported;
+  branch_tasks += other.branch_tasks;
+}
+
 namespace {
+
+/// Sorts reported satisfying sets (size desc, then lexicographic) and
+/// drops duplicates and sets contained in a larger reported set. Every
+/// maximal satisfying set is among `reported`, so the survivors are
+/// exactly the maximal ones. Shared by the sequential search and the
+/// key-ordered merge of the decomposed search.
+std::vector<VertexSet> FilterMaximal(std::vector<VertexSet> reported) {
+  std::sort(reported.begin(), reported.end(),
+            [](const VertexSet& a, const VertexSet& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a < b;
+            });
+  reported.erase(std::unique(reported.begin(), reported.end()),
+                 reported.end());
+  std::vector<VertexSet> keep;
+  for (auto& q : reported) {
+    bool dominated = false;
+    for (const auto& big : keep) {
+      if (big.size() > q.size() && SortedIsSubset(q, big)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) keep.push_back(std::move(q));
+  }
+  return keep;
+}
 
 /// Iteratively removes vertices of degree < RequiredDegree(min_size);
 /// returns the sorted survivors. Survivors of this peeling form a
@@ -108,6 +150,64 @@ class TopKCollector {
 
 enum class Mode { kMaximal, kCoverage, kTopK };
 
+/// Epoch-stamped two-hop neighborhood marks backing the diameter filter:
+/// any two members of a satisfying set are within two hops inside the set
+/// when gamma >= 0.5, hence within two hops in the graph.
+class TwoHopMarker {
+ public:
+  explicit TwoHopMarker(const Graph& graph)
+      : graph_(graph), epoch_of_(graph.NumVertices(), 0) {}
+
+  /// Stamps every vertex within graph distance <= 2 of v.
+  void Mark(VertexId v) {
+    ++epoch_;
+    if (epoch_ == 0) {  // Wrapped: re-zero.
+      std::fill(epoch_of_.begin(), epoch_of_.end(), 0);
+      epoch_ = 1;
+    }
+    for (VertexId u : graph_.Neighbors(v)) {
+      epoch_of_[u] = epoch_;
+      for (VertexId w : graph_.Neighbors(u)) {
+        epoch_of_[w] = epoch_;
+      }
+    }
+  }
+
+  bool IsMarked(VertexId u) const { return epoch_of_[u] == epoch_; }
+
+ private:
+  const Graph& graph_;
+  std::vector<std::uint32_t> epoch_of_;
+  std::uint32_t epoch_ = 0;
+};
+
+/// Children of (x, ext): one per extension vertex, keeping only later
+/// extensions within two hops of the chosen vertex (diameter filter) and
+/// dropping children that cannot reach min_size.
+void BuildChildren(const Candidate& cand, const VertexSet& ext,
+                   const QuasiCliqueMinerOptions& options,
+                   TwoHopMarker* marker, std::vector<Candidate>* children) {
+  const bool use_diameter =
+      options.enable_diameter_filter && options.params.gamma >= 0.5;
+  children->clear();
+  children->reserve(ext.size());
+  for (std::size_t i = 0; i < ext.size(); ++i) {
+    const VertexId v = ext[i];
+    Candidate child;
+    child.x = cand.x;
+    SortedInsert(&child.x, v);
+    if (use_diameter) marker->Mark(v);
+    for (std::size_t j = i + 1; j < ext.size(); ++j) {
+      const VertexId u = ext[j];
+      if (use_diameter && !marker->IsMarked(u)) continue;
+      child.ext.push_back(u);
+    }
+    if (child.x.size() + child.ext.size() >= options.params.min_size) {
+      children->push_back(std::move(child));
+    }
+  }
+}
+
 /// Shared search over one (already vertex-reduced) local graph.
 class Search {
  public:
@@ -120,7 +220,19 @@ class Search {
         scratch_(graph),
         covered_(graph.NumVertices(), false),
         collector_(k == 0 ? 1 : k),
-        neighbor_epoch_(graph.NumVertices(), 0) {}
+        marker_(graph) {}
+
+  /// Stops the search (without error) once this many candidates have
+  /// been processed; the decomposed search's primer pass uses it to run
+  /// a deterministic sequential prefix.
+  void set_soft_limit(std::uint64_t limit) { soft_limit_ = limit; }
+
+  /// Whether Run stopped at the soft limit with work left.
+  bool stopped_early() const { return stopped_early_; }
+
+  /// Coverage found so far, as a mask over the local vertex ids.
+  const std::vector<bool>& covered_mask() const { return covered_; }
+  VertexId covered_count() const { return covered_count_; }
 
   Status Run() {
     const VertexId n = graph_.NumVertices();
@@ -133,6 +245,10 @@ class Search {
     work.push_back(std::move(root));
 
     while (!work.empty()) {
+      if (soft_limit_ != 0 && stats_->candidates_processed >= soft_limit_) {
+        stopped_early_ = true;
+        return Status::OK();
+      }
       Candidate cand;
       if (options_.order == SearchOrder::kBfs) {
         cand = std::move(work.front());
@@ -202,27 +318,7 @@ class Search {
   }
 
   std::vector<VertexSet> TakeMaximal() {
-    // Drop reported sets contained in another reported set; every maximal
-    // satisfying set is reported, so survivors are exactly the maximal
-    // ones.
-    std::sort(reported_.begin(), reported_.end(),
-              [](const VertexSet& a, const VertexSet& b) {
-                if (a.size() != b.size()) return a.size() > b.size();
-                return a < b;
-              });
-    reported_.erase(std::unique(reported_.begin(), reported_.end()),
-                    reported_.end());
-    std::vector<VertexSet> keep;
-    for (auto& q : reported_) {
-      bool dominated = false;
-      for (const auto& big : keep) {
-        if (big.size() > q.size() && SortedIsSubset(q, big)) {
-          dominated = true;
-          break;
-        }
-      }
-      if (!dominated) keep.push_back(std::move(q));
-    }
+    std::vector<VertexSet> keep = FilterMaximal(std::move(reported_));
     stats_->sets_reported = keep.size();
     return keep;
   }
@@ -273,48 +369,14 @@ class Search {
 
   void ExpandChildren(const Candidate& cand, const VertexSet& ext,
                       std::deque<Candidate>* work) {
-    const bool use_diameter =
-        options_.enable_diameter_filter && options_.params.gamma >= 0.5;
     std::vector<Candidate> children;
-    children.reserve(ext.size());
-    for (std::size_t i = 0; i < ext.size(); ++i) {
-      const VertexId v = ext[i];
-      Candidate child;
-      child.x = cand.x;
-      SortedInsert(&child.x, v);
-      if (use_diameter) MarkWithinTwoHops(v);
-      for (std::size_t j = i + 1; j < ext.size(); ++j) {
-        const VertexId u = ext[j];
-        if (use_diameter && neighbor_epoch_[u] != current_epoch_) continue;
-        child.ext.push_back(u);
-      }
-      if (child.x.size() + child.ext.size() >= options_.params.min_size) {
-        children.push_back(std::move(child));
-      }
-    }
+    BuildChildren(cand, ext, options_, &marker_, &children);
     if (options_.order == SearchOrder::kBfs) {
       for (auto& c : children) work->push_back(std::move(c));
     } else {
       // Stack: push in reverse so the first child is expanded first.
       for (auto it = children.rbegin(); it != children.rend(); ++it) {
         work->push_back(std::move(*it));
-      }
-    }
-  }
-
-  /// Stamps every vertex within graph distance <= 2 of v. Sound filter for
-  /// gamma >= 0.5: any two members of a satisfying set are within two hops
-  /// inside the set, hence within two hops in the graph.
-  void MarkWithinTwoHops(VertexId v) {
-    ++current_epoch_;
-    if (current_epoch_ == 0) {  // Wrapped: re-zero.
-      std::fill(neighbor_epoch_.begin(), neighbor_epoch_.end(), 0);
-      current_epoch_ = 1;
-    }
-    for (VertexId u : graph_.Neighbors(v)) {
-      neighbor_epoch_[u] = current_epoch_;
-      for (VertexId w : graph_.Neighbors(u)) {
-        neighbor_epoch_[w] = current_epoch_;
       }
     }
   }
@@ -330,8 +392,548 @@ class Search {
   VertexId covered_count_ = 0;           // kCoverage
   TopKCollector collector_;              // kTopK
 
-  std::vector<std::uint32_t> neighbor_epoch_;  // diameter filter scratch
-  std::uint32_t current_epoch_ = 0;
+  TwoHopMarker marker_;  // diameter filter scratch
+  std::uint64_t soft_limit_ = 0;
+  bool stopped_early_ = false;
+};
+
+/// Decomposed (intra-parallel) search over one (already vertex-reduced)
+/// local graph; see the header's file comment for the contract.
+///
+/// Determinism: the decomposition into branch tasks is a pure function of
+/// (graph, options) — the ThreadPool/ParallelismBudget only choose where
+/// each task executes — and every task accumulates its own MinerStats and
+/// discoveries, merged in task-key order at the end.
+///
+/// Maximal mode has no cross-branch state, so its decomposition is
+/// fire-and-forget fork/join (RunBranch). Coverage mode's pruning power
+/// lives in the shared covered set, so it decomposes into *wave nodes*
+/// (CoverageWaveNode): coverage is exchanged only at deterministic wave
+/// barriers, never through live shared state, which may process more
+/// candidates than the sequential search but exactly the same number at
+/// every thread count.
+class ParallelSearch {
+ public:
+  ParallelSearch(const Graph& graph, const QuasiCliqueMinerOptions& options,
+                 Mode mode, ThreadPool* pool, ParallelismBudget* budget,
+                 MinerStats* stats)
+      : graph_(graph),
+        options_(options),
+        mode_(mode),
+        pool_(pool),
+        budget_(budget),
+        stats_(stats),
+        prototype_(graph),
+        covered_(graph.NumVertices(), false) {
+    SCPM_CHECK(mode_ != Mode::kTopK)
+        << "top-k pruning is traversal-order dependent";
+    arenas_.resize(pool_ != nullptr ? pool_->num_threads() + 1 : 1);
+  }
+
+  Status Run() {
+    const VertexId n = graph_.NumVertices();
+    if (n < options_.params.min_size) return Status::OK();
+
+    Candidate root;
+    root.ext.resize(n);
+    for (VertexId v = 0; v < n; ++v) root.ext[v] = v;
+
+    if (mode_ == Mode::kCoverage) {
+      std::vector<bool> running(n, false);
+      VertexId running_count = 0;
+      bool decompose = true;
+      if (options_.coverage_primer_candidates != 0) {
+        // Deterministic sequential primer: the exact sequential search,
+        // stopped after a fixed candidate budget, whose coverage seeds
+        // the whole decomposed tree. Searches that finish inside the
+        // primer skip decomposition (and its overheads) entirely. Its
+        // result sorts first, under the empty key.
+        TaskResult primer_result;
+        primer_result.stats.branch_tasks = 1;
+        Search primer(graph_, options_, Mode::kCoverage, 0,
+                      &primer_result.stats);
+        primer.set_soft_limit(options_.coverage_primer_candidates);
+        SCPM_RETURN_IF_ERROR(primer.Run());
+        running = primer.covered_mask();
+        running_count = primer.covered_count();
+        decompose = primer.stopped_early() && running_count < n;
+        // Pre-charge the shared budget counter: max_candidates caps the
+        // primer and the decomposed phase together, exactly as it caps
+        // the one sequential search they replace.
+        shared_candidates_.store(primer_result.stats.candidates_processed);
+        results_.push_back(std::move(primer_result));
+      }
+      if (decompose) {
+        CoverageWaveNode(std::move(root), 0, {0}, &running, &running_count);
+      }
+      for (VertexId v = 0; v < n; ++v) {
+        if (running[v]) covered_[v] = true;
+      }
+    } else {
+      BranchTask task;
+      task.key = {0};
+      task.root = std::move(root);
+      SpawnOrRun(std::move(task));
+      if (pool_ != nullptr) pool_->WaitFor(&group_);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!first_error_.ok()) return first_error_;
+    }
+    // Key-ordered merge: lexicographic task keys reproduce the order in
+    // which the subtrees were split off, independent of completion order.
+    std::sort(results_.begin(), results_.end(),
+              [](const TaskResult& a, const TaskResult& b) {
+                return a.key < b.key;
+              });
+    for (TaskResult& r : results_) {
+      stats_->MergeFrom(r.stats);
+      for (VertexSet& q : r.reported) reported_.push_back(std::move(q));
+    }
+    return Status::OK();
+  }
+
+  std::vector<VertexSet> TakeMaximal() {
+    std::vector<VertexSet> keep = FilterMaximal(std::move(reported_));
+    stats_->sets_reported = keep.size();
+    return keep;
+  }
+
+  VertexSet TakeCoverage() const {
+    VertexSet out;
+    for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+      if (covered_[v]) out.push_back(v);
+    }
+    return out;
+  }
+
+ private:
+  /// One maximal-mode branch task: a subtree root, its key, its depth.
+  struct BranchTask {
+    std::vector<std::uint32_t> key;
+    Candidate root;
+    std::uint32_t depth = 0;
+  };
+
+  /// What one branch task produced, tagged with its key for the merge.
+  /// Coverage results are not stored here: each wave node's coverage
+  /// folds into its parent's running set at the wave barrier, so the
+  /// root call's running set — folded into covered_ by Run — already
+  /// holds the union, and keeping per-task masks alive until the merge
+  /// would cost O(tasks x n) memory for nothing.
+  struct TaskResult {
+    std::vector<std::uint32_t> key;
+    MinerStats stats;
+    std::vector<VertexSet> reported;  // kMaximal
+  };
+
+  /// Per-worker mutable search state; no branch task ever touches another
+  /// worker's arena. The CandidateScratch clones the prototype, sharing
+  /// its immutable adjacency bitset.
+  struct WorkerArena {
+    WorkerArena(const CandidateScratch& prototype, const Graph& graph)
+        : scratch(prototype), marker(graph) {}
+    CandidateScratch scratch;
+    TwoHopMarker marker;
+  };
+
+  /// Executes `task` as a pool task when a budget slot is free, inline on
+  /// the calling thread otherwise. Inline recursion is bounded by
+  /// spawn_depth: only candidates shallower than it decompose children.
+  void SpawnOrRun(BranchTask task) {
+    if (pool_ != nullptr && budget_ != nullptr && budget_->TryAcquire()) {
+      auto boxed = std::make_shared<BranchTask>(std::move(task));
+      pool_->Spawn(&group_, [this, boxed] {
+        RunBranch(std::move(*boxed));
+        budget_->Release();
+      });
+    } else {
+      RunBranch(std::move(task));
+    }
+  }
+
+  /// The arena of the pool worker running the current task; slot 0 is the
+  /// initiating thread (inline execution outside the pool).
+  WorkerArena& Arena() {
+    const int index = pool_ != nullptr ? pool_->current_worker_index() : -1;
+    const std::size_t slot = static_cast<std::size_t>(index + 1);
+    std::lock_guard<std::mutex> lock(arena_mutex_);
+    if (arenas_[slot] == nullptr) {
+      arenas_[slot] = std::make_unique<WorkerArena>(prototype_, graph_);
+    }
+    return *arenas_[slot];
+  }
+
+  void RecordError(Status status) {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (first_error_.ok()) first_error_ = std::move(status);
+    has_error_.store(true);
+  }
+
+  static bool AllCovered(const Candidate& cand,
+                         const std::vector<bool>& covered) {
+    for (VertexId v : cand.x) {
+      if (!covered[v]) return false;
+    }
+    for (VertexId v : cand.ext) {
+      if (!covered[v]) return false;
+    }
+    return true;
+  }
+
+  /// Marks the vertices of a discovered satisfying set as covered.
+  static void Cover(const VertexSet& q, std::vector<bool>* covered,
+                    VertexId* covered_count) {
+    for (VertexId v : q) {
+      if (!(*covered)[v]) {
+        (*covered)[v] = true;
+        ++*covered_count;
+      }
+    }
+  }
+
+  /// A spawned wave subtask's private coverage state: seeded from the
+  /// parent node's covered set at the wave's start, written only by that
+  /// subtask, folded back in slot order at the wave barrier.
+  struct WaveSlot {
+    std::vector<bool> covered;
+    VertexId count = 0;
+  };
+
+  /// One coverage-mode candidate step, shared by every coverage loop:
+  /// the budget check, coverage pruning, analysis, and verdict handling
+  /// (following critical-vertex jumps inline). Returns true when the
+  /// candidate expands, with its children in `children`; false when the
+  /// subtree resolved (or an error was recorded). Keeping this in one
+  /// place is what keeps the decomposed loops in counter lock-step.
+  bool CoverageStep(Candidate cand, WorkerArena* arena, MinerStats* stats,
+                    std::vector<bool>* covered, VertexId* covered_count,
+                    std::vector<Candidate>* children) {
+    const VertexId n = graph_.NumVertices();
+    while (!has_error_.load()) {
+      ++stats->candidates_processed;
+      if (options_.max_candidates != 0 &&
+          shared_candidates_.fetch_add(1) + 1 > options_.max_candidates) {
+        RecordError(Status::OutOfRange("candidate budget exceeded"));
+        return false;
+      }
+      if (*covered_count == n) return false;
+      if (AllCovered(cand, *covered)) {
+        ++stats->pruned_by_coverage;
+        return false;
+      }
+      CandidateAnalysis analysis = arena->scratch.Analyze(
+          cand, options_.params, options_.enable_size_bound,
+          options_.enable_lookahead, options_.enable_critical_vertex);
+      if (analysis.verdict == CandidateVerdict::kPrune) {
+        ++stats->pruned_by_analysis;
+        return false;
+      }
+      if (analysis.verdict == CandidateVerdict::kLookahead) {
+        ++stats->lookahead_hits;
+        VertexSet whole;
+        SortedUnion(cand.x, analysis.pruned_ext, &whole);
+        Cover(whole, covered, covered_count);
+        return false;
+      }
+      if (!analysis.forced.empty()) {
+        ++stats->critical_vertex_jumps;
+        Candidate jump;
+        SortedUnion(cand.x, analysis.forced, &jump.x);
+        SortedDifference(analysis.pruned_ext, analysis.forced, &jump.ext);
+        cand = std::move(jump);
+        continue;
+      }
+      if (analysis.x_is_satisfying) {
+        Cover(cand.x, covered, covered_count);
+      }
+      BuildChildren(cand, analysis.pruned_ext, options_, &arena->marker,
+                    children);
+      return true;
+    }
+    return false;
+  }
+
+  /// Coverage-mode wave node. Set-enumeration trees are first-child
+  /// heavy, and in the sequential DFS it is the first child's subtree
+  /// whose coverage makes every later sibling cheap — so the node first
+  /// descends the first-child chain inline (collecting each level's
+  /// remaining siblings), then unwinds from the deepest level up,
+  /// running each level's siblings in fixed-size waves: siblings with
+  /// large extension lists become parallel subtasks seeded with the
+  /// coverage known when their wave starts (further wave nodes while
+  /// shallower than spawn_depth, sequential leaf tasks otherwise), small
+  /// siblings run inline against the live covered set. Each wave's
+  /// discoveries fold back into `covered` at a barrier before the next
+  /// wave. With wave size 1 this replays the sequential DFS exactly;
+  /// larger waves lose coverage pruning only between same-wave siblings.
+  /// Chain, wave boundaries, seeds, and the task split depend only on
+  /// the input, so output and counters are thread-count-independent.
+  void CoverageWaveNode(Candidate cand, std::uint32_t depth,
+                        std::vector<std::uint32_t> key,
+                        std::vector<bool>* covered, VertexId* covered_count) {
+    TaskResult result;
+    result.key = std::move(key);
+    result.stats.branch_tasks = 1;
+    const VertexId n = graph_.NumVertices();
+
+    // Descend the first-child chain (staying on critical-vertex jump
+    // candidates within a level).
+    struct Level {
+      std::vector<Candidate> siblings;
+      std::uint32_t depth = 0;
+    };
+    std::vector<Level> levels;
+    std::uint32_t cur_depth = depth;
+    WorkerArena& arena = Arena();
+    std::vector<Candidate> children;
+    while (CoverageStep(std::move(cand), &arena, &result.stats, covered,
+                        covered_count, &children) &&
+           !children.empty()) {
+      Level level;
+      level.depth = cur_depth + 1;
+      level.siblings.assign(std::make_move_iterator(children.begin() + 1),
+                            std::make_move_iterator(children.end()));
+      cand = std::move(children.front());
+      levels.push_back(std::move(level));
+      ++cur_depth;
+    }
+
+    // Unwind: deepest siblings first (the sequential DFS visit order),
+    // each level's siblings in waves seeded with all coverage so far.
+    const std::uint32_t wave =
+        std::max<std::uint32_t>(1, options_.coverage_wave);
+    for (std::size_t li = levels.size(); li-- > 0;) {
+      Level& level = levels[li];
+      if (*covered_count == n || has_error_.load()) break;
+      for (std::size_t begin = 0; begin < level.siblings.size();
+           begin += wave) {
+        if (*covered_count == n || has_error_.load()) break;
+        const std::size_t end = std::min(level.siblings.size(), begin + wave);
+        std::vector<WaveSlot> slots(end - begin);
+        ThreadPool::TaskGroup wave_group;
+        for (std::size_t c = begin; c < end; ++c) {
+          Candidate& sibling = level.siblings[c];
+          if (sibling.ext.size() >= options_.min_spawn_ext) {
+            std::vector<std::uint32_t> child_key = result.key;
+            child_key.push_back(static_cast<std::uint32_t>(li));
+            child_key.push_back(static_cast<std::uint32_t>(c + 1));
+            WaveSlot* slot = &slots[c - begin];
+            slot->covered = *covered;
+            slot->count = *covered_count;
+            DispatchCoverageTask(std::move(sibling), level.depth,
+                                 std::move(child_key), &wave_group, slot);
+          } else {
+            // Small subtree: not worth a task; runs right here against
+            // the live covered set, accounted to this node.
+            CoverageSubtreeLoop(std::move(sibling), covered, covered_count,
+                                &result.stats);
+          }
+        }
+        if (pool_ != nullptr) pool_->WaitFor(&wave_group);
+        // Fold the wave's discoveries into the next wave's seed, in slot
+        // order (union is commutative, so any order gives the same set).
+        for (const WaveSlot& slot : slots) {
+          for (std::size_t v = 0; v < slot.covered.size(); ++v) {
+            if (slot.covered[v] && !(*covered)[v]) {
+              (*covered)[v] = true;
+              ++*covered_count;
+            }
+          }
+        }
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(results_mutex_);
+    results_.push_back(std::move(result));
+  }
+
+  /// Runs one wave child as a subtask — a further wave node while
+  /// shallower than spawn_depth, the plain sequential loop otherwise —
+  /// on the pool when a budget slot is free, inline otherwise.
+  void DispatchCoverageTask(Candidate child, std::uint32_t depth,
+                            std::vector<std::uint32_t> key,
+                            ThreadPool::TaskGroup* group, WaveSlot* slot) {
+    auto body = [this, depth, slot, child = std::move(child),
+                 key = std::move(key)]() mutable {
+      if (depth < options_.spawn_depth) {
+        CoverageWaveNode(std::move(child), depth, std::move(key),
+                         &slot->covered, &slot->count);
+        return;
+      }
+      TaskResult result;
+      result.key = std::move(key);
+      result.stats.branch_tasks = 1;
+      CoverageSubtreeLoop(std::move(child), &slot->covered, &slot->count,
+                          &result.stats);
+      std::lock_guard<std::mutex> lock(results_mutex_);
+      results_.push_back(std::move(result));
+    };
+    if (pool_ != nullptr && budget_ != nullptr && budget_->TryAcquire()) {
+      pool_->Spawn(group, [this, body = std::move(body)]() mutable {
+        body();
+        budget_->Release();
+      });
+    } else {
+      body();
+    }
+  }
+
+  /// Sequential exploration of one whole subtree against `covered`: the
+  /// leaf layer of the decomposed coverage search, and the inline path
+  /// for subtrees too small to be tasks.
+  void CoverageSubtreeLoop(Candidate root, std::vector<bool>* covered,
+                           VertexId* covered_count, MinerStats* stats) {
+    WorkerArena& arena = Arena();
+    std::deque<Candidate> work;
+    work.push_back(std::move(root));
+    std::vector<Candidate> children;
+    while (!work.empty()) {
+      if (has_error_.load()) return;
+      Candidate cand;
+      if (options_.order == SearchOrder::kBfs) {
+        cand = std::move(work.front());
+        work.pop_front();
+      } else {
+        cand = std::move(work.back());
+        work.pop_back();
+      }
+      if (!CoverageStep(std::move(cand), &arena, stats, covered,
+                        covered_count, &children)) {
+        continue;
+      }
+      if (options_.order == SearchOrder::kBfs) {
+        for (auto& c : children) work.push_back(std::move(c));
+      } else {
+        // Stack: push in reverse so the first child is expanded first.
+        for (auto it = children.rbegin(); it != children.rend(); ++it) {
+          work.push_back(std::move(*it));
+        }
+      }
+    }
+  }
+
+  /// Maximal-mode task body: the sequential candidate loop over this
+  /// subtree, except that candidates shallower than spawn_depth hand
+  /// their large children to new branch tasks instead of their own
+  /// deque. Maximal mode has no cross-branch pruning, so fire-and-forget
+  /// decomposition (no barriers) is exact.
+  void RunBranch(BranchTask task) {
+    TaskResult result;
+    result.key = std::move(task.key);
+    result.stats.branch_tasks = 1;
+    std::uint32_t child_seq = 0;
+
+    WorkerArena& arena = Arena();
+
+    struct WorkItem {
+      Candidate cand;
+      std::uint32_t depth = 0;
+    };
+    std::deque<WorkItem> work;
+    work.push_back({std::move(task.root), task.depth});
+
+    std::vector<Candidate> children;
+    while (!work.empty()) {
+      if (has_error_.load()) return;
+      WorkItem item;
+      if (options_.order == SearchOrder::kBfs) {
+        item = std::move(work.front());
+        work.pop_front();
+      } else {
+        item = std::move(work.back());
+        work.pop_back();
+      }
+      ++result.stats.candidates_processed;
+      if (options_.max_candidates != 0 &&
+          shared_candidates_.fetch_add(1) + 1 > options_.max_candidates) {
+        RecordError(Status::OutOfRange("candidate budget exceeded"));
+        return;
+      }
+
+      CandidateAnalysis analysis = arena.scratch.Analyze(
+          item.cand, options_.params, options_.enable_size_bound,
+          options_.enable_lookahead, options_.enable_critical_vertex);
+      if (analysis.verdict == CandidateVerdict::kPrune) {
+        ++result.stats.pruned_by_analysis;
+        continue;
+      }
+      if (analysis.verdict == CandidateVerdict::kLookahead) {
+        ++result.stats.lookahead_hits;
+        VertexSet whole;
+        SortedUnion(item.cand.x, analysis.pruned_ext, &whole);
+        result.reported.push_back(std::move(whole));
+        continue;
+      }
+      if (!analysis.forced.empty()) {
+        ++result.stats.critical_vertex_jumps;
+        Candidate jump;
+        SortedUnion(item.cand.x, analysis.forced, &jump.x);
+        SortedDifference(analysis.pruned_ext, analysis.forced, &jump.ext);
+        work.push_back({std::move(jump), item.depth});
+        continue;
+      }
+      if (analysis.x_is_satisfying) {
+        result.reported.push_back(item.cand.x);
+      }
+
+      // Deterministic split of the children: shallow candidates send
+      // every child with a large enough extension list off as a subtask
+      // (keyed by decomposition order); everything else continues in
+      // this task's deque.
+      BuildChildren(item.cand, analysis.pruned_ext, options_, &arena.marker,
+                    &children);
+      const bool decompose = item.depth < options_.spawn_depth;
+      std::vector<Candidate> local;
+      for (Candidate& child : children) {
+        if (decompose && child.ext.size() >= options_.min_spawn_ext) {
+          BranchTask sub;
+          sub.key = result.key;
+          sub.key.push_back(child_seq++);
+          sub.root = std::move(child);
+          sub.depth = item.depth + 1;
+          SpawnOrRun(std::move(sub));
+        } else {
+          local.push_back(std::move(child));
+        }
+      }
+      if (options_.order == SearchOrder::kBfs) {
+        for (auto& c : local) work.push_back({std::move(c), item.depth + 1});
+      } else {
+        // Stack: push in reverse so the first child is expanded first.
+        for (auto it = local.rbegin(); it != local.rend(); ++it) {
+          work.push_back({std::move(*it), item.depth + 1});
+        }
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(results_mutex_);
+    results_.push_back(std::move(result));
+  }
+
+  const Graph& graph_;
+  const QuasiCliqueMinerOptions& options_;
+  Mode mode_;
+  ThreadPool* pool_;
+  ParallelismBudget* budget_;
+  MinerStats* stats_;
+
+  CandidateScratch prototype_;  // adjacency bits shared into the arenas
+  std::mutex arena_mutex_;
+  std::vector<std::unique_ptr<WorkerArena>> arenas_;
+
+  ThreadPool::TaskGroup group_;
+  std::mutex results_mutex_;
+  std::vector<TaskResult> results_;
+
+  std::mutex error_mutex_;
+  Status first_error_;
+  std::atomic<bool> has_error_{false};
+  std::atomic<std::uint64_t> shared_candidates_{0};  // max_candidates only
+
+  std::vector<VertexSet> reported_;  // kMaximal, after the merge
+  std::vector<bool> covered_;        // kCoverage, after the merge
 };
 
 /// Applies vertex reduction and returns the working subgraph.
@@ -362,9 +964,17 @@ Result<std::vector<VertexSet>> QuasiCliqueMiner::MineMaximal(
   stats_ = MinerStats{};
   Result<InducedSubgraph> sub = Reduce(graph, options_, workspace_);
   if (!sub.ok()) return sub.status();
-  Search search(sub->graph(), options_, Mode::kMaximal, 0, &stats_);
-  SCPM_RETURN_IF_ERROR(search.Run());
-  std::vector<VertexSet> local = search.TakeMaximal();
+  std::vector<VertexSet> local;
+  if (options_.spawn_depth > 0) {
+    ParallelSearch search(sub->graph(), options_, Mode::kMaximal, pool_,
+                          budget_, &stats_);
+    SCPM_RETURN_IF_ERROR(search.Run());
+    local = search.TakeMaximal();
+  } else {
+    Search search(sub->graph(), options_, Mode::kMaximal, 0, &stats_);
+    SCPM_RETURN_IF_ERROR(search.Run());
+    local = search.TakeMaximal();
+  }
   std::vector<VertexSet> out;
   out.reserve(local.size());
   for (const VertexSet& q : local) out.push_back(sub->ToGlobal(q));
@@ -377,9 +987,17 @@ Result<VertexSet> QuasiCliqueMiner::MineCoverage(const Graph& graph) {
   stats_ = MinerStats{};
   Result<InducedSubgraph> sub = Reduce(graph, options_, workspace_);
   if (!sub.ok()) return sub.status();
-  Search search(sub->graph(), options_, Mode::kCoverage, 0, &stats_);
-  SCPM_RETURN_IF_ERROR(search.Run());
-  VertexSet covered = sub->ToGlobal(search.TakeCoverage());
+  VertexSet covered;
+  if (options_.spawn_depth > 0) {
+    ParallelSearch search(sub->graph(), options_, Mode::kCoverage, pool_,
+                          budget_, &stats_);
+    SCPM_RETURN_IF_ERROR(search.Run());
+    covered = sub->ToGlobal(search.TakeCoverage());
+  } else {
+    Search search(sub->graph(), options_, Mode::kCoverage, 0, &stats_);
+    SCPM_RETURN_IF_ERROR(search.Run());
+    covered = sub->ToGlobal(search.TakeCoverage());
+  }
   Release(workspace_, std::move(sub).value());
   return covered;
 }

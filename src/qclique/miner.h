@@ -12,6 +12,18 @@
 // BFS (queue) and DFS (stack) candidate orders are both supported
 // (paper §3.2.2); they are equivalent in output for MineMaximal and
 // MineCoverage and only differ in traversal cost.
+//
+// Intra-search parallelism (Galois kcl-style): with spawn_depth > 0 the
+// candidate-extension tree is *decomposed* into branch tasks — every
+// branch within spawn_depth of the root whose extension list is large
+// enough becomes its own task with its own key, scratch arena, and
+// MinerStats — and *executed* adaptively: a task runs on the attached
+// work-stealing ThreadPool when a ParallelismBudget slot is free, inline
+// otherwise. Decomposition depends only on the graph and the options,
+// never on thread count or timing, and per-task results are merged in
+// key order, so output and stats are identical for any thread count
+// (including no pool at all). MineTopK always searches sequentially: its
+// §3.2.3 dynamic min-size pruning depends on the traversal order.
 
 #ifndef SCPM_QCLIQUE_MINER_H_
 #define SCPM_QCLIQUE_MINER_H_
@@ -27,7 +39,9 @@
 
 namespace scpm {
 
+class ParallelismBudget;
 class SubgraphWorkspace;
+class ThreadPool;
 
 /// Order in which candidate quasi-cliques are expanded (paper §3.2.2).
 enum class SearchOrder {
@@ -57,10 +71,41 @@ struct QuasiCliqueMinerOptions {
   /// Abort with an error after this many candidates (0 = unlimited).
   std::uint64_t max_candidates = 0;
 
+  /// Intra-search parallel decomposition depth: candidate-tree branches
+  /// within this many levels of the search root become their own branch
+  /// tasks (0 = classic sequential search). Decomposition is purely a
+  /// function of the graph and these options, so results and stats do
+  /// not depend on whether (or where) tasks actually run in parallel.
+  /// Ignored by MineTopK (see the file comment).
+  std::uint32_t spawn_depth = 0;
+  /// Branches with fewer candidate extensions than this are never worth
+  /// a task of their own; they stay inline in their parent task. The
+  /// default keeps tasks to thousands of candidates each — small enough
+  /// to balance, large enough that task bookkeeping stays in the noise.
+  std::uint32_t min_spawn_ext = 32;
+  /// Decomposed coverage searches first run the plain sequential search
+  /// for this many candidates and seed every branch task with the
+  /// coverage it found: cross-task sharing of live covered sets would
+  /// make counters timing-dependent, so coverage is shared only at
+  /// deterministic points. A search finishing within the budget skips
+  /// decomposition. 0 disables the primer.
+  std::uint64_t coverage_primer_candidates = 4096;
+  /// Decomposed coverage searches process each node's children in waves
+  /// of this many tasks with a barrier between waves; each wave is
+  /// seeded with the union of all coverage found before it (a
+  /// deterministic merge), so coverage pruning is lost only between
+  /// same-wave siblings. The sequential search is the wave-size-1 limit;
+  /// larger waves trade pruning for parallelism. Waves nest per
+  /// decomposition level, so concurrency scales like wave^spawn_depth.
+  std::uint32_t coverage_wave = 8;
+
   Status Validate() const;
 };
 
-/// Search-effort counters from the most recent mining call.
+/// Search-effort counters from the most recent mining call. In a
+/// decomposed (intra-parallel) search each branch task accumulates its
+/// own MinerStats, merged in task-key order at the end — never through
+/// shared atomics — so the totals are exact and thread-count-independent.
 struct MinerStats {
   std::uint64_t candidates_processed = 0;
   std::uint64_t pruned_by_analysis = 0;
@@ -69,6 +114,12 @@ struct MinerStats {
   std::uint64_t lookahead_hits = 0;
   std::uint64_t critical_vertex_jumps = 0;
   std::uint64_t sets_reported = 0;
+  /// Branch tasks the search was decomposed into (0 on the sequential
+  /// path). Deterministic: decomposition does not depend on execution.
+  std::uint64_t branch_tasks = 0;
+
+  /// Key-ordered accumulation of one branch task's counters.
+  void MergeFrom(const MinerStats& other);
 };
 
 /// A top-k entry: the vertex set plus its ranking keys.
@@ -109,10 +160,25 @@ class QuasiCliqueMiner {
   /// workspace).
   void set_workspace(SubgraphWorkspace* workspace) { workspace_ = workspace; }
 
+  /// Attaches the pool and slot budget that execute decomposed branch
+  /// tasks (both borrowed; may be null). With spawn_depth > 0 and no
+  /// pool the search is still decomposed — byte-identical output and
+  /// stats — but every task runs inline on the calling thread.
+  void set_parallel_context(ThreadPool* pool, ParallelismBudget* budget) {
+    pool_ = pool;
+    budget_ = budget;
+  }
+
+  /// Adjusts the decomposition depth between Mine* calls (the adaptive
+  /// SCPM policy flips it per evaluation based on |G(S)|).
+  void set_spawn_depth(std::uint32_t depth) { options_.spawn_depth = depth; }
+
  private:
   QuasiCliqueMinerOptions options_;
   MinerStats stats_;
   SubgraphWorkspace* workspace_ = nullptr;
+  ThreadPool* pool_ = nullptr;
+  ParallelismBudget* budget_ = nullptr;
 };
 
 }  // namespace scpm

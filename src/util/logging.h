@@ -13,7 +13,13 @@
 
 namespace scpm {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4
+};
 
 /// Process-wide minimum level actually emitted (default kInfo).
 void SetLogLevel(LogLevel level);

@@ -31,6 +31,22 @@ class ScopedSleeper {
 
 }  // namespace
 
+bool ParallelismBudget::TryAcquire() {
+  std::size_t free = slots_.load(std::memory_order_relaxed);
+  while (free > 0) {
+    if (slots_.compare_exchange_weak(free, free - 1,
+                                     std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ParallelismBudget::Release() {
+  slots_.fetch_add(1, std::memory_order_release);
+}
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);

@@ -32,6 +32,39 @@
 
 namespace scpm {
 
+/// Cooperative cap on how many extra tasks a recursive computation may
+/// keep outstanding on a pool at once. A computation that wants to fork a
+/// subtask calls TryAcquire; on success it spawns and must Release when
+/// the subtask finishes, on failure it runs the subtask inline. Sharing
+/// one budget between sibling computations makes parallelism adaptive:
+/// whichever computation currently has work grabs the slots, and a
+/// computation whose subtasks finish returns them to its siblings.
+///
+/// The budget only shapes *where* work executes (pool vs. inline), never
+/// *what* work exists, so callers that decompose work deterministically
+/// stay deterministic no matter how acquisition races resolve.
+class ParallelismBudget {
+ public:
+  explicit ParallelismBudget(std::size_t slots) : slots_(slots) {}
+  ParallelismBudget(const ParallelismBudget&) = delete;
+  ParallelismBudget& operator=(const ParallelismBudget&) = delete;
+
+  /// Borrows one slot; returns false (and borrows nothing) when none are
+  /// free. Never blocks.
+  bool TryAcquire();
+
+  /// Returns a previously acquired slot.
+  void Release();
+
+  /// Currently free slots (racy; for tests and diagnostics).
+  std::size_t available() const {
+    return slots_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::size_t> slots_;
+};
+
 /// Fixed set of worker threads with per-worker stealing deques.
 class ThreadPool {
  public:

@@ -15,6 +15,7 @@
 #include "qclique/quasi_clique.h"
 #include "util/random.h"
 #include "util/sorted_ops.h"
+#include "util/thread_pool.h"
 
 namespace scpm {
 namespace {
@@ -427,6 +428,181 @@ TEST(MinerTest, CriticalVertexJumpsReduceCandidates) {
   EXPECT_EQ(got, want);
   EXPECT_LE(miner_with.stats().candidates_processed,
             miner_without.stats().candidates_processed);
+}
+
+// ------------------------------------------- intra-search parallelism
+
+/// Aggressive decomposition knobs so the tiny test graphs genuinely
+/// exercise branch tasks, waves, and the primer hand-off.
+QuasiCliqueMinerOptions IntraOpts(double gamma, std::uint32_t min_size) {
+  QuasiCliqueMinerOptions o = Opts(gamma, min_size);
+  o.spawn_depth = 6;
+  o.min_spawn_ext = 3;
+  o.coverage_wave = 3;
+  o.coverage_primer_candidates = 40;
+  return o;
+}
+
+void ExpectStatsEqual(const MinerStats& a, const MinerStats& b) {
+  EXPECT_EQ(a.candidates_processed, b.candidates_processed);
+  EXPECT_EQ(a.pruned_by_analysis, b.pruned_by_analysis);
+  EXPECT_EQ(a.pruned_by_coverage, b.pruned_by_coverage);
+  EXPECT_EQ(a.pruned_by_topk, b.pruned_by_topk);
+  EXPECT_EQ(a.lookahead_hits, b.lookahead_hits);
+  EXPECT_EQ(a.critical_vertex_jumps, b.critical_vertex_jumps);
+  EXPECT_EQ(a.sets_reported, b.sets_reported);
+  EXPECT_EQ(a.branch_tasks, b.branch_tasks);
+}
+
+/// Mines `graph` with the decomposed search inline, then on pools of 2
+/// and 8 workers: output must equal the sequential search's, and stats
+/// must be identical across all three execution shapes.
+void ExpectIntraSearchMatchesSequential(const Graph& graph,
+                                        QuasiCliqueMinerOptions intra,
+                                        bool expect_decomposition = true) {
+  QuasiCliqueMinerOptions sequential = intra;
+  sequential.spawn_depth = 0;
+  QuasiCliqueMiner reference(sequential);
+  Result<std::vector<VertexSet>> want_maximal = reference.MineMaximal(graph);
+  ASSERT_TRUE(want_maximal.ok()) << want_maximal.status();
+  Result<VertexSet> want_coverage = reference.MineCoverage(graph);
+  ASSERT_TRUE(want_coverage.ok());
+
+  QuasiCliqueMiner inline_miner(intra);
+  Result<std::vector<VertexSet>> got = inline_miner.MineMaximal(graph);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, *want_maximal);
+  const MinerStats inline_maximal_stats = inline_miner.stats();
+  EXPECT_EQ(*inline_miner.MineCoverage(graph), *want_coverage);
+  const MinerStats inline_coverage_stats = inline_miner.stats();
+  if (expect_decomposition) {
+    EXPECT_GT(inline_coverage_stats.branch_tasks, 0u);
+  }
+
+  for (std::size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    ParallelismBudget budget(2 * threads);
+    QuasiCliqueMiner miner(intra);
+    miner.set_parallel_context(&pool, &budget);
+    Result<std::vector<VertexSet>> maximal = miner.MineMaximal(graph);
+    ASSERT_TRUE(maximal.ok()) << maximal.status();
+    EXPECT_EQ(*maximal, *want_maximal) << "threads=" << threads;
+    ExpectStatsEqual(miner.stats(), inline_maximal_stats);
+    Result<VertexSet> coverage = miner.MineCoverage(graph);
+    ASSERT_TRUE(coverage.ok());
+    EXPECT_EQ(*coverage, *want_coverage) << "threads=" << threads;
+    ExpectStatsEqual(miner.stats(), inline_coverage_stats);
+    // Every borrowed slot must have been returned.
+    EXPECT_EQ(budget.available(), 2 * threads);
+  }
+}
+
+class IntraSearchSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntraSearchSweep, MatchesSequentialOnRandomGraphs) {
+  Rng rng(GetParam());
+  Result<Graph> g = ErdosRenyi(24, 0.25, rng);
+  ASSERT_TRUE(g.ok());
+  ExpectIntraSearchMatchesSequential(*g, IntraOpts(0.5, 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntraSearchSweep, ::testing::Range(0, 4));
+
+TEST(IntraSearchTest, AdversarialNearCliqueDeepRecursion) {
+  // A dense near-clique drives the search deep: a 16-clique with a few
+  // edges removed plus a sparse fringe, mined at high gamma, produces
+  // long first-child chains and many critical-vertex jumps.
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < 16; ++u) {
+    for (VertexId v = u + 1; v < 16; ++v) {
+      if ((u + v) % 7 == 0) continue;  // punch holes
+      edges.push_back({u, v});
+    }
+  }
+  for (VertexId v = 16; v < 24; ++v) edges.push_back({v, v % 16});
+  Graph g = MakeGraph(24, std::move(edges));
+  ExpectIntraSearchMatchesSequential(g, IntraOpts(0.85, 5));
+}
+
+TEST(IntraSearchTest, ZeroResultSearch) {
+  // Max degree 2 can never satisfy min_size 6 at gamma 0.9: both phases
+  // must agree on the empty answer without decomposition mishaps.
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < 30; ++v) edges.push_back({v, v + 1});
+  Graph g = MakeGraph(30, std::move(edges));
+  QuasiCliqueMinerOptions o = IntraOpts(0.9, 6);
+  o.coverage_primer_candidates = 1;  // decompose even the trivial search
+  // Vertex reduction peels the whole graph, so no branch task ever runs;
+  // what matters is that the empty answer and zeroed stats agree.
+  ExpectIntraSearchMatchesSequential(g, o, /*expect_decomposition=*/false);
+}
+
+TEST(IntraSearchTest, PrimerFinishingSmallSearchSkipsDecomposition) {
+  Rng rng(8);
+  Result<Graph> g = ErdosRenyi(20, 0.25, rng);
+  ASSERT_TRUE(g.ok());
+  QuasiCliqueMinerOptions o = IntraOpts(0.6, 3);
+  o.coverage_primer_candidates = 1u << 20;  // larger than the search
+  QuasiCliqueMiner sequential(Opts(0.6, 3));
+  QuasiCliqueMiner miner(o);
+  EXPECT_EQ(*miner.MineCoverage(*g), *sequential.MineCoverage(*g));
+  // Only the primer task ran.
+  EXPECT_EQ(miner.stats().branch_tasks, 1u);
+  EXPECT_EQ(miner.stats().candidates_processed,
+            sequential.stats().candidates_processed);
+}
+
+TEST(IntraSearchTest, CandidateBudgetStillEnforced) {
+  Rng rng(3);
+  Result<Graph> g = ErdosRenyi(40, 0.3, rng);
+  ASSERT_TRUE(g.ok());
+  QuasiCliqueMinerOptions o = IntraOpts(0.5, 3);
+  o.max_candidates = 5;
+  ThreadPool pool(4);
+  ParallelismBudget budget(8);
+  QuasiCliqueMiner miner(o);
+  miner.set_parallel_context(&pool, &budget);
+  Result<std::vector<VertexSet>> r = miner.MineMaximal(*g);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  Result<VertexSet> c = miner.MineCoverage(*g);
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(IntraSearchTest, CandidateBudgetCountsPrimerCandidates) {
+  // The primer's candidates count against max_candidates together with
+  // the decomposed phase's, exactly as in the one sequential search they
+  // replace: a budget the primer passes but the whole search exceeds
+  // must still error.
+  Rng rng(3);
+  Result<Graph> g = ErdosRenyi(40, 0.3, rng);
+  ASSERT_TRUE(g.ok());
+  QuasiCliqueMinerOptions o = IntraOpts(0.5, 3);
+  o.coverage_primer_candidates = 10;
+  o.max_candidates = 50;
+  QuasiCliqueMiner miner(o);
+  Result<VertexSet> r = miner.MineCoverage(*g);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(IntraSearchTest, TopKIgnoresSpawnDepth) {
+  Rng rng(5);
+  Result<Graph> g = ErdosRenyi(24, 0.35, rng);
+  ASSERT_TRUE(g.ok());
+  QuasiCliqueMinerOptions o = IntraOpts(0.6, 3);
+  QuasiCliqueMiner sequential(Opts(0.6, 3));
+  QuasiCliqueMiner miner(o);
+  Result<std::vector<RankedQuasiClique>> want = sequential.MineTopK(*g, 3);
+  Result<std::vector<RankedQuasiClique>> got = miner.MineTopK(*g, 3);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), want->size());
+  for (std::size_t i = 0; i < want->size(); ++i) {
+    EXPECT_EQ((*got)[i].vertices, (*want)[i].vertices);
+  }
+  EXPECT_EQ(miner.stats().branch_tasks, 0u);
 }
 
 TEST(MinerTest, CoveragePruningReducesWork) {

@@ -477,6 +477,10 @@ void ExpectIdenticalResults(const ScpmResult& a, const ScpmResult& b) {
   EXPECT_EQ(a.counters.attribute_sets_extended,
             b.counters.attribute_sets_extended);
   EXPECT_EQ(a.counters.coverage_candidates, b.counters.coverage_candidates);
+  EXPECT_EQ(a.counters.evaluation_batches, b.counters.evaluation_batches);
+  EXPECT_EQ(a.counters.intra_search_evaluations,
+            b.counters.intra_search_evaluations);
+  EXPECT_EQ(a.counters.intra_branch_tasks, b.counters.intra_branch_tasks);
 }
 
 void ExpectDeterministicAcrossThreadCounts(const AttributedGraph& g,
@@ -538,6 +542,81 @@ TEST_P(ParallelDeterminismSweep, ByteIdenticalOnRandomGraphs) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminismSweep,
                          ::testing::Range(0, 4));
+
+/// Regression for the batched + intra-parallel path: with the intra
+/// threshold forced low enough to trigger on these graphs, every
+/// counter — including the MinerStats-derived coverage_candidates and
+/// intra_branch_tasks, which are accumulated per branch task and merged
+/// in key order, never via relaxed atomics — must be byte-identical
+/// across num_threads in {1, 2, 8}.
+TEST(ParallelScpmTest, IntraSearchCountersPinnedAcrossThreadCounts) {
+  const AttributedGraph g =
+      RandomAttributed(21, /*n=*/40, /*num_attrs=*/4, /*edge_p=*/0.3,
+                       /*attr_p=*/0.6);
+  ScpmOptions options;
+  options.quasi_clique.gamma = 0.5;
+  options.quasi_clique.min_size = 3;
+  options.min_support = 3;
+  options.min_epsilon = 0.05;
+  options.top_k = 3;
+  options.intra_search_min_universe = 8;  // force the intra path
+
+  options.num_threads = 1;
+  ScpmMiner baseline_miner(options);
+  Result<ScpmResult> baseline = baseline_miner.Mine(g);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  // The point of the test: the decomposed searches actually ran.
+  ASSERT_GT(baseline->counters.intra_search_evaluations, 0u);
+  ASSERT_GT(baseline->counters.intra_branch_tasks, 0u);
+  for (std::size_t threads : {2u, 8u}) {
+    ScpmOptions parallel = options;
+    parallel.num_threads = threads;
+    ScpmMiner miner(parallel);
+    Result<ScpmResult> result = miner.Mine(g);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ExpectIdenticalResults(*baseline, *result);
+  }
+}
+
+/// Evaluation batching packs tasks differently but must never change
+/// what is mined: everything except the task-packing counter itself is
+/// identical across batch grains.
+TEST(ParallelScpmTest, EvalBatchGrainDoesNotChangeOutput) {
+  const AttributedGraph g = RandomAttributed(13, /*n=*/30, /*num_attrs=*/6);
+  ScpmOptions options;
+  options.quasi_clique.gamma = 0.6;
+  options.quasi_clique.min_size = 3;
+  options.min_support = 3;
+  options.min_epsilon = 0.1;
+  options.top_k = 3;
+  options.num_threads = 4;
+
+  options.eval_batch_grain = 0;  // one evaluation per task
+  ScpmMiner unbatched_miner(options);
+  Result<ScpmResult> unbatched = unbatched_miner.Mine(g);
+  ASSERT_TRUE(unbatched.ok());
+  for (std::size_t grain : {16u, 256u, 1u << 20}) {
+    ScpmOptions batched = options;
+    batched.eval_batch_grain = grain;
+    ScpmMiner miner(batched);
+    Result<ScpmResult> result = miner.Mine(g);
+    ASSERT_TRUE(result.ok());
+    ScpmResult normalized = std::move(result).value();
+    EXPECT_LE(normalized.counters.evaluation_batches,
+              unbatched->counters.evaluation_batches);
+    normalized.counters.evaluation_batches =
+        unbatched->counters.evaluation_batches;
+    ExpectIdenticalResults(*unbatched, normalized);
+  }
+}
+
+TEST(ScpmOptionsTest, RejectsAbsurdSpawnDepth) {
+  ScpmOptions o;
+  o.intra_search_spawn_depth = 17;
+  EXPECT_FALSE(o.Validate().ok());
+  o.intra_search_spawn_depth = 16;
+  EXPECT_TRUE(o.Validate().ok());
+}
 
 TEST(ScpmOptionsTest, RejectsZeroThreads) {
   ScpmOptions o;

@@ -159,6 +159,61 @@ TEST(ThreadPoolIdentityTest, ForeignPoolIsNotMistakenForOwn) {
   EXPECT_EQ(bad.load(), 0);
 }
 
+// ------------------------------------------------- parallelism budget
+
+TEST(ParallelismBudgetTest, BorrowAndReturn) {
+  ParallelismBudget budget(2);
+  EXPECT_EQ(budget.available(), 2u);
+  EXPECT_TRUE(budget.TryAcquire());
+  EXPECT_TRUE(budget.TryAcquire());
+  EXPECT_FALSE(budget.TryAcquire());
+  EXPECT_EQ(budget.available(), 0u);
+  budget.Release();
+  EXPECT_TRUE(budget.TryAcquire());
+  budget.Release();
+  budget.Release();
+  EXPECT_EQ(budget.available(), 2u);
+}
+
+TEST(ParallelismBudgetTest, ZeroSlotBudgetNeverGrants) {
+  ParallelismBudget budget(0);
+  EXPECT_FALSE(budget.TryAcquire());
+}
+
+// A budget shared by concurrent pool tasks: the number of simultaneous
+// holders can never exceed the slot count, failed acquires run inline,
+// and every borrowed slot comes back (the miner's borrowing pattern).
+TEST(ParallelismBudgetTest, SharedAcrossPoolTasksBoundsConcurrency) {
+  ThreadPool pool(4);
+  ParallelismBudget budget(3);
+  std::atomic<int> holders{0};
+  std::atomic<int> max_holders{0};
+  std::atomic<int> borrowed{0};
+  std::atomic<int> inline_runs{0};
+  ThreadPool::TaskGroup group;
+  for (int i = 0; i < 300; ++i) {
+    pool.Spawn(&group, [&] {
+      if (!budget.TryAcquire()) {
+        inline_runs.fetch_add(1);
+        return;
+      }
+      borrowed.fetch_add(1);
+      const int now = holders.fetch_add(1) + 1;
+      int seen = max_holders.load();
+      while (now > seen && !max_holders.compare_exchange_weak(seen, now)) {
+      }
+      std::this_thread::yield();
+      holders.fetch_sub(1);
+      budget.Release();
+    });
+  }
+  pool.WaitFor(&group);
+  EXPECT_LE(max_holders.load(), 3);
+  EXPECT_EQ(borrowed.load() + inline_runs.load(), 300);
+  EXPECT_GT(borrowed.load(), 0);
+  EXPECT_EQ(budget.available(), 3u);
+}
+
 // Heavy mixed load: external waits racing helping waits, uneven task
 // sizes so stealing actually rebalances.
 TEST(ThreadPoolStressTest, ContendedForkJoin) {
