@@ -155,6 +155,27 @@ void RunHugeSubgraphScenario() {
   // SCPM_BENCH_SCALE, including the CI smoke scale.
   o.intra_search_min_universe = 64;
 
+  // Dense-set baseline: the same workload with the hybrid representation
+  // forced off, so the artifact records what the bitmap kernels buy on
+  // the near-global (70% dense) tidsets of this scenario.
+  {
+    ScpmOptions plain = o;
+    plain.use_hybrid_sets = false;
+    scpm::ScpmMiner miner(plain);
+    scpm::WallTimer timer;
+    scpm::Result<scpm::ScpmResult> result = miner.Mine(*dataset);
+    const double t = timer.ElapsedSeconds();
+    if (!result.ok()) {
+      std::cerr << "scpm failed: " << result.status() << "\n";
+      return;
+    }
+    std::cout << "hybrid-off baseline (1 thread): " << std::fixed
+              << std::setprecision(4) << t << " s\n"
+              << std::defaultfloat << std::setprecision(6);
+    g_json.Add(g_section, "hybrid=off scpm_dfs", t,
+               "\"counters\":" + scpm::ScpmCountersJson(result->counters));
+  }
+
   std::cout << std::setw(10) << "threads" << std::setw(14) << "SCPM-DFS(s)"
             << std::setw(14) << "speedup" << "\n";
   double base = 0.0;

@@ -20,6 +20,8 @@
 //   --intra-min 512    |G(S)| at which one coverage search decomposes
 //                      into parallel branch tasks (0 = never)
 //   --intra-depth 12   decomposition depth of the intra-search tasks
+//   --hybrid 1         hybrid sparse/dense vertex-set storage (0 = pure
+//                      sorted-vector kernels; output is identical)
 //   --top-n 10         rows printed per ranking table
 
 #include <cstdlib>
@@ -41,7 +43,7 @@ void Usage() {
                "[--min-size S] [--sigma-min N] [--eps-min E] "
                "[--delta-min D] [--top-k K] [--order dfs|bfs] "
                "[--threads T] [--batch-grain W] [--intra-min U] "
-               "[--intra-depth D] [--top-n N]\n";
+               "[--intra-depth D] [--hybrid 0|1] [--top-n N]\n";
 }
 
 }  // namespace
@@ -93,6 +95,8 @@ int main(int argc, char** argv) {
     } else if (flag == "--intra-depth") {
       options.intra_search_spawn_depth =
           static_cast<std::uint32_t>(std::atoi(value));
+    } else if (flag == "--hybrid") {
+      options.use_hybrid_sets = std::atoi(value) != 0;
     } else if (flag == "--top-n") {
       top_n = static_cast<std::size_t>(std::atoll(value));
     } else {

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Perf-trend gate over the BENCH_*.json artifacts.
+
+Compares every timing row of the fresh bench JSON files against the same
+row in a baseline directory (the previous CI run's artifact) and fails on
+large regressions:
+
+    bench_trend.py --baseline prev/ --fresh . [--threshold 0.30]
+                   [--min-seconds 0.005]
+
+A row regresses when fresh > baseline * (1 + threshold) AND both timings
+exceed --min-seconds (sub-5ms rows are timer noise on shared runners).
+Rows are matched by (bench, section, label); rows present on only one
+side are reported but never fail the gate (scenarios come and go).
+A missing/empty baseline directory is a clean pass so the first run of a
+new branch does not fail.
+
+Exit codes: 0 ok / baseline missing, 1 regression found, 2 usage error.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_rows(directory, exclude=None):
+    """(bench, section, label) -> seconds for every BENCH_*.json below
+    `directory` (searched recursively: artifact downloads may nest).
+    Files under `exclude` are skipped, so --fresh may be the repo root
+    even with the baseline checkout nested inside it."""
+    rows = {}
+    exclude = os.path.abspath(exclude) + os.sep if exclude else None
+    pattern = os.path.join(directory, "**", "BENCH_*.json")
+    for path in sorted(glob.glob(pattern, recursive=True)):
+        if exclude and os.path.abspath(path).startswith(exclude):
+            continue
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: skipping unreadable {path}: {e}")
+            continue
+        bench = doc.get("bench")
+        if bench is None:
+            # google-benchmark output (bench_micro) has a different shape;
+            # its rows are tracked by name under the benchmark key.
+            for row in doc.get("benchmarks", []):
+                name = row.get("name")
+                t = row.get("real_time")
+                unit = row.get("time_unit", "ns")
+                if name is None or t is None:
+                    continue
+                scale = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+                rows[("bench_micro", "google-benchmark", name)] = (
+                    t * scale.get(unit, 1e-9)
+                )
+            continue
+        for row in doc.get("rows", []):
+            key = (bench, row.get("section", ""), row.get("label", ""))
+            rows[key] = row.get("seconds", 0.0)
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="directory with the previous run's BENCH_*.json")
+    parser.add_argument("--fresh", required=True,
+                        help="directory with this run's BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="max allowed relative slowdown (0.30 = +30%%)")
+    parser.add_argument("--min-seconds", type=float, default=0.005,
+                        help="ignore rows where either side is below this")
+    args = parser.parse_args()
+
+    fresh = load_rows(args.fresh, exclude=args.baseline)
+    if not fresh:
+        print(f"error: no BENCH_*.json found under {args.fresh}")
+        return 2
+    if not os.path.isdir(args.baseline):
+        print(f"no baseline directory {args.baseline}; skipping trend check")
+        return 0
+    baseline = load_rows(args.baseline)
+    if not baseline:
+        print(f"no baseline rows under {args.baseline}; skipping trend check")
+        return 0
+
+    regressions = []
+    improved = 0
+    compared = 0
+    for key, fresh_s in sorted(fresh.items()):
+        base_s = baseline.get(key)
+        if base_s is None:
+            continue
+        compared += 1
+        if fresh_s < base_s:
+            improved += 1
+        if fresh_s <= args.min_seconds or base_s <= args.min_seconds:
+            continue
+        if fresh_s > base_s * (1.0 + args.threshold):
+            regressions.append((key, base_s, fresh_s))
+
+    only_fresh = len(set(fresh) - set(baseline))
+    only_base = len(set(baseline) - set(fresh))
+    print(f"compared {compared} rows ({improved} faster, "
+          f"{only_fresh} new, {only_base} removed)")
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} rows regressed more than "
+              f"{args.threshold:.0%}:")
+        for (bench, section, label), base_s, fresh_s in regressions:
+            print(f"  {bench} | {section} | {label}: "
+                  f"{base_s:.4f}s -> {fresh_s:.4f}s "
+                  f"({fresh_s / base_s - 1.0:+.0%})")
+        return 1
+    print("perf trend ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@
 
 #include "graph/metrics.h"
 #include "graph/subgraph.h"
+#include "util/hybrid_set.h"
 #include "util/logging.h"
 #include "util/sorted_ops.h"
 #include "util/thread_pool.h"
@@ -60,10 +61,12 @@ namespace {
 
 /// One node of the attribute-set enumeration tree. The covered set K_S is
 /// not stored here: it lives in the shared CoveredSetCache while children
-/// may still need it for Theorem-3 pruning.
+/// may still need it for Theorem-3 pruning. Tidsets are hybrid: root
+/// classes borrow the graph-owned attribute tidsets, dense sets live as
+/// bitmaps, and intersections dispatch to the matching kernel.
 struct Node {
   AttributeSet items;
-  VertexSet tidset;  // V(S)
+  HybridVertexSet tidset;  // V(S)
 };
 
 /// FNV-1a over the attribute ids.
@@ -89,7 +92,7 @@ struct AttributeSetHash {
 /// counter independent of thread timing.
 class CoveredSetCache {
  public:
-  using Entry = std::shared_ptr<const VertexSet>;
+  using Entry = std::shared_ptr<const HybridVertexSet>;
 
   void Insert(const AttributeSet& items, Entry covered) {
     Shard& shard = ShardFor(items);
@@ -150,6 +153,7 @@ struct WorkerState {
   SubgraphWorkspace workspace;  // before miner: it must outlive it
   QuasiCliqueMiner miner;
   ScpmCounters counters;
+  SetOpStats set_ops;  // this worker's hybrid-kernel dispatches
 };
 
 /// Evaluation output a parent task needs from a child-evaluation task.
@@ -220,7 +224,11 @@ class Mining {
       if (tidset.size() < options_.min_support) continue;
       EvalSlot slot;
       slot.node.items = {a};
-      slot.node.tidset = tidset;
+      // Borrow the graph-owned tidset: the O(size) work of promoting a
+      // dense root to its bitmap happens inside the evaluation tasks
+      // below, sharding the root-class build across the pool instead of
+      // serializing one copy-everything pass here.
+      slot.node.tidset = HybridVertexSet::View(&tidset, SetUniverse());
       singles.push_back(std::move(slot));
     }
 
@@ -287,6 +295,11 @@ class Mining {
       result_.counters.intra_search_evaluations +=
           ws->counters.intra_search_evaluations;
       result_.counters.intra_branch_tasks += ws->counters.intra_branch_tasks;
+      result_.counters.bitmap_intersections +=
+          ws->set_ops.bitmap_intersections;
+      result_.counters.galloping_intersections +=
+          ws->set_ops.galloping_intersections;
+      result_.counters.dense_conversions += ws->set_ops.dense_conversions;
     }
     SortPatterns(&result_.patterns);
     return std::move(result_);
@@ -336,6 +349,18 @@ class Mining {
     return *states_[index < 0 ? 0 : static_cast<std::size_t>(index)];
   }
 
+  /// Universe passed to every hybrid set: the vertex count with hybrid
+  /// storage on, 0 (never dense, pure merge path) with it off.
+  VertexId SetUniverse() const {
+    return options_.use_hybrid_sets ? graph_.NumVertices() : 0;
+  }
+
+  /// The calling worker's kernel-counter sink, or null when the hybrid
+  /// representation (and its counters) is disabled.
+  SetOpStats* SetStats() {
+    return options_.use_hybrid_sets ? &State().set_ops : nullptr;
+  }
+
   void RecordError(Status status) {
     std::lock_guard<std::mutex> lock(error_mutex_);
     if (first_error_.ok()) first_error_ = std::move(status);
@@ -357,11 +382,12 @@ class Mining {
 
     std::vector<EvalSlot> slots;
     std::vector<std::size_t> js;
+    SetOpStats* set_stats = SetStats();
     for (std::size_t j = i + 1; j < siblings.size(); ++j) {
       EvalSlot slot;
       SortedUnion(siblings[i].items, siblings[j].items, &slot.node.items);
-      SortedIntersect(siblings[i].tidset, siblings[j].tidset,
-                      &slot.node.tidset);
+      HybridVertexSet::Intersect(siblings[i].tidset, siblings[j].tidset,
+                                 &slot.node.tidset, set_stats);
       if (slot.node.tidset.size() < options_.min_support) continue;
       slots.push_back(std::move(slot));
       js.push_back(j);
@@ -417,21 +443,28 @@ class Mining {
                     const AttributeSet* parent_b, const Key& key) {
     if (has_error_.load()) return;
     WorkerState& ws = State();
+    SetOpStats* set_stats = SetStats();
     ++ws.counters.attribute_sets_evaluated;
     Node& node = slot->node;
+    // Root tidsets arrive as borrowed views; promote the dense ones to
+    // bitmaps here, inside the (parallel) evaluation task. Intersection
+    // results are already in canonical representation, so this is a
+    // cheap no-op for every deeper node.
+    node.tidset.Normalize(set_stats);
 
     // Theorem 3: quasi-cliques of G(S) live inside the parents' covered
     // sets, so the search universe can be restricted to them.
-    VertexSet universe = node.tidset;
+    HybridVertexSet universe = node.tidset;
     if (options_.use_vertex_pruning) {
-      VertexSet tmp;
+      HybridVertexSet tmp;
       for (const AttributeSet* parent : {parent_a, parent_b}) {
         if (parent == nullptr) continue;
         CoveredSetCache::Entry covered = cache_.Lookup(*parent);
         SCPM_CHECK(covered != nullptr)
             << "parent covered set evicted before its children finished";
-        SortedIntersect(universe, *covered, &tmp);
-        universe.swap(tmp);
+        HybridVertexSet::Intersect(universe, *covered, &tmp, set_stats);
+        universe = std::move(tmp);
+        tmp = HybridVertexSet();
       }
     }
 
@@ -456,9 +489,10 @@ class Mining {
     ws.counters.coverage_candidates += ws.miner.stats().candidates_processed;
     ws.counters.intra_branch_tasks += ws.miner.stats().branch_tasks;
     VertexSet covered_global = sub->ToGlobal(*covered);
+    const std::size_t covered_size = covered_global.size();
 
     const std::size_t support = node.tidset.size();
-    const double eps = static_cast<double>(covered_global.size()) /
+    const double eps = static_cast<double>(covered_size) /
                        static_cast<double>(support);
     const double expected =
         null_model_ != nullptr ? null_model_->Expectation(support) : 1.0;
@@ -474,12 +508,12 @@ class Mining {
       AttributeSetStats stats;
       stats.attributes = node.items;
       stats.support = support;
-      stats.covered = covered_global.size();
+      stats.covered = covered_size;
       stats.epsilon = eps;
       stats.expected_epsilon = expected;
       stats.delta = delta;
       shard.attribute_sets.push_back(std::move(stats));
-      if (options_.collect_patterns && !covered_global.empty()) {
+      if (options_.collect_patterns && covered_size > 0) {
         Status status = CollectPatterns(node, *sub, &ws, &shard);
         if (!status.ok()) return RecordError(std::move(status));
       }
@@ -506,8 +540,11 @@ class Mining {
     }
     slot->extendable = extendable;
     if (extendable) {
-      slot->covered =
-          std::make_shared<const VertexSet>(std::move(covered_global));
+      // Stored for the children's Theorem-3 intersection, so it goes in
+      // hybrid form (dense covered sets intersect by word-AND).
+      slot->covered = std::make_shared<const HybridVertexSet>(
+          HybridVertexSet::FromVector(std::move(covered_global),
+                                      SetUniverse(), set_stats));
     }
   }
 

@@ -105,6 +105,16 @@ struct ScpmOptions {
   /// so extra depth only decomposes branches still worth splitting.
   std::uint32_t intra_search_spawn_depth = 12;
 
+  /// Store tidsets, search universes, and Theorem-3 covered sets as
+  /// HybridVertexSet — dense 64-bit-word bitmaps once a set passes the
+  /// density rule, sorted vectors otherwise — and dispatch intersections
+  /// to the matching kernel. The representation is a pure function of
+  /// (size, universe), so output and every counter above stay
+  /// byte-identical with the flag on or off and for any num_threads; off
+  /// reproduces the pure merge-based engine (and zeroes the set-kernel
+  /// counters below).
+  bool use_hybrid_sets = true;
+
   /// Forwarded to the quasi-clique miner.
   QuasiCliqueMinerOptions miner_options() const;
 
@@ -126,6 +136,13 @@ struct ScpmCounters {
   std::uint64_t intra_search_evaluations = 0;
   /// Branch tasks the intra-search decompositions produced in total.
   std::uint64_t intra_branch_tasks = 0;
+  /// Set-kernel dispatches of the hybrid representation (zero when
+  /// use_hybrid_sets is off): intersections that used a bitmap operand,
+  /// vector/vector intersections that galloped, and sparse -> dense
+  /// materializations. See SetOpStats.
+  std::uint64_t bitmap_intersections = 0;
+  std::uint64_t galloping_intersections = 0;
+  std::uint64_t dense_conversions = 0;
 };
 
 /// Complete mining output.

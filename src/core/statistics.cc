@@ -49,7 +49,10 @@ std::string FormatScpmCounters(const ScpmCounters& counters) {
      << " candidates=" << counters.coverage_candidates
      << " batches=" << counters.evaluation_batches
      << " intra_evals=" << counters.intra_search_evaluations
-     << " intra_tasks=" << counters.intra_branch_tasks;
+     << " intra_tasks=" << counters.intra_branch_tasks
+     << " bitmap_isects=" << counters.bitmap_intersections
+     << " gallop_isects=" << counters.galloping_intersections
+     << " dense_convs=" << counters.dense_conversions;
   return os.str();
 }
 
@@ -61,7 +64,10 @@ std::string ScpmCountersJson(const ScpmCounters& counters) {
      << ",\"coverage_candidates\":" << counters.coverage_candidates
      << ",\"evaluation_batches\":" << counters.evaluation_batches
      << ",\"intra_search_evaluations\":" << counters.intra_search_evaluations
-     << ",\"intra_branch_tasks\":" << counters.intra_branch_tasks << "}";
+     << ",\"intra_branch_tasks\":" << counters.intra_branch_tasks
+     << ",\"bitmap_intersections\":" << counters.bitmap_intersections
+     << ",\"galloping_intersections\":" << counters.galloping_intersections
+     << ",\"dense_conversions\":" << counters.dense_conversions << "}";
   return os.str();
 }
 

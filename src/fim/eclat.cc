@@ -23,37 +23,56 @@ Status EclatOptions::Validate() const {
 namespace {
 
 /// One node of the Eclat prefix tree: the last item of the prefix plus the
-/// tidset of the whole prefix.
+/// tidset of the whole prefix. Roots borrow the graph-owned tidsets;
+/// deeper nodes own the intersection results, dense or sparse.
 struct Node {
   AttributeId item;
-  VertexSet tidset;
+  HybridVertexSet tidset;
+};
+
+/// Mining state threaded through the recursion: thresholds, the visitor,
+/// the kernel counters, and a scratch vector for materializing dense
+/// tidsets at the visitor boundary.
+struct Context {
+  const EclatOptions& options;
+  const ItemsetVisitor& visitor;
+  SetOpStats* stats = nullptr;
+  VertexSet scratch;
+
+  /// Presents a tidset to the visitor as a sorted vector (zero-copy when
+  /// sparse). Returns the visitor's verdict.
+  bool Visit(const AttributeSet& items, const Node& node) {
+    if (!node.tidset.dense()) return visitor(items, node.tidset.sorted());
+    scratch.clear();
+    node.tidset.AppendTo(&scratch);
+    return visitor(items, scratch);
+  }
 };
 
 /// Recursive equivalence-class extension. `prefix` holds the current
 /// itemset; `siblings` the frequent right-extensions of the parent class.
 /// Returns false when the visitor requested a stop.
-bool Extend(std::vector<Node>& siblings, AttributeSet& prefix,
-            const EclatOptions& options, const ItemsetVisitor& visitor) {
+bool Extend(std::vector<Node>& siblings, AttributeSet& prefix, Context& ctx) {
   for (std::size_t i = 0; i < siblings.size(); ++i) {
     prefix.push_back(siblings[i].item);
-    if (prefix.size() >= options.min_itemset_size) {
-      if (!visitor(prefix, siblings[i].tidset)) {
+    if (prefix.size() >= ctx.options.min_itemset_size) {
+      if (!ctx.Visit(prefix, siblings[i])) {
         prefix.pop_back();
         return false;
       }
     }
-    if (prefix.size() < options.max_itemset_size) {
+    if (prefix.size() < ctx.options.max_itemset_size) {
       std::vector<Node> children;
       for (std::size_t j = i + 1; j < siblings.size(); ++j) {
         Node child;
         child.item = siblings[j].item;
-        SortedIntersect(siblings[i].tidset, siblings[j].tidset,
-                        &child.tidset);
-        if (child.tidset.size() >= options.min_support) {
+        HybridVertexSet::Intersect(siblings[i].tidset, siblings[j].tidset,
+                                   &child.tidset, ctx.stats);
+        if (child.tidset.size() >= ctx.options.min_support) {
           children.push_back(std::move(child));
         }
       }
-      if (!children.empty() && !Extend(children, prefix, options, visitor)) {
+      if (!children.empty() && !Extend(children, prefix, ctx)) {
         prefix.pop_back();
         return false;
       }
@@ -68,15 +87,25 @@ bool Extend(std::vector<Node>& siblings, AttributeSet& prefix,
 Status Eclat::Mine(const AttributedGraph& graph,
                    const ItemsetVisitor& visitor) const {
   SCPM_RETURN_IF_ERROR(options_.Validate());
+  if (set_op_stats_ != nullptr) *set_op_stats_ = SetOpStats{};
+  Context ctx{options_, visitor, set_op_stats_, {}};
+  // Universe 0 pins every set to the sorted-vector representation.
+  const VertexId universe =
+      options_.use_hybrid_tidsets ? graph.NumVertices() : 0;
   std::vector<Node> roots;
   for (AttributeId a = 0; a < graph.NumAttributes(); ++a) {
     const VertexSet& tidset = graph.VerticesWith(a);
-    if (tidset.size() >= options_.min_support) {
-      roots.push_back({a, tidset});
-    }
+    if (tidset.size() < options_.min_support) continue;
+    Node root;
+    root.item = a;
+    // Borrow the graph-owned tidset (the graph outlives the mining call);
+    // only sets the density rule wants dense are materialized at all.
+    root.tidset = HybridVertexSet::View(&tidset, universe);
+    root.tidset.Normalize(ctx.stats);
+    roots.push_back(std::move(root));
   }
   AttributeSet prefix;
-  Extend(roots, prefix, options_, visitor);
+  Extend(roots, prefix, ctx);
   return Status::OK();
 }
 

@@ -15,6 +15,7 @@
 
 #include "graph/attributed_graph.h"
 #include "graph/types.h"
+#include "util/hybrid_set.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -36,6 +37,10 @@ struct EclatOptions {
   std::size_t min_itemset_size = 1;
   /// Do not extend itemsets beyond this many items.
   std::size_t max_itemset_size = std::numeric_limits<std::size_t>::max();
+  /// Store tidsets as HybridVertexSet (dense bitmaps once they pass the
+  /// density rule) instead of always-sorted vectors. Output is identical
+  /// either way; off reproduces the pure merge-based mining.
+  bool use_hybrid_tidsets = true;
 
   Status Validate() const;
 };
@@ -45,12 +50,16 @@ struct EclatOptions {
 using ItemsetVisitor =
     std::function<bool(const AttributeSet& items, const VertexSet& tidset)>;
 
-/// Depth-first Eclat with sorted-vector tidset intersection.
+/// Depth-first Eclat over hybrid (sparse-vector / dense-bitmap) tidsets.
+/// Root classes borrow the graph-owned attribute tidsets instead of
+/// copying them, so mining starts without an O(attribute occurrences)
+/// materialization pass.
 class Eclat {
  public:
   explicit Eclat(EclatOptions options) : options_(options) {}
 
-  /// Streams every frequent itemset to `visitor`.
+  /// Streams every frequent itemset to `visitor`. The tidset reference
+  /// passed to the visitor is only valid during the call.
   Status Mine(const AttributedGraph& graph,
               const ItemsetVisitor& visitor) const;
 
@@ -58,8 +67,13 @@ class Eclat {
   Result<std::vector<FrequentItemset>> MineAll(
       const AttributedGraph& graph) const;
 
+  /// Optional sink for the set-kernel counters of each Mine call (reset
+  /// at every call); borrowed, may be null.
+  void set_stats(SetOpStats* stats) { set_op_stats_ = stats; }
+
  private:
   EclatOptions options_;
+  SetOpStats* set_op_stats_ = nullptr;
 };
 
 }  // namespace scpm

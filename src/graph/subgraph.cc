@@ -1,6 +1,7 @@
 #include "graph/subgraph.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/sorted_ops.h"
 
@@ -103,6 +104,56 @@ Result<InducedSubgraph> SubgraphWorkspace::Build(const Graph& parent,
   return InducedSubgraph(
       Graph(std::move(csr.offsets), std::move(csr.adjacency)),
       std::move(vertices));
+}
+
+Result<InducedSubgraph> SubgraphWorkspace::Build(const Graph& parent,
+                                                 HybridVertexSet vertices) {
+  if (!vertices.dense()) return Build(parent, vertices.TakeVector());
+  const VertexBitset& bits = vertices.bits();
+  if (bits.universe() > parent.NumVertices()) {
+    return Status::InvalidArgument("induced vertex id out of range");
+  }
+
+  // Word-rank table: local id of a member g is the number of members
+  // before it, read as prefix[g/64] + popcount(word & low-mask).
+  rank_prefix_.assign(bits.num_words() + 1, 0);
+  VertexId running = 0;
+  for (std::size_t w = 0; w < bits.num_words(); ++w) {
+    rank_prefix_[w] = running;
+    running += static_cast<VertexId>(std::popcount(bits.data()[w]));
+  }
+  rank_prefix_[bits.num_words()] = running;
+  const auto local_of = [&](VertexId g) {
+    const std::uint64_t word = bits.data()[g / 64];
+    const std::uint64_t below = word & ((std::uint64_t{1} << (g % 64)) - 1);
+    return rank_prefix_[g / 64] +
+           static_cast<VertexId>(std::popcount(below));
+  };
+
+  VertexSet global_ids;
+  global_ids.reserve(vertices.size());
+  bits.AppendTo(&global_ids);
+
+  CsrBuffers csr;
+  if (!free_.empty()) {
+    csr = std::move(free_.back());
+    free_.pop_back();
+  }
+  csr.offsets.clear();
+  csr.adjacency.clear();
+  csr.offsets.reserve(global_ids.size() + 1);
+  csr.offsets.push_back(0);
+  for (VertexId global : global_ids) {
+    for (VertexId w : parent.Neighbors(global)) {
+      if (w < bits.universe() && bits.Test(w)) {
+        csr.adjacency.push_back(local_of(w));
+      }
+    }
+    csr.offsets.push_back(csr.adjacency.size());
+  }
+  return InducedSubgraph(
+      Graph(std::move(csr.offsets), std::move(csr.adjacency)),
+      std::move(global_ids));
 }
 
 void SubgraphWorkspace::Recycle(InducedSubgraph&& sub) {

@@ -9,7 +9,10 @@
 // path: it builds the local CSR directly (single pass over the parent
 // adjacency, no intermediate edge list, no sorting) into buffers that are
 // recycled across calls, using an epoch-stamped global-to-local map that
-// never needs clearing.
+// never needs clearing. A dense (bitmap) vertex set skips the stamp map
+// entirely: membership is a bit probe and local ids come from a word-rank
+// table, so the adjacency filter touches universe/64 words instead of two
+// full-universe u32 arrays.
 
 #ifndef SCPM_GRAPH_SUBGRAPH_H_
 #define SCPM_GRAPH_SUBGRAPH_H_
@@ -20,6 +23,7 @@
 
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "util/hybrid_set.h"
 #include "util/result.h"
 
 namespace scpm {
@@ -77,6 +81,12 @@ class SubgraphWorkspace {
   /// free once the free list and the id map have warmed up.
   Result<InducedSubgraph> Build(const Graph& parent, VertexSet vertices);
 
+  /// Hybrid-set entry point: a sparse set delegates to the vector build; a
+  /// dense set keeps the bitmap as the membership structure and resolves
+  /// local ids by rank (prefix popcounts), producing the identical
+  /// subgraph. `vertices` is consumed.
+  Result<InducedSubgraph> Build(const Graph& parent, HybridVertexSet vertices);
+
   /// Reclaims the CSR buffers of a subgraph produced by Build; the
   /// subgraph is consumed.
   void Recycle(InducedSubgraph&& sub);
@@ -95,6 +105,11 @@ class SubgraphWorkspace {
   std::vector<std::uint32_t> stamp_;
   std::vector<VertexId> local_of_;
   std::uint32_t epoch_ = 0;
+
+  // rank_prefix_[w] = number of member bits in words [0, w) of the dense
+  // build's bitmap; local id of g = rank_prefix_[g/64] + popcount of the
+  // lower bits of g's word.
+  std::vector<VertexId> rank_prefix_;
 };
 
 }  // namespace scpm

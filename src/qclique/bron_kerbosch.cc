@@ -2,17 +2,35 @@
 
 #include <algorithm>
 
+#include "util/hybrid_set.h"
 #include "util/sorted_ops.h"
 
 namespace scpm {
 namespace {
+
+/// Bitmap adjacency pays off exactly as in CandidateScratch: one row is
+/// n/64 words, so the candidate-set checks of the recursion become word
+/// probes instead of re-intersecting sorted adjacency lists (which also
+/// means no per-call neighbor-vector allocations).
+constexpr VertexId kMaxBitsetVertices = 4096;
 
 /// Recursion state for Bron–Kerbosch.
 class Enumerator {
  public:
   Enumerator(const Graph& graph, std::uint32_t min_size,
              std::uint64_t max_cliques)
-      : graph_(graph), min_size_(min_size), max_cliques_(max_cliques) {}
+      : graph_(graph), min_size_(min_size), max_cliques_(max_cliques) {
+    const VertexId n = graph.NumVertices();
+    if (n > 0 && n <= kMaxBitsetVertices) {
+      use_bitsets_ = true;
+      rows_.reserve(n);
+      for (VertexId v = 0; v < n; ++v) {
+        VertexBitset row(n);
+        for (VertexId u : graph.Neighbors(v)) row.Set(u);
+        rows_.push_back(std::move(row));
+      }
+    }
+  }
 
   Status Run() {
     VertexSet r, p(graph_.NumVertices()), x;
@@ -35,6 +53,15 @@ class Enumerator {
     return VertexSet(nbrs.begin(), nbrs.end());
   }
 
+  /// |p ∩ N(u)|: the pivot-selection neighborhood check.
+  std::size_t NeighborCount(const VertexSet& p, const VertexBitset* p_bits,
+                            VertexId u) const {
+    if (use_bitsets_) {
+      return VertexBitset::AndCount(*p_bits, rows_[u]);
+    }
+    return SortedIntersectSize(p, NeighborsOf(u));
+  }
+
   Status Expand(VertexSet& r, VertexSet p, VertexSet x) {
     if (p.empty() && x.empty()) {
       if (r.size() >= min_size_) {
@@ -50,12 +77,15 @@ class Enumerator {
     if (r.size() + p.size() < min_size_) return Status::OK();
 
     // Tomita pivot: the vertex of P ∪ X with the most neighbors in P.
+    VertexBitset p_bits;
+    if (use_bitsets_) {
+      p_bits = VertexBitset::FromSorted(p, graph_.NumVertices());
+    }
     VertexId pivot = kInvalidVertex;
     std::size_t best = 0;
     for (const VertexSet* side : {&p, &x}) {
       for (VertexId u : *side) {
-        const std::size_t count =
-            SortedIntersectSize(p, NeighborsOf(u));
+        const std::size_t count = NeighborCount(p, &p_bits, u);
         if (pivot == kInvalidVertex || count > best) {
           pivot = u;
           best = count;
@@ -70,10 +100,15 @@ class Enumerator {
     }
 
     for (VertexId v : candidates) {
-      const VertexSet nbrs = NeighborsOf(v);
       VertexSet p_next, x_next;
-      SortedIntersect(p, nbrs, &p_next);
-      SortedIntersect(x, nbrs, &x_next);
+      if (use_bitsets_) {
+        IntersectSortedWithBits(p, rows_[v], &p_next);
+        IntersectSortedWithBits(x, rows_[v], &x_next);
+      } else {
+        const VertexSet nbrs = NeighborsOf(v);
+        SortedIntersect(p, nbrs, &p_next);
+        SortedIntersect(x, nbrs, &x_next);
+      }
       r.push_back(v);
       SCPM_RETURN_IF_ERROR(Expand(r, std::move(p_next), std::move(x_next)));
       r.pop_back();
@@ -86,6 +121,8 @@ class Enumerator {
   const Graph& graph_;
   std::uint32_t min_size_;
   std::uint64_t max_cliques_;
+  bool use_bitsets_ = false;
+  std::vector<VertexBitset> rows_;  // adjacency bitmaps when use_bitsets_
   std::vector<VertexSet> cliques_;
 };
 

@@ -471,7 +471,6 @@ class ParallelSearch {
       }
     } else {
       BranchTask task;
-      task.key = {0};
       task.root = std::move(root);
       SpawnOrRun(std::move(task));
       if (pool_ != nullptr) pool_->WaitFor(&group_);
@@ -481,16 +480,20 @@ class ParallelSearch {
       std::lock_guard<std::mutex> lock(error_mutex_);
       if (!first_error_.ok()) return first_error_;
     }
-    // Key-ordered merge: lexicographic task keys reproduce the order in
-    // which the subtrees were split off, independent of completion order.
+    // Key-ordered merge of the coverage wave nodes: lexicographic task
+    // keys reproduce the order in which the subtrees were split off,
+    // independent of completion order. (Counter sums are commutative, but
+    // the canonical order keeps the merge auditable.)
     std::sort(results_.begin(), results_.end(),
               [](const TaskResult& a, const TaskResult& b) {
                 return a.key < b.key;
               });
-    for (TaskResult& r : results_) {
-      stats_->MergeFrom(r.stats);
-      for (VertexSet& q : r.reported) reported_.push_back(std::move(q));
-    }
+    for (TaskResult& r : results_) stats_->MergeFrom(r.stats);
+    // Maximal-mode results were folded into the shared accumulator as
+    // each branch task finished (see RunBranch); FilterMaximal's
+    // canonical sort makes the fold order irrelevant.
+    stats_->MergeFrom(maximal_.stats);
+    reported_ = std::move(maximal_.reported);
     return Status::OK();
   }
 
@@ -509,15 +512,15 @@ class ParallelSearch {
   }
 
  private:
-  /// One maximal-mode branch task: a subtree root, its key, its depth.
+  /// One maximal-mode branch task: a subtree root and its depth. No key:
+  /// maximal tasks fold into the shared accumulator (see below).
   struct BranchTask {
-    std::vector<std::uint32_t> key;
     Candidate root;
     std::uint32_t depth = 0;
   };
 
-  /// What one branch task produced, tagged with its key for the merge.
-  /// Coverage results are not stored here: each wave node's coverage
+  /// What one coverage wave node produced, tagged with its key for the
+  /// merge. Coverage itself is not stored here: each wave node's coverage
   /// folds into its parent's running set at the wave barrier, so the
   /// root call's running set — folded into covered_ by Run — already
   /// holds the union, and keeping per-task masks alive until the merge
@@ -525,7 +528,19 @@ class ParallelSearch {
   struct TaskResult {
     std::vector<std::uint32_t> key;
     MinerStats stats;
-    std::vector<VertexSet> reported;  // kMaximal
+  };
+
+  /// Maximal-mode sink: every branch task folds its counters and reported
+  /// sets in here the moment it finishes, so merge memory is bounded by
+  /// the live output instead of one TaskResult per branch task (deep
+  /// decompositions spawn thousands). Order-independent by construction:
+  /// counter sums are commutative and FilterMaximal sorts the reported
+  /// sets into canonical order, so output and stats stay byte-identical
+  /// to the sequential search for any completion interleaving.
+  struct MaximalAccumulator {
+    std::mutex mutex;
+    MinerStats stats;
+    std::vector<VertexSet> reported;
   };
 
   /// Per-worker mutable search state; no branch task ever touches another
@@ -820,10 +835,9 @@ class ParallelSearch {
   /// deque. Maximal mode has no cross-branch pruning, so fire-and-forget
   /// decomposition (no barriers) is exact.
   void RunBranch(BranchTask task) {
-    TaskResult result;
-    result.key = std::move(task.key);
-    result.stats.branch_tasks = 1;
-    std::uint32_t child_seq = 0;
+    MinerStats stats;
+    stats.branch_tasks = 1;
+    std::vector<VertexSet> reported;
 
     WorkerArena& arena = Arena();
 
@@ -845,7 +859,7 @@ class ParallelSearch {
         item = std::move(work.back());
         work.pop_back();
       }
-      ++result.stats.candidates_processed;
+      ++stats.candidates_processed;
       if (options_.max_candidates != 0 &&
           shared_candidates_.fetch_add(1) + 1 > options_.max_candidates) {
         RecordError(Status::OutOfRange("candidate budget exceeded"));
@@ -856,18 +870,18 @@ class ParallelSearch {
           item.cand, options_.params, options_.enable_size_bound,
           options_.enable_lookahead, options_.enable_critical_vertex);
       if (analysis.verdict == CandidateVerdict::kPrune) {
-        ++result.stats.pruned_by_analysis;
+        ++stats.pruned_by_analysis;
         continue;
       }
       if (analysis.verdict == CandidateVerdict::kLookahead) {
-        ++result.stats.lookahead_hits;
+        ++stats.lookahead_hits;
         VertexSet whole;
         SortedUnion(item.cand.x, analysis.pruned_ext, &whole);
-        result.reported.push_back(std::move(whole));
+        reported.push_back(std::move(whole));
         continue;
       }
       if (!analysis.forced.empty()) {
-        ++result.stats.critical_vertex_jumps;
+        ++stats.critical_vertex_jumps;
         Candidate jump;
         SortedUnion(item.cand.x, analysis.forced, &jump.x);
         SortedDifference(analysis.pruned_ext, analysis.forced, &jump.ext);
@@ -875,13 +889,12 @@ class ParallelSearch {
         continue;
       }
       if (analysis.x_is_satisfying) {
-        result.reported.push_back(item.cand.x);
+        reported.push_back(item.cand.x);
       }
 
       // Deterministic split of the children: shallow candidates send
-      // every child with a large enough extension list off as a subtask
-      // (keyed by decomposition order); everything else continues in
-      // this task's deque.
+      // every child with a large enough extension list off as a subtask;
+      // everything else continues in this task's deque.
       BuildChildren(item.cand, analysis.pruned_ext, options_, &arena.marker,
                     &children);
       const bool decompose = item.depth < options_.spawn_depth;
@@ -889,8 +902,6 @@ class ParallelSearch {
       for (Candidate& child : children) {
         if (decompose && child.ext.size() >= options_.min_spawn_ext) {
           BranchTask sub;
-          sub.key = result.key;
-          sub.key.push_back(child_seq++);
           sub.root = std::move(child);
           sub.depth = item.depth + 1;
           SpawnOrRun(std::move(sub));
@@ -908,8 +919,11 @@ class ParallelSearch {
       }
     }
 
-    std::lock_guard<std::mutex> lock(results_mutex_);
-    results_.push_back(std::move(result));
+    // Fold into the shared accumulator: one lock round per task, merge
+    // memory bounded by the accumulated output.
+    std::lock_guard<std::mutex> lock(maximal_.mutex);
+    maximal_.stats.MergeFrom(stats);
+    for (VertexSet& q : reported) maximal_.reported.push_back(std::move(q));
   }
 
   const Graph& graph_;
@@ -925,7 +939,8 @@ class ParallelSearch {
 
   ThreadPool::TaskGroup group_;
   std::mutex results_mutex_;
-  std::vector<TaskResult> results_;
+  std::vector<TaskResult> results_;  // coverage wave nodes + primer
+  MaximalAccumulator maximal_;
 
   std::mutex error_mutex_;
   Status first_error_;

@@ -33,6 +33,11 @@ bool SortedContains(const std::vector<T>& v, T x) {
   return std::binary_search(v.begin(), v.end(), x);
 }
 
+/// Size skew at which the intersection routines (here and in
+/// util/hybrid_set) switch from the linear merge to galloping probes of
+/// the larger side.
+inline constexpr std::size_t kGallopSkew = 32;
+
 namespace internal {
 
 /// Galloping lower_bound: advances `it` to the first element >= x.
@@ -61,7 +66,7 @@ void SortedIntersect(const std::vector<T>& a, const std::vector<T>& b,
   out->clear();
   if (a.empty() || b.empty()) return;
   // Use galloping when one side is much smaller.
-  if (a.size() * 32 < b.size() || b.size() * 32 < a.size()) {
+  if (a.size() * kGallopSkew < b.size() || b.size() * kGallopSkew < a.size()) {
     const std::vector<T>& small = a.size() < b.size() ? a : b;
     const std::vector<T>& large = a.size() < b.size() ? b : a;
     auto it = large.begin();

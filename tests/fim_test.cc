@@ -241,6 +241,69 @@ TEST_P(AprioriEclatSweep, AgreesWithEclat) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AprioriEclatSweep, ::testing::Range(0, 12));
 
+/// Hybrid tidset storage (dense bitmaps past the 5% knee) must mine the
+/// exact same itemsets, in the same DFS order, as the pure sorted-vector
+/// configuration — and its kernel counters must be reproducible.
+class EclatHybridSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EclatHybridSweep, HybridOnOffProduceIdenticalItemsets) {
+  Rng rng(GetParam());
+  // 200 vertices: attribute tidsets (~p * 200) sit well above the dense
+  // threshold (200 / 20 = 10), so roots and early intersections go
+  // through the bitmap kernels.
+  AttributedGraphBuilder builder(200);
+  for (int a = 0; a < 8; ++a) {
+    builder.InternAttribute("a" + std::to_string(a));
+  }
+  for (VertexId v = 0; v < 200; ++v) {
+    for (AttributeId a = 0; a < 8; ++a) {
+      if (rng.NextBool(0.2 + 0.1 * static_cast<double>(a % 3))) {
+        ASSERT_TRUE(builder.AddVertexAttribute(v, a).ok());
+      }
+    }
+  }
+  Result<AttributedGraph> g = builder.Build();
+  ASSERT_TRUE(g.ok());
+
+  EclatOptions options;
+  options.min_support = 5 + GetParam();
+  options.use_hybrid_tidsets = false;
+  SetOpStats plain_stats;
+  Eclat plain(options);
+  plain.set_stats(&plain_stats);
+  Result<std::vector<FrequentItemset>> want = plain.MineAll(*g);
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(plain_stats.dense_conversions, 0u);
+  EXPECT_EQ(plain_stats.bitmap_intersections, 0u);
+
+  options.use_hybrid_tidsets = true;
+  SetOpStats hybrid_stats;
+  Eclat hybrid(options);
+  hybrid.set_stats(&hybrid_stats);
+  Result<std::vector<FrequentItemset>> got = hybrid.MineAll(*g);
+  ASSERT_TRUE(got.ok());
+  EXPECT_GT(hybrid_stats.dense_conversions, 0u);
+  EXPECT_GT(hybrid_stats.bitmap_intersections, 0u);
+
+  // Same DFS emission order, same itemsets, same tidsets.
+  ASSERT_EQ(got->size(), want->size());
+  for (std::size_t i = 0; i < got->size(); ++i) {
+    EXPECT_EQ((*got)[i].items, (*want)[i].items) << "row " << i;
+    EXPECT_EQ((*got)[i].tidset, (*want)[i].tidset) << "row " << i;
+  }
+
+  // Kernel counters are a pure function of the input: a re-run agrees.
+  SetOpStats again;
+  hybrid.set_stats(&again);
+  ASSERT_TRUE(hybrid.MineAll(*g).ok());
+  EXPECT_EQ(again.bitmap_intersections, hybrid_stats.bitmap_intersections);
+  EXPECT_EQ(again.galloping_intersections,
+            hybrid_stats.galloping_intersections);
+  EXPECT_EQ(again.dense_conversions, hybrid_stats.dense_conversions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EclatHybridSweep, ::testing::Range(0, 4));
+
 TEST(EclatTest, SupportIsAntiMonotone) {
   Rng rng(42);
   AttributedGraphBuilder builder(40);

@@ -229,7 +229,7 @@ TEST(SubgraphWorkspaceTest, ValidatesLikeCreate) {
   EXPECT_FALSE(workspace.Build(g, {2, 0}).ok());
   EXPECT_FALSE(workspace.Build(g, {0, 0}).ok());
   EXPECT_FALSE(workspace.Build(g, {0, 9}).ok());
-  Result<InducedSubgraph> empty = workspace.Build(g, {});
+  Result<InducedSubgraph> empty = workspace.Build(g, VertexSet{});
   ASSERT_TRUE(empty.ok());
   EXPECT_EQ(empty->NumVertices(), 0u);
 }

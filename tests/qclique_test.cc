@@ -524,6 +524,48 @@ TEST(IntraSearchTest, AdversarialNearCliqueDeepRecursion) {
   ExpectIntraSearchMatchesSequential(g, IntraOpts(0.85, 5));
 }
 
+TEST(IntraSearchTest, MaximalDeepDecompositionFoldsIntoOneAccumulator) {
+  // A deep decomposition of maximal mode: maximum spawn depth with a
+  // minimal task-size floor splits off hundreds of branch tasks, whose
+  // results now fold into one shared accumulator instead of one
+  // TaskResult per task. Output and stats must still match the
+  // sequential search exactly, inline and on pools.
+  Rng rng(19);
+  Result<Graph> g = ErdosRenyi(28, 0.35, rng);
+  ASSERT_TRUE(g.ok());
+  QuasiCliqueMinerOptions deep = Opts(0.5, 3);
+  deep.spawn_depth = 16;   // decompose at every level
+  deep.min_spawn_ext = 2;  // ...and nearly every branch
+
+  QuasiCliqueMinerOptions sequential = deep;
+  sequential.spawn_depth = 0;
+  QuasiCliqueMiner reference(sequential);
+  Result<std::vector<VertexSet>> want = reference.MineMaximal(*g);
+  ASSERT_TRUE(want.ok());
+
+  QuasiCliqueMiner inline_miner(deep);
+  Result<std::vector<VertexSet>> inline_got = inline_miner.MineMaximal(*g);
+  ASSERT_TRUE(inline_got.ok());
+  EXPECT_EQ(*inline_got, *want);
+  const MinerStats inline_stats = inline_miner.stats();
+  // Genuinely deep: hundreds of folded tasks on this graph.
+  EXPECT_GT(inline_stats.branch_tasks, 100u);
+  EXPECT_EQ(inline_stats.candidates_processed,
+            reference.stats().candidates_processed);
+
+  for (std::size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    ParallelismBudget budget(2 * threads);
+    QuasiCliqueMiner miner(deep);
+    miner.set_parallel_context(&pool, &budget);
+    Result<std::vector<VertexSet>> got = miner.MineMaximal(*g);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, *want) << "threads=" << threads;
+    ExpectStatsEqual(miner.stats(), inline_stats);
+    EXPECT_EQ(budget.available(), 2 * threads);
+  }
+}
+
 TEST(IntraSearchTest, ZeroResultSearch) {
   // Max degree 2 can never satisfy min_size 6 at gamma 0.9: both phases
   // must agree on the empty answer without decomposition mishaps.

@@ -481,6 +481,10 @@ void ExpectIdenticalResults(const ScpmResult& a, const ScpmResult& b) {
   EXPECT_EQ(a.counters.intra_search_evaluations,
             b.counters.intra_search_evaluations);
   EXPECT_EQ(a.counters.intra_branch_tasks, b.counters.intra_branch_tasks);
+  EXPECT_EQ(a.counters.bitmap_intersections, b.counters.bitmap_intersections);
+  EXPECT_EQ(a.counters.galloping_intersections,
+            b.counters.galloping_intersections);
+  EXPECT_EQ(a.counters.dense_conversions, b.counters.dense_conversions);
 }
 
 void ExpectDeterministicAcrossThreadCounts(const AttributedGraph& g,
@@ -607,6 +611,56 @@ TEST(ParallelScpmTest, EvalBatchGrainDoesNotChangeOutput) {
     normalized.counters.evaluation_batches =
         unbatched->counters.evaluation_batches;
     ExpectIdenticalResults(*unbatched, normalized);
+  }
+}
+
+/// The hybrid sparse/dense representation must never change what is
+/// mined: with the flag off (pure sorted-vector kernels) and on (dense
+/// tidsets as bitmaps), output and every pre-existing counter are
+/// byte-identical, for every thread count. The set-kernel counters
+/// themselves are pinned across thread counts via
+/// ExpectDeterministicAcrossThreadCounts (which compares all counters).
+TEST(ParallelScpmTest, HybridSetsOnOffByteIdentical) {
+  // Large enough that the 5% density rule genuinely promotes tidsets and
+  // covered sets to bitmaps (universe 120, tidsets ~70 vertices).
+  const AttributedGraph g = RandomAttributed(31, /*n=*/120, /*num_attrs=*/4,
+                                             /*edge_p=*/0.08, /*attr_p=*/0.6);
+  ScpmOptions options;
+  options.quasi_clique.gamma = 0.6;
+  options.quasi_clique.min_size = 3;
+  options.min_support = 4;
+  options.min_epsilon = 0.05;
+  options.top_k = 3;
+
+  options.use_hybrid_sets = false;
+  ScpmMiner plain_miner(options);
+  Result<ScpmResult> plain = plain_miner.Mine(g);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  EXPECT_EQ(plain->counters.bitmap_intersections, 0u);
+  EXPECT_EQ(plain->counters.galloping_intersections, 0u);
+  EXPECT_EQ(plain->counters.dense_conversions, 0u);
+
+  options.use_hybrid_sets = true;
+  ScpmMiner hybrid_miner(options);
+  Result<ScpmResult> hybrid = hybrid_miner.Mine(g);
+  ASSERT_TRUE(hybrid.ok()) << hybrid.status();
+  // The point of the test: the dense representation actually engaged.
+  EXPECT_GT(hybrid->counters.dense_conversions, 0u);
+  EXPECT_GT(hybrid->counters.bitmap_intersections, 0u);
+
+  // Identical output modulo the set-kernel counters (zero when off).
+  ScpmResult normalized = std::move(hybrid).value();
+  normalized.counters.bitmap_intersections = 0;
+  normalized.counters.galloping_intersections = 0;
+  normalized.counters.dense_conversions = 0;
+  ExpectIdenticalResults(*plain, normalized);
+
+  // And both configurations are thread-count independent, including the
+  // set-kernel counters of the hybrid run.
+  for (bool hybrid_on : {false, true}) {
+    ScpmOptions sweep = options;
+    sweep.use_hybrid_sets = hybrid_on;
+    ExpectDeterministicAcrossThreadCounts(g, sweep, nullptr);
   }
 }
 
