@@ -20,8 +20,14 @@
 //   --intra-min 512    |G(S)| at which one coverage search decomposes
 //                      into parallel branch tasks (0 = never)
 //   --intra-depth 12   decomposition depth of the intra-search tasks
-//   --hybrid 1         hybrid sparse/dense vertex-set storage (0 = pure
-//                      sorted-vector kernels; output is identical)
+//   --hybrid 1         hybrid sparse/chunked/dense vertex-set storage
+//                      (0 = pure sorted-vector kernels; output is
+//                      identical)
+//   --simd 1           SIMD word-kernel dispatch (0 pins the scalar
+//                      path; output is identical — A/B escape hatch)
+//   --chunked 1        roaring-style chunked mid-density representation
+//                      (0 = two-way sparse/dense rule; output is
+//                      identical)
 //   --top-n 10         rows printed per ranking table
 
 #include <cstdlib>
@@ -34,6 +40,8 @@
 #include "core/statistics.h"
 #include "graph/io.h"
 #include "nullmodel/expectation.h"
+#include "util/hybrid_set.h"
+#include "util/simd_ops.h"
 #include "util/timer.h"
 
 namespace {
@@ -43,7 +51,8 @@ void Usage() {
                "[--min-size S] [--sigma-min N] [--eps-min E] "
                "[--delta-min D] [--top-k K] [--order dfs|bfs] "
                "[--threads T] [--batch-grain W] [--intra-min U] "
-               "[--intra-depth D] [--hybrid 0|1] [--top-n N]\n";
+               "[--intra-depth D] [--hybrid 0|1] [--simd 0|1] "
+               "[--chunked 0|1] [--top-n N]\n";
 }
 
 }  // namespace
@@ -97,6 +106,10 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(std::atoi(value));
     } else if (flag == "--hybrid") {
       options.use_hybrid_sets = std::atoi(value) != 0;
+    } else if (flag == "--simd") {
+      scpm::SetSimdDispatch(std::atoi(value) != 0);
+    } else if (flag == "--chunked") {
+      scpm::HybridVertexSet::SetChunkedEnabled(std::atoi(value) != 0);
     } else if (flag == "--top-n") {
       top_n = static_cast<std::size_t>(std::atoll(value));
     } else {
@@ -126,10 +139,16 @@ int main(int argc, char** argv) {
     std::cerr << "mining failed: " << result.status() << "\n";
     return 1;
   }
+  // The dispatch path and representation histogram ride on the counters
+  // line so bench JSON rows scraped from it are attributable to a kernel
+  // variant.
   std::cout << "mined " << result->attribute_sets.size()
             << " attribute sets / " << result->patterns.size()
             << " patterns in " << timer.ElapsedSeconds() << " s\n"
             << "counters: " << scpm::FormatScpmCounters(result->counters)
+            << " simd=" << scpm::SimdDispatchName() << " reprs{dense="
+            << result->counters.dense_conversions
+            << " chunked=" << result->counters.chunked_conversions << "}"
             << "\n\n";
   scpm::PrintTopAttributeSets(std::cout, *graph, result->attribute_sets,
                               top_n);

@@ -15,6 +15,11 @@ side are reported but never fail the gate (scenarios come and go).
 A missing/empty baseline directory is a clean pass so the first run of a
 new branch does not fail.
 
+When $GITHUB_STEP_SUMMARY is set (CI), a per-scenario markdown table —
+one table per (bench, section), label / baseline / fresh / delta — is
+appended to it, pass or fail, so every run documents its timings, not
+just its verdict. The >30% gate itself is unchanged.
+
 Exit codes: 0 ok / baseline missing, 1 regression found, 2 usage error.
 """
 
@@ -63,6 +68,55 @@ def load_rows(directory, exclude=None):
     return rows
 
 
+def format_seconds(seconds):
+    if seconds is None:
+        return "—"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f} µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"
+
+
+def write_step_summary(fresh, baseline, threshold, min_seconds):
+    """Appends one markdown table per (bench, section) scenario to
+    $GITHUB_STEP_SUMMARY. No-op outside CI (env var unset)."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    scenarios = {}
+    for (bench, section, label), seconds in fresh.items():
+        scenarios.setdefault((bench, section), []).append((label, seconds))
+    lines = ["## Bench trend", ""]
+    if not baseline:
+        lines.append("_No baseline artifact — fresh timings only._")
+        lines.append("")
+    for (bench, section), rows in sorted(scenarios.items()):
+        lines.append(f"### {bench} — {section or '(default)'}")
+        lines.append("")
+        lines.append("| label | baseline | fresh | Δ |")
+        lines.append("| --- | ---: | ---: | ---: |")
+        for label, seconds in sorted(rows):
+            base_s = baseline.get((bench, section, label))
+            if base_s is None:
+                delta_cell = "new"
+            elif base_s <= 0:
+                delta_cell = "n/a"  # sub-resolution baseline timing
+            else:
+                delta = seconds / base_s - 1.0
+                noisy = seconds <= min_seconds or base_s <= min_seconds
+                flag = " ⚠" if not noisy and delta > threshold else ""
+                delta_cell = f"{delta:+.0%}{flag}"
+            lines.append(f"| {label} | {format_seconds(base_s)} "
+                         f"| {format_seconds(seconds)} | {delta_cell} |")
+        lines.append("")
+    try:
+        with open(path, "a") as f:
+            f.write("\n".join(lines) + "\n")
+    except OSError as e:
+        print(f"warning: could not write step summary: {e}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -79,10 +133,10 @@ def main():
     if not fresh:
         print(f"error: no BENCH_*.json found under {args.fresh}")
         return 2
-    if not os.path.isdir(args.baseline):
-        print(f"no baseline directory {args.baseline}; skipping trend check")
-        return 0
-    baseline = load_rows(args.baseline)
+    baseline = {}
+    if os.path.isdir(args.baseline):
+        baseline = load_rows(args.baseline)
+    write_step_summary(fresh, baseline, args.threshold, args.min_seconds)
     if not baseline:
         print(f"no baseline rows under {args.baseline}; skipping trend check")
         return 0

@@ -299,7 +299,10 @@ class Mining {
           ws->set_ops.bitmap_intersections;
       result_.counters.galloping_intersections +=
           ws->set_ops.galloping_intersections;
+      result_.counters.chunked_intersections +=
+          ws->set_ops.chunked_intersections;
       result_.counters.dense_conversions += ws->set_ops.dense_conversions;
+      result_.counters.chunked_conversions += ws->set_ops.chunked_conversions;
     }
     SortPatterns(&result_.patterns);
     return std::move(result_);

@@ -137,12 +137,17 @@ struct ScpmCounters {
   /// Branch tasks the intra-search decompositions produced in total.
   std::uint64_t intra_branch_tasks = 0;
   /// Set-kernel dispatches of the hybrid representation (zero when
-  /// use_hybrid_sets is off): intersections that used a bitmap operand,
-  /// vector/vector intersections that galloped, and sparse -> dense
-  /// materializations. See SetOpStats.
+  /// use_hybrid_sets is off): intersections that used a full-universe
+  /// bitmap operand, vector/vector intersections that galloped,
+  /// intersections with a chunked (roaring-style) operand, and the
+  /// vector -> bitmap / vector -> chunked materializations. Together the
+  /// two conversion counters form the set-representation histogram the
+  /// CLI prints. See SetOpStats.
   std::uint64_t bitmap_intersections = 0;
   std::uint64_t galloping_intersections = 0;
+  std::uint64_t chunked_intersections = 0;
   std::uint64_t dense_conversions = 0;
+  std::uint64_t chunked_conversions = 0;
 };
 
 /// Complete mining output.

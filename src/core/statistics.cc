@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/simd_ops.h"
+
 namespace scpm {
 namespace {
 
@@ -52,7 +54,9 @@ std::string FormatScpmCounters(const ScpmCounters& counters) {
      << " intra_tasks=" << counters.intra_branch_tasks
      << " bitmap_isects=" << counters.bitmap_intersections
      << " gallop_isects=" << counters.galloping_intersections
-     << " dense_convs=" << counters.dense_conversions;
+     << " chunked_isects=" << counters.chunked_intersections
+     << " dense_convs=" << counters.dense_conversions
+     << " chunked_convs=" << counters.chunked_conversions;
   return os.str();
 }
 
@@ -67,7 +71,12 @@ std::string ScpmCountersJson(const ScpmCounters& counters) {
      << ",\"intra_branch_tasks\":" << counters.intra_branch_tasks
      << ",\"bitmap_intersections\":" << counters.bitmap_intersections
      << ",\"galloping_intersections\":" << counters.galloping_intersections
-     << ",\"dense_conversions\":" << counters.dense_conversions << "}";
+     << ",\"chunked_intersections\":" << counters.chunked_intersections
+     << ",\"dense_conversions\":" << counters.dense_conversions
+     << ",\"chunked_conversions\":" << counters.chunked_conversions
+     // The active kernel variant, so every bench JSON row carrying these
+     // counters is attributable to a dispatch path.
+     << ",\"simd_dispatch\":\"" << SimdDispatchName() << "\"}";
   return os.str();
 }
 

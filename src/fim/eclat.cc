@@ -40,9 +40,10 @@ struct Context {
   VertexSet scratch;
 
   /// Presents a tidset to the visitor as a sorted vector (zero-copy when
-  /// sparse). Returns the visitor's verdict.
+  /// sparse; chunked and dense tidsets materialize into the scratch
+  /// vector). Returns the visitor's verdict.
   bool Visit(const AttributeSet& items, const Node& node) {
-    if (!node.tidset.dense()) return visitor(items, node.tidset.sorted());
+    if (node.tidset.sparse()) return visitor(items, node.tidset.sorted());
     scratch.clear();
     node.tidset.AppendTo(&scratch);
     return visitor(items, scratch);

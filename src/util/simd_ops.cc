@@ -1,0 +1,88 @@
+#include "util/simd_ops.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+namespace scpm {
+namespace {
+
+std::size_t ScalarAnd(const std::uint64_t* a, const std::uint64_t* b,
+                      std::uint64_t* out, std::size_t n) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t v = a[i] & b[i];
+    out[i] = v;
+    count += std::popcount(v);
+  }
+  return count;
+}
+
+std::size_t ScalarAndCount(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t n) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += std::popcount(a[i] & b[i]);
+  return count;
+}
+
+std::size_t ScalarAndNot(const std::uint64_t* a, const std::uint64_t* b,
+                         std::uint64_t* out, std::size_t n) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t v = a[i] & ~b[i];
+    out[i] = v;
+    count += std::popcount(v);
+  }
+  return count;
+}
+
+std::size_t ScalarPopcount(const std::uint64_t* w, std::size_t n) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += std::popcount(w[i]);
+  return count;
+}
+
+constexpr SimdOps kScalarOps = {"scalar", &ScalarAnd, &ScalarAndCount,
+                                &ScalarAndNot, &ScalarPopcount};
+
+/// Automatic choice: SCPM_SIMD env override first, then the best table
+/// the CPU supports. Pure function of the environment, so every call —
+/// and every thread — resolves the same table.
+const SimdOps* ResolveAutomatic() {
+  const char* env = std::getenv("SCPM_SIMD");
+  if (env != nullptr) {
+    if (std::strcmp(env, "scalar") == 0) return &kScalarOps;
+    if (std::strcmp(env, "avx2") == 0 && Avx2SimdOps() != nullptr) {
+      return Avx2SimdOps();
+    }
+    // "auto" (or an unknown value) falls through to detection.
+  }
+  if (const SimdOps* avx2 = Avx2SimdOps()) return avx2;
+  return &kScalarOps;
+}
+
+std::atomic<const SimdOps*> g_active{nullptr};
+
+}  // namespace
+
+const SimdOps& ScalarSimdOps() { return kScalarOps; }
+
+const SimdOps& ActiveSimdOps() {
+  const SimdOps* ops = g_active.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    // Benign race: concurrent first calls resolve the same table.
+    ops = ResolveAutomatic();
+    g_active.store(ops, std::memory_order_release);
+  }
+  return *ops;
+}
+
+const char* SimdDispatchName() { return ActiveSimdOps().name; }
+
+void SetSimdDispatch(bool enable_simd) {
+  g_active.store(enable_simd ? ResolveAutomatic() : &kScalarOps,
+                 std::memory_order_release);
+}
+
+}  // namespace scpm

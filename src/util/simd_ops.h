@@ -1,0 +1,77 @@
+// Runtime-dispatched SIMD kernels for the 64-bit word loops.
+//
+// Every dense set operation in the engine — VertexBitset AND / ANDNOT /
+// popcount, and the per-chunk bitmap kernels of ChunkedVertexSet — bottoms
+// out in a loop over u64 words. This header exposes those loops as a table
+// of function pointers (SimdOps) with two interchangeable implementations:
+// a portable scalar table that compiles everywhere, and an AVX2 table
+// living in its own translation unit (src/util/simd_ops_avx2.cc, the only
+// TU built with -mavx2; see SCPM_ENABLE_AVX2 in CMakeLists.txt) that is
+// selected at runtime via cpuid. The same table shape is NEON-ready: a
+// future simd_ops_neon.cc slots in as a third provider without touching
+// any caller.
+//
+// Determinism contract: every implementation is bit-exact — identical
+// output words and identical popcounts for identical inputs — so the
+// dispatch choice can never change mined output or any counter. The
+// active table is resolved once per process (env override SCPM_SIMD,
+// then cpuid) and only changes through SetSimdDispatch(), which callers
+// must not invoke concurrently with mining.
+
+#ifndef SCPM_UTIL_SIMD_OPS_H_
+#define SCPM_UTIL_SIMD_OPS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scpm {
+
+/// A dispatchable table of word-array kernels. All entries are bit-exact
+/// across implementations (see file comment).
+struct SimdOps {
+  /// Implementation tag ("scalar", "avx2") for logs and bench JSON.
+  const char* name;
+
+  /// out[i] = a[i] & b[i] for i < n; returns the total popcount of out.
+  /// `out` may alias `a` or `b`.
+  std::size_t (*and_words)(const std::uint64_t* a, const std::uint64_t* b,
+                           std::uint64_t* out, std::size_t n);
+
+  /// Popcount of a[i] & b[i] over i < n without materializing the result.
+  std::size_t (*and_count_words)(const std::uint64_t* a,
+                                 const std::uint64_t* b, std::size_t n);
+
+  /// out[i] = a[i] & ~b[i] for i < n; returns the total popcount of out.
+  /// `out` may alias `a` or `b`.
+  std::size_t (*andnot_words)(const std::uint64_t* a, const std::uint64_t* b,
+                              std::uint64_t* out, std::size_t n);
+
+  /// Total popcount of w[0..n).
+  std::size_t (*popcount_words)(const std::uint64_t* w, std::size_t n);
+};
+
+/// The portable scalar table — always available, and the reference the
+/// equivalence fuzz suite compares every other table against.
+const SimdOps& ScalarSimdOps();
+
+/// The AVX2 table, or null when the AVX2 TU was compiled without
+/// -mavx2 (SCPM_ENABLE_AVX2=OFF) or the running CPU lacks AVX2.
+const SimdOps* Avx2SimdOps();
+
+/// The table the word kernels dispatch to. Resolved once per process:
+/// the SCPM_SIMD environment variable ("scalar" pins the scalar table,
+/// "avx2" requests AVX2) wins, otherwise the best table the CPU supports.
+const SimdOps& ActiveSimdOps();
+
+/// ActiveSimdOps().name — the tag the CLI counters line and the bench
+/// JSON use to attribute rows to a kernel variant.
+const char* SimdDispatchName();
+
+/// A/B escape hatch (scpm_cli --simd 0|1): false pins the scalar table,
+/// true restores the automatic choice (which still honors SCPM_SIMD).
+/// Call before mining, never concurrently with it.
+void SetSimdDispatch(bool enable_simd);
+
+}  // namespace scpm
+
+#endif  // SCPM_UTIL_SIMD_OPS_H_

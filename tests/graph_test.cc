@@ -510,6 +510,63 @@ TEST(MetricsTest, TriangleCount) {
   EXPECT_EQ(TriangleCount(Path4()), 0u);
 }
 
+/// Regression for the bitmap-row common-neighbor rewrite: the triangle
+/// and clustering metrics must produce the exact integer counts (and
+/// therefore bit-identical doubles) of a brute-force O(n^3) reference.
+class MetricsRowSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricsRowSweep, BitmapRowsMatchBruteForce) {
+  Rng rng(GetParam() + 50);
+  Result<Graph> g = ErdosRenyi(90, 0.08 + 0.04 * (GetParam() % 3), rng);
+  ASSERT_TRUE(g.ok());
+  const VertexId n = g->NumVertices();
+  auto adjacent = [&](VertexId u, VertexId v) {
+    return SortedContains(VertexSet(g->Neighbors(u).begin(),
+                                    g->Neighbors(u).end()),
+                          v);
+  };
+
+  std::size_t triangles = 0;
+  std::vector<std::size_t> local_twice_edges(n, 0);
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId b = a + 1; b < n; ++b) {
+      if (!adjacent(a, b)) continue;
+      for (VertexId c = b + 1; c < n; ++c) {
+        if (adjacent(a, c) && adjacent(b, c)) {
+          ++triangles;
+          local_twice_edges[a] += 2;
+          local_twice_edges[b] += 2;
+          local_twice_edges[c] += 2;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(TriangleCount(*g), triangles);
+
+  std::size_t wedges = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const std::size_t d = g->Degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  const double want_gcc =
+      wedges == 0 ? 0.0
+                  : static_cast<double>(3 * triangles) /
+                        static_cast<double>(wedges);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(*g), want_gcc);
+
+  const std::vector<double> local = LocalClusteringCoefficients(*g);
+  for (VertexId v = 0; v < n; ++v) {
+    const std::size_t d = g->Degree(v);
+    const double want =
+        d < 2 ? 0.0
+              : static_cast<double>(local_twice_edges[v]) /
+                    (static_cast<double>(d) * static_cast<double>(d - 1));
+    EXPECT_DOUBLE_EQ(local[v], want) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsRowSweep, ::testing::Range(0, 6));
+
 TEST(MetricsTest, DegreeAssortativity) {
   // Star graph: hub degree n-1, leaves degree 1 -> strongly disassortative.
   Graph star = MakeGraph(6, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}});

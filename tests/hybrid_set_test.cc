@@ -260,6 +260,231 @@ TEST(HybridVertexSetTest, EmptyAndSelfIntersections) {
   EXPECT_EQ(HybridVertexSet::IntersectSize(he, he, nullptr), 0u);
 }
 
+// ----------------------------------------------------- ChunkedVertexSet
+
+TEST(ChunkedVertexSetTest, FromSortedRoundtripMixedChunks) {
+  // One bitmap chunk (>= kChunkDenseMin members), one sparse-array chunk,
+  // and a straggler in a high chunk.
+  Rng rng(61);
+  VertexSet v;
+  for (VertexId x :
+       rng.SampleWithoutReplacement(40000, 700)) {  // chunk 0, dense
+    v.push_back(x);
+  }
+  for (VertexId x : rng.SampleWithoutReplacement(5000, 30)) {  // chunk 1
+    v.push_back(65536 + x);
+  }
+  v.push_back((7u << 16) + 12345);  // chunk 7, singleton
+  SortUnique(&v);
+
+  const ChunkedVertexSet c = ChunkedVertexSet::FromSorted(v);
+  EXPECT_EQ(c.size(), v.size());
+  ASSERT_EQ(c.chunks().size(), 3u);
+  EXPECT_TRUE(c.chunks()[0].dense());
+  EXPECT_FALSE(c.chunks()[1].dense());
+  EXPECT_FALSE(c.chunks()[2].dense());
+
+  VertexSet back;
+  c.AppendTo(&back);
+  EXPECT_EQ(back, v);
+  for (VertexId x : v) EXPECT_TRUE(c.Test(x)) << x;
+  EXPECT_FALSE(c.Test(3u << 16));
+  EXPECT_FALSE(c.Test(65536 + 5001));
+}
+
+/// Chunk-wise And/AndCount/AndBits against the sorted-vector reference
+/// across densities and overlap layouts — every in-chunk kernel pairing
+/// (word-AND, probe, u16 merge) must agree exactly.
+TEST(ChunkedVertexSetTest, AndMatchesReference) {
+  Rng rng(67);
+  const VertexId universe = 70000;  // 2 chunks, the 2nd partial
+  for (double da : {0.001, 0.01, 0.03, 0.05, 0.2}) {
+    for (double db : {0.001, 0.01, 0.03, 0.05, 0.2}) {
+      const VertexSet a = rng.SampleWithoutReplacement(
+          universe, static_cast<std::uint32_t>(universe * da));
+      const VertexSet b = rng.SampleWithoutReplacement(
+          universe, static_cast<std::uint32_t>(universe * db));
+      VertexSet want;
+      SortedIntersect(a, b, &want);
+
+      const ChunkedVertexSet ca = ChunkedVertexSet::FromSorted(a);
+      const ChunkedVertexSet cb = ChunkedVertexSet::FromSorted(b);
+      ChunkedVertexSet out;
+      EXPECT_EQ(ChunkedVertexSet::And(ca, cb, &out), want.size());
+      VertexSet got;
+      out.AppendTo(&got);
+      EXPECT_EQ(got, want) << "da=" << da << " db=" << db;
+      EXPECT_EQ(ChunkedVertexSet::AndCount(ca, cb), want.size());
+
+      // Chunked x full-universe bitmap (the slice kernel).
+      const VertexBitset bits_b = VertexBitset::FromSorted(b, universe);
+      ChunkedVertexSet out2;
+      EXPECT_EQ(ChunkedVertexSet::AndBits(ca, bits_b, &out2), want.size());
+      got.clear();
+      out2.AppendTo(&got);
+      EXPECT_EQ(got, want) << "da=" << da << " db=" << db;
+      EXPECT_EQ(ChunkedVertexSet::AndBitsCount(ca, bits_b), want.size());
+    }
+  }
+}
+
+TEST(ChunkedVertexSetTest, DisjointChunksIntersectEmpty) {
+  Rng rng(71);
+  VertexSet a, b;
+  for (VertexId x : rng.SampleWithoutReplacement(60000, 800)) a.push_back(x);
+  for (VertexId x : rng.SampleWithoutReplacement(60000, 800)) {
+    b.push_back((2u << 16) + x);
+  }
+  const ChunkedVertexSet ca = ChunkedVertexSet::FromSorted(a);
+  const ChunkedVertexSet cb = ChunkedVertexSet::FromSorted(b);
+  ChunkedVertexSet out;
+  EXPECT_EQ(ChunkedVertexSet::And(ca, cb, &out), 0u);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(out.chunks().size(), 0u);
+  EXPECT_EQ(ChunkedVertexSet::AndCount(ca, cb), 0u);
+}
+
+// --------------------------------------------- three-way density rule
+
+TEST(HybridVertexSetTest, ThreeWayDensityRule) {
+  // Restore the chunked toggle even when an expectation fires after the
+  // SetChunkedEnabled(false) block below.
+  struct ChunkedRestore {
+    ~ChunkedRestore() { HybridVertexSet::SetChunkedEnabled(true); }
+  } restore;
+  using Repr = HybridVertexSet::Repr;
+  // Universe below one chunk: the chunked band never engages; the 5%
+  // knee still decides dense.
+  EXPECT_EQ(HybridVertexSet::PickRepresentation(49, 1000), Repr::kSparse);
+  EXPECT_EQ(HybridVertexSet::PickRepresentation(50, 1000), Repr::kDense);
+  EXPECT_FALSE(HybridVertexSet::ShouldBeChunked(600, 65535));
+
+  // Universe 70000: sparse below 0.5% (350), chunked in [350, 3500),
+  // dense at >= 5% (3500).
+  EXPECT_EQ(HybridVertexSet::PickRepresentation(349, 70000), Repr::kSparse);
+  EXPECT_EQ(HybridVertexSet::PickRepresentation(350, 70000), Repr::kChunked);
+  EXPECT_EQ(HybridVertexSet::PickRepresentation(3499, 70000), Repr::kChunked);
+  EXPECT_EQ(HybridVertexSet::PickRepresentation(3500, 70000), Repr::kDense);
+
+  // Universe 0 = unknown: always sparse (the hybrid-off escape hatch).
+  EXPECT_EQ(HybridVertexSet::PickRepresentation(100000, 0), Repr::kSparse);
+
+  // The A/B toggle collapses the band back to sparse, deterministically.
+  HybridVertexSet::SetChunkedEnabled(false);
+  EXPECT_EQ(HybridVertexSet::PickRepresentation(1000, 70000), Repr::kSparse);
+  EXPECT_EQ(HybridVertexSet::PickRepresentation(3500, 70000), Repr::kDense);
+  HybridVertexSet::SetChunkedEnabled(true);
+  EXPECT_EQ(HybridVertexSet::PickRepresentation(1000, 70000), Repr::kChunked);
+}
+
+/// The core contract extended to the third representation: every
+/// representation pairing the rule can produce — sparse, chunked, and
+/// dense on either side — matches the sorted-vector reference at every
+/// density x universe, including universes below the chunk threshold.
+TEST(HybridVertexSetTest, ThreeWayIntersectionMatchesReference) {
+  Rng rng(73);
+  const double densities[] = {0.001, 0.01, 0.03, 0.05, 0.2};
+  for (VertexId universe : {50u, 64u, 1000u, 70000u}) {
+    for (double da : densities) {
+      for (double db : densities) {
+        const auto ka = static_cast<std::uint32_t>(universe * da);
+        const auto kb = static_cast<std::uint32_t>(universe * db);
+        const VertexSet a = rng.SampleWithoutReplacement(universe, ka);
+        const VertexSet b = rng.SampleWithoutReplacement(universe, kb);
+        VertexSet want;
+        SortedIntersect(a, b, &want);
+
+        for (VertexId ua : {universe, 0u}) {
+          for (VertexId ub : {universe, 0u}) {
+            SetOpStats stats;
+            HybridVertexSet ha = HybridVertexSet::FromVector(a, ua, &stats);
+            HybridVertexSet hb = HybridVertexSet::FromVector(b, ub, &stats);
+            EXPECT_EQ(ha.repr(),
+                      HybridVertexSet::PickRepresentation(a.size(), ua));
+            HybridVertexSet out;
+            HybridVertexSet::Intersect(ha, hb, &out, &stats);
+            EXPECT_EQ(out.ToVector(), want)
+                << "universe=" << universe << " da=" << da << " db=" << db
+                << " ua=" << ua << " ub=" << ub;
+            EXPECT_EQ(out.size(), want.size());
+            EXPECT_EQ(HybridVertexSet::IntersectSize(ha, hb, &stats),
+                      want.size());
+            // The result representation follows the three-way rule.
+            EXPECT_EQ(out.repr(), HybridVertexSet::PickRepresentation(
+                                      out.size(), out.universe()));
+            // Membership agrees across representations.
+            if (!want.empty()) {
+              EXPECT_TRUE(out.Contains(want[want.size() / 2]));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(HybridVertexSetTest, ChunkedIntersectionsAreCountedAndDeterministic) {
+  Rng rng(79);
+  const VertexId universe = 70000;
+  const VertexSet a = rng.SampleWithoutReplacement(universe, 1000);
+  const VertexSet b = rng.SampleWithoutReplacement(universe, 1000);
+  const VertexSet c = rng.SampleWithoutReplacement(universe, 10000);
+  const VertexSet d{5, 70000 - 1};
+  SetOpStats first, second;
+  for (SetOpStats* stats : {&first, &second}) {
+    HybridVertexSet ha = HybridVertexSet::FromVector(a, universe, stats);
+    HybridVertexSet hb = HybridVertexSet::FromVector(b, universe, stats);
+    HybridVertexSet hc = HybridVertexSet::FromVector(c, universe, stats);
+    HybridVertexSet hd = HybridVertexSet::FromVector(d, universe, stats);
+    ASSERT_TRUE(ha.chunked());
+    ASSERT_TRUE(hc.dense());
+    ASSERT_TRUE(hd.sparse());
+    HybridVertexSet out;
+    HybridVertexSet::Intersect(ha, hb, &out, stats);  // chunked x chunked
+    HybridVertexSet::Intersect(ha, hc, &out, stats);  // chunked x dense
+    HybridVertexSet::Intersect(ha, hd, &out, stats);  // chunked x sparse
+    EXPECT_EQ(HybridVertexSet::IntersectSize(ha, hb, stats),
+              SortedIntersectSize(a, b));
+  }
+  EXPECT_EQ(first.chunked_intersections, 4u);
+  EXPECT_EQ(first.chunked_conversions, 2u);  // a and b
+  EXPECT_EQ(first.dense_conversions, 1u);    // c
+  EXPECT_EQ(first.bitmap_intersections, 0u);
+  EXPECT_EQ(first.chunked_intersections, second.chunked_intersections);
+  EXPECT_EQ(first.chunked_conversions, second.chunked_conversions);
+
+  SetOpStats merged;
+  merged.MergeFrom(first);
+  merged.MergeFrom(second);
+  EXPECT_EQ(merged.chunked_intersections, 8u);
+  EXPECT_EQ(merged.chunked_conversions, 4u);
+}
+
+TEST(HybridVertexSetTest, TakeVectorAndContainsFromChunked) {
+  Rng rng(83);
+  const VertexSet src = rng.SampleWithoutReplacement(70000, 1200);
+  HybridVertexSet set = HybridVertexSet::FromVector(src, 70000, nullptr);
+  ASSERT_TRUE(set.chunked());
+  for (VertexId x : src) EXPECT_TRUE(set.Contains(x));
+  EXPECT_EQ(set.ToVector(), src);
+  EXPECT_EQ(set.TakeVector(), src);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(HybridVertexSetTest, NormalizePromotesViewsIntoChunked) {
+  Rng rng(89);
+  const VertexSet v = rng.SampleWithoutReplacement(70000, 1000);
+  SetOpStats stats;
+  HybridVertexSet set = HybridVertexSet::View(&v, 70000);
+  EXPECT_TRUE(set.sparse());
+  set.Normalize(&stats);
+  EXPECT_TRUE(set.chunked());
+  EXPECT_FALSE(set.is_view());
+  EXPECT_EQ(stats.chunked_conversions, 1u);
+  EXPECT_EQ(stats.dense_conversions, 0u);
+  EXPECT_EQ(set.ToVector(), v);
+}
+
 TEST(HybridVertexSetTest, AppendToAppends) {
   Rng rng(53);
   const VertexSet v = RandomSet(rng, 256, 0.5);

@@ -1,0 +1,133 @@
+// Equivalence fuzz for the runtime-dispatched SIMD word kernels: every
+// table (scalar, AVX2 when the build and CPU provide it) must be
+// bit-exact against the scalar reference on every length and bit
+// pattern — miner byte-identity across dispatch paths depends on it.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/simd_ops.h"
+
+namespace scpm {
+namespace {
+
+std::vector<std::uint64_t> RandomWords(Rng& rng, std::size_t n) {
+  std::vector<std::uint64_t> out(n);
+  for (std::uint64_t& w : out) {
+    w = rng.NextBounded(~std::uint64_t{0} - 1) |
+        (rng.NextBounded(2) << 63);  // exercise the top bit too
+  }
+  return out;
+}
+
+/// Every table that is available in this process: scalar always, AVX2
+/// when compiled in and supported by the CPU.
+std::vector<const SimdOps*> AvailableTables() {
+  std::vector<const SimdOps*> tables = {&ScalarSimdOps()};
+  if (const SimdOps* avx2 = Avx2SimdOps()) tables.push_back(avx2);
+  return tables;
+}
+
+// Word-array lengths covering the vector width boundaries (AVX2 handles
+// 4 words per step) and the scalar tail.
+const std::size_t kLengths[] = {0, 1, 2, 3, 4, 5, 7, 8, 9,
+                                15, 16, 31, 33, 64, 100, 1000, 1027};
+
+TEST(SimdOpsTest, AllTablesMatchScalarReference) {
+  Rng rng(99);
+  const SimdOps& scalar = ScalarSimdOps();
+  for (const SimdOps* table : AvailableTables()) {
+    SCOPED_TRACE(table->name);
+    for (std::size_t n : kLengths) {
+      for (int round = 0; round < 8; ++round) {
+        const std::vector<std::uint64_t> a = RandomWords(rng, n);
+        const std::vector<std::uint64_t> b = RandomWords(rng, n);
+        std::vector<std::uint64_t> want(n, 0), got(n, 0);
+
+        const std::size_t want_and =
+            scalar.and_words(a.data(), b.data(), want.data(), n);
+        const std::size_t got_and =
+            table->and_words(a.data(), b.data(), got.data(), n);
+        EXPECT_EQ(got_and, want_and) << "and_words n=" << n;
+        EXPECT_EQ(got, want) << "and_words n=" << n;
+        EXPECT_EQ(table->and_count_words(a.data(), b.data(), n), want_and)
+            << "and_count_words n=" << n;
+
+        const std::size_t want_andnot =
+            scalar.andnot_words(a.data(), b.data(), want.data(), n);
+        const std::size_t got_andnot =
+            table->andnot_words(a.data(), b.data(), got.data(), n);
+        EXPECT_EQ(got_andnot, want_andnot) << "andnot_words n=" << n;
+        EXPECT_EQ(got, want) << "andnot_words n=" << n;
+
+        EXPECT_EQ(table->popcount_words(a.data(), n),
+                  scalar.popcount_words(a.data(), n))
+            << "popcount_words n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdOpsTest, EdgePatterns) {
+  for (const SimdOps* table : AvailableTables()) {
+    SCOPED_TRACE(table->name);
+    for (std::size_t n : {4u, 5u, 1024u}) {
+      const std::vector<std::uint64_t> ones(n, ~std::uint64_t{0});
+      const std::vector<std::uint64_t> zeros(n, 0);
+      const std::vector<std::uint64_t> alt(n, 0xAAAAAAAAAAAAAAAAull);
+      std::vector<std::uint64_t> out(n, 7);
+      EXPECT_EQ(table->and_words(ones.data(), ones.data(), out.data(), n),
+                n * 64);
+      EXPECT_EQ(out, ones);
+      EXPECT_EQ(table->and_words(ones.data(), zeros.data(), out.data(), n),
+                0u);
+      EXPECT_EQ(out, zeros);
+      EXPECT_EQ(table->and_count_words(ones.data(), alt.data(), n), n * 32);
+      EXPECT_EQ(table->andnot_words(ones.data(), alt.data(), out.data(), n),
+                n * 32);
+      EXPECT_EQ(table->popcount_words(alt.data(), n), n * 32);
+    }
+  }
+}
+
+TEST(SimdOpsTest, AndAllowsAliasedOutput) {
+  Rng rng(7);
+  for (const SimdOps* table : AvailableTables()) {
+    SCOPED_TRACE(table->name);
+    const std::vector<std::uint64_t> a = RandomWords(rng, 37);
+    const std::vector<std::uint64_t> b = RandomWords(rng, 37);
+    std::vector<std::uint64_t> want(37);
+    const std::size_t want_count =
+        ScalarSimdOps().and_words(a.data(), b.data(), want.data(), 37);
+    std::vector<std::uint64_t> inout = a;
+    EXPECT_EQ(table->and_words(inout.data(), b.data(), inout.data(), 37),
+              want_count);
+    EXPECT_EQ(inout, want);
+  }
+}
+
+TEST(SimdOpsTest, DispatchToggleAndNaming) {
+  // Active table is one of the known names.
+  const std::string active = SimdDispatchName();
+  EXPECT_TRUE(active == "scalar" || active == "avx2") << active;
+
+  // Forcing scalar pins the scalar table; restoring re-resolves.
+  SetSimdDispatch(false);
+  EXPECT_STREQ(SimdDispatchName(), "scalar");
+  SetSimdDispatch(true);
+  EXPECT_EQ(SimdDispatchName(), active);
+
+  // The AVX2 provider, when present, self-identifies.
+  if (const SimdOps* avx2 = Avx2SimdOps()) {
+    EXPECT_STREQ(avx2->name, "avx2");
+  }
+}
+
+}  // namespace
+}  // namespace scpm
