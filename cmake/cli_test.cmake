@@ -1,0 +1,39 @@
+# scpm_cli flag-handling contract, run via ctest:
+#   cmake -DCLI=<path-to-scpm_cli> -P cli_test.cmake
+#
+# Unknown flags, flags missing their value, and missing positionals must
+# all exit non-zero (2) with usage text on stderr — never be silently
+# ignored. Flag parsing happens before any file IO, so the positional
+# paths need not exist.
+
+if(NOT DEFINED CLI)
+  message(FATAL_ERROR "pass -DCLI=<path to scpm_cli>")
+endif()
+
+function(expect_usage_error label)
+  execute_process(
+    COMMAND ${CLI} ${ARGN}
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT code EQUAL 2)
+    message(FATAL_ERROR "${label}: expected exit 2, got ${code}\n${err}")
+  endif()
+  if(NOT err MATCHES "usage:")
+    message(FATAL_ERROR "${label}: stderr lacks usage text:\n${err}")
+  endif()
+endfunction()
+
+expect_usage_error("no arguments")
+expect_usage_error("unknown flag" edges.txt attrs.txt --bogus 1)
+execute_process(
+  COMMAND ${CLI} edges.txt attrs.txt --bogus 1
+  RESULT_VARIABLE code
+  ERROR_VARIABLE err)
+if(NOT err MATCHES "unknown flag: --bogus")
+  message(FATAL_ERROR "unknown flag not named in the error:\n${err}")
+endif()
+expect_usage_error("flag missing value" edges.txt attrs.txt --gamma)
+expect_usage_error("bad sink value" edges.txt attrs.txt --sink csv)
+expect_usage_error("bad scope value" edges.txt attrs.txt --scope everything)
+message(STATUS "scpm_cli flag contract ok")

@@ -14,6 +14,8 @@
 //   --delta-min 0      minimum normalized structural correlation
 //                      (enables the max-exp null model when > 0)
 //   --top-k 5          patterns reported per attribute set
+//   --scope topk       topk (SCPM) or maximal (SCORP: every maximal
+//                      pattern per attribute set)
 //   --order dfs|bfs    candidate search order
 //   --threads 1        worker threads (output is identical for any count)
 //   --batch-grain 256  tidset mass per evaluation task (0 = one per task)
@@ -29,14 +31,36 @@
 //                      (0 = two-way sparse/dense rule; output is
 //                      identical)
 //   --top-n 10         rows printed per ranking table
+//
+// Streaming / anytime options (the frontier engine):
+//   --sink accumulate  accumulate (full result + ranking tables, memory
+//                      O(output)) or jsonl (one JSON line per attribute
+//                      set the moment it finalizes, memory O(frontier))
+//   --out FILE         jsonl destination (default: stdout)
+//   --deadline-ms 0    wall-clock budget (0 = none)
+//   --max-evals 0      evaluation budget, cut at a deterministic
+//                      frontier boundary (0 = none)
+//   --max-patterns 0   emitted-pattern budget, same cut discipline
+//   --checkpoint FILE  where to write the frontier checkpoint when a
+//                      budget cuts the run
+//   --resume FILE      continue from a previous run's checkpoint (same
+//                      graph and thresholds required)
+//
+// Exit codes: 0 = lattice exhausted, 3 = budget cut the run (checkpoint
+// written if --checkpoint was given), 1 = runtime error, 2 = usage error.
+// Unknown flags and flags missing their value are usage errors.
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "core/engine.h"
 #include "core/report.h"
 #include "core/scpm.h"
+#include "core/sink.h"
 #include "core/statistics.h"
 #include "graph/io.h"
 #include "nullmodel/expectation.h"
@@ -49,10 +73,13 @@ namespace {
 void Usage() {
   std::cerr << "usage: scpm_cli <edges.txt> <attrs.txt> [--gamma G] "
                "[--min-size S] [--sigma-min N] [--eps-min E] "
-               "[--delta-min D] [--top-k K] [--order dfs|bfs] "
-               "[--threads T] [--batch-grain W] [--intra-min U] "
-               "[--intra-depth D] [--hybrid 0|1] [--simd 0|1] "
-               "[--chunked 0|1] [--top-n N]\n";
+               "[--delta-min D] [--top-k K] [--scope topk|maximal] "
+               "[--order dfs|bfs] [--threads T] [--batch-grain W] "
+               "[--intra-min U] [--intra-depth D] [--hybrid 0|1] "
+               "[--simd 0|1] [--chunked 0|1] [--top-n N] "
+               "[--sink accumulate|jsonl] [--out FILE] [--deadline-ms MS] "
+               "[--max-evals N] [--max-patterns N] [--checkpoint FILE] "
+               "[--resume FILE]\n";
 }
 
 }  // namespace
@@ -68,14 +95,20 @@ int main(int argc, char** argv) {
   options.min_support = 10;
   options.min_epsilon = 0.1;
   options.top_k = 5;
+  scpm::EngineBudget budget;
   std::size_t top_n = 10;
+  std::string sink_kind = "accumulate";
+  std::string out_path;
+  std::string checkpoint_path;
+  std::string resume_path;
 
   for (int i = 3; i < argc; i += 2) {
+    const std::string flag = argv[i];
     if (i + 1 >= argc) {
+      std::cerr << "flag " << flag << " is missing its value\n";
       Usage();
       return 2;
     }
-    const std::string flag = argv[i];
     const char* value = argv[i + 1];
     if (flag == "--gamma") {
       options.quasi_clique.gamma = std::atof(value);
@@ -90,6 +123,16 @@ int main(int argc, char** argv) {
       options.min_delta = std::atof(value);
     } else if (flag == "--top-k") {
       options.top_k = static_cast<std::size_t>(std::atoll(value));
+    } else if (flag == "--scope") {
+      if (std::strcmp(value, "maximal") == 0) {
+        options.pattern_scope = scpm::PatternScope::kAllMaximal;
+      } else if (std::strcmp(value, "topk") == 0) {
+        options.pattern_scope = scpm::PatternScope::kTopK;
+      } else {
+        std::cerr << "unknown --scope: " << value << "\n";
+        Usage();
+        return 2;
+      }
     } else if (flag == "--order") {
       options.search_order = std::strcmp(value, "bfs") == 0
                                  ? scpm::SearchOrder::kBfs
@@ -112,6 +155,25 @@ int main(int argc, char** argv) {
       scpm::HybridVertexSet::SetChunkedEnabled(std::atoi(value) != 0);
     } else if (flag == "--top-n") {
       top_n = static_cast<std::size_t>(std::atoll(value));
+    } else if (flag == "--sink") {
+      sink_kind = value;
+      if (sink_kind != "accumulate" && sink_kind != "jsonl") {
+        std::cerr << "unknown --sink: " << value << "\n";
+        Usage();
+        return 2;
+      }
+    } else if (flag == "--out") {
+      out_path = value;
+    } else if (flag == "--deadline-ms") {
+      budget.deadline_ms = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (flag == "--max-evals") {
+      budget.max_evaluations = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (flag == "--max-patterns") {
+      budget.max_patterns = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (flag == "--checkpoint") {
+      checkpoint_path = value;
+    } else if (flag == "--resume") {
+      resume_path = value;
     } else {
       std::cerr << "unknown flag: " << flag << "\n";
       Usage();
@@ -119,40 +181,107 @@ int main(int argc, char** argv) {
     }
   }
 
+  // With --sink jsonl and no --out, stdout IS the JSONL stream; every
+  // informational line moves to stderr so consumers can pipe the output
+  // straight into a JSON parser.
+  const bool jsonl_on_stdout = sink_kind == "jsonl" && out_path.empty();
+  std::ostream& info = jsonl_on_stdout ? std::cerr : std::cout;
+
   scpm::Result<scpm::AttributedGraph> graph =
       scpm::LoadAttributedGraph(argv[1], argv[2]);
   if (!graph.ok()) {
     std::cerr << "load failed: " << graph.status() << "\n";
     return 1;
   }
-  std::cout << "loaded " << graph->NumVertices() << " vertices, "
-            << graph->graph().NumEdges() << " edges, "
-            << graph->NumAttributes() << " attributes\n";
+  info << "loaded " << graph->NumVertices() << " vertices, "
+       << graph->graph().NumEdges() << " edges, "
+       << graph->NumAttributes() << " attributes\n";
 
+  // The null model exists to normalize eps into delta; without a
+  // --delta-min threshold it only adds columns (and its per-support
+  // tables cost real memory on large graphs), so it is built exactly
+  // when the docs above say it is: --delta-min > 0.
   scpm::Graph topology = graph->graph();
-  scpm::MaxExpectationModel null_model(topology, options.quasi_clique);
-  scpm::ScpmMiner miner(options, &null_model);
+  std::unique_ptr<scpm::MaxExpectationModel> null_model;
+  if (options.min_delta > 0.0) {
+    null_model = std::make_unique<scpm::MaxExpectationModel>(
+        topology, options.quasi_clique);
+  }
+  scpm::ScpmEngine engine(options, null_model.get());
+  engine.set_budget(budget);
+
+  scpm::AccumulatingSink accumulating;
+  std::unique_ptr<scpm::JsonlSink> jsonl;
+  scpm::PatternSink* sink = &accumulating;
+  if (sink_kind == "jsonl") {
+    if (out_path.empty()) {
+      jsonl = std::make_unique<scpm::JsonlSink>(&std::cout, &*graph);
+    } else {
+      scpm::Result<std::unique_ptr<scpm::JsonlSink>> opened =
+          scpm::JsonlSink::Create(out_path, &*graph);
+      if (!opened.ok()) {
+        std::cerr << "sink failed: " << opened.status() << "\n";
+        return 1;
+      }
+      jsonl = std::move(opened).value();
+    }
+    sink = jsonl.get();
+  }
 
   scpm::WallTimer timer;
-  scpm::Result<scpm::ScpmResult> result = miner.Mine(*graph);
-  if (!result.ok()) {
-    std::cerr << "mining failed: " << result.status() << "\n";
+  scpm::Result<scpm::MiningRun> run = [&]() -> scpm::Result<scpm::MiningRun> {
+    if (resume_path.empty()) return engine.Run(*graph, sink);
+    std::ifstream in(resume_path);
+    if (!in.is_open()) {
+      return scpm::Status::IoError("cannot open checkpoint: " + resume_path);
+    }
+    scpm::Result<scpm::EngineCheckpoint> checkpoint =
+        scpm::EngineCheckpoint::Load(in);
+    if (!checkpoint.ok()) return checkpoint.status();
+    return engine.Resume(*graph, *checkpoint, sink);
+  }();
+  if (!run.ok()) {
+    std::cerr << "mining failed: " << run.status() << "\n";
     return 1;
   }
+
   // The dispatch path and representation histogram ride on the counters
   // line so bench JSON rows scraped from it are attributable to a kernel
   // variant.
-  std::cout << "mined " << result->attribute_sets.size()
-            << " attribute sets / " << result->patterns.size()
-            << " patterns in " << timer.ElapsedSeconds() << " s\n"
-            << "counters: " << scpm::FormatScpmCounters(result->counters)
-            << " simd=" << scpm::SimdDispatchName() << " reprs{dense="
-            << result->counters.dense_conversions
-            << " chunked=" << result->counters.chunked_conversions << "}"
-            << "\n\n";
-  scpm::PrintTopAttributeSets(std::cout, *graph, result->attribute_sets,
-                              top_n);
-  std::cout << "\n";
-  scpm::PrintPatternTable(std::cout, *graph, *result);
-  return 0;
+  info << "mined " << run->emitted << " attribute sets / "
+       << run->patterns_emitted << " patterns in " << timer.ElapsedSeconds()
+       << " s (" << (run->exhausted ? "exhausted" : "budget cut") << ")\n"
+       << "counters: " << scpm::FormatScpmCounters(run->counters)
+       << " simd=" << scpm::SimdDispatchName() << " reprs{dense="
+       << run->counters.dense_conversions
+       << " chunked=" << run->counters.chunked_conversions << "}"
+       << "\n\n";
+
+  if (!run->exhausted) {
+    info << "budget cut the run with " << run->frontier_entries
+         << " frontier entries left\n";
+    if (!checkpoint_path.empty()) {
+      std::ofstream out(checkpoint_path, std::ios::trunc);
+      scpm::Status saved = out.is_open()
+                               ? run->checkpoint.Save(out)
+                               : scpm::Status::IoError("cannot open " +
+                                                       checkpoint_path);
+      if (!saved.ok()) {
+        std::cerr << "checkpoint save failed: " << saved << "\n";
+        return 1;
+      }
+      info << "checkpoint written to " << checkpoint_path
+           << " (resume with --resume " << checkpoint_path << ")\n";
+    }
+  }
+
+  if (sink == &accumulating) {
+    scpm::ScpmResult result = accumulating.TakeResult();
+    result.counters = run->counters;
+    scpm::PrintTopAttributeSets(std::cout, *graph, result.attribute_sets,
+                                top_n);
+    std::cout << "\n";
+    scpm::PrintPatternTable(std::cout, *graph, result);
+  }
+  return run->exhausted ? 0 : 3;
 }

@@ -1,0 +1,70 @@
+// Streaming quickstart: mine with the frontier engine and a JSONL sink.
+//
+// Where quickstart.cc materializes the whole result via ScpmMiner::Mine,
+// this example drives the engine directly:
+//   1. attach a JsonlSink — every attribute set is written as one JSON
+//      line the moment it finalizes, so resident memory stays
+//      O(frontier) no matter how large the output gets;
+//   2. set an anytime budget (here an evaluation cap) — the engine cuts
+//      at a deterministic frontier boundary and hands back a
+//      serializable checkpoint;
+//   3. Resume(checkpoint) until the lattice is exhausted — the union of
+//      the segments' JSONL lines equals an uncut run's output exactly.
+//
+// A deadline (EngineBudget::deadline_ms) works the same way, except the
+// cut boundary is picked by the clock: the quasi-clique searches poll a
+// cancellation token, so even one long coverage search stops within a
+// candidate's work of the deadline.
+
+#include <iostream>
+#include <sstream>
+
+#include "core/engine.h"
+#include "core/sink.h"
+#include "datasets/paper_example.h"
+
+int main() {
+  const scpm::AttributedGraph graph = scpm::PaperExampleGraph();
+
+  scpm::ScpmOptions options;
+  options.quasi_clique.gamma = 0.6;
+  options.quasi_clique.min_size = 4;
+  options.min_support = 3;
+  options.min_epsilon = 0.5;
+  options.top_k = 10;
+
+  scpm::ScpmEngine engine(options);
+  scpm::EngineBudget budget;
+  budget.max_evaluations = 2;  // absurdly small: show several segments
+  engine.set_budget(budget);
+
+  scpm::JsonlSink sink(&std::cout, &graph);
+
+  scpm::Result<scpm::MiningRun> run = engine.Run(graph, &sink);
+  int segment = 1;
+  while (run.ok() && !run->exhausted) {
+    std::cerr << "segment " << segment << ": emitted " << run->emitted
+              << " sets, " << run->frontier_entries
+              << " frontier entries left; checkpoint is "
+              << run->checkpoint.Serialize().size() << " bytes\n";
+    // A real deployment writes checkpoint.Save(file) and resumes in a
+    // later process; round-tripping through the serialization here
+    // proves the same thing.
+    scpm::Result<scpm::EngineCheckpoint> restored =
+        scpm::EngineCheckpoint::Parse(run->checkpoint.Serialize());
+    if (!restored.ok()) {
+      std::cerr << "checkpoint parse failed: " << restored.status() << "\n";
+      return 1;
+    }
+    run = engine.Resume(graph, *restored, &sink);
+    ++segment;
+  }
+  if (!run.ok()) {
+    std::cerr << "mining failed: " << run.status() << "\n";
+    return 1;
+  }
+  std::cerr << "segment " << segment << ": exhausted (emitted "
+            << run->emitted << " sets, " << run->patterns_emitted
+            << " patterns)\n";
+  return 0;
+}

@@ -15,10 +15,19 @@ side are reported but never fail the gate (scenarios come and go).
 A missing/empty baseline directory is a clean pass so the first run of a
 new branch does not fail.
 
-When $GITHUB_STEP_SUMMARY is set (CI), a per-scenario markdown table —
-one table per (bench, section), label / baseline / fresh / delta — is
-appended to it, pass or fail, so every run documents its timings, not
-just its verdict. The >30% gate itself is unchanged.
+Rolling history: with --history-in (a directory holding the previous
+run's bench_history.json artifact, searched recursively) and
+--history-out, every run appends its own rows to the chain — capped at
+the last MAX_HISTORY (20) runs — and re-uploads it, so the series
+survives even though each CI run can only download artifacts, never
+append to them.
+
+When $GITHUB_STEP_SUMMARY is set (CI), the history renders as one
+markdown series table per (bench, section) scenario — labels down,
+runs across (oldest to newest), plus a Δ column for the newest step —
+turning the two-point gate into a per-scenario timing dashboard. With no
+history (first run, or --history-in unset) the old baseline/fresh table
+is emitted instead. The >30% gate itself is unchanged.
 
 Exit codes: 0 ok / baseline missing, 1 regression found, 2 usage error.
 """
@@ -66,6 +75,50 @@ def load_rows(directory, exclude=None):
             key = (bench, row.get("section", ""), row.get("label", ""))
             rows[key] = row.get("seconds", 0.0)
     return rows
+
+
+MAX_HISTORY = 20
+
+
+def key_to_str(key):
+    return "|".join(key)
+
+
+def str_to_key(text):
+    parts = text.split("|", 2)
+    while len(parts) < 3:
+        parts.append("")
+    return tuple(parts)
+
+
+def load_history(directory):
+    """Newest (largest) run chain from any bench_history.json below
+    `directory`. Returns [] when none parses."""
+    best = []
+    pattern = os.path.join(directory, "**", "bench_history.json")
+    for path in sorted(glob.glob(pattern, recursive=True)):
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: skipping unreadable history {path}: {e}")
+            continue
+        if doc.get("version") != 1:
+            continue
+        runs = doc.get("runs", [])
+        if len(runs) > len(best):
+            best = runs
+    return best
+
+
+def write_history(path, runs):
+    try:
+        with open(path, "w") as f:
+            json.dump({"version": 1, "runs": runs[-MAX_HISTORY:]}, f,
+                      indent=None, separators=(",", ":"))
+            f.write("\n")
+    except OSError as e:
+        print(f"warning: could not write history {path}: {e}")
 
 
 def format_seconds(seconds):
@@ -117,6 +170,55 @@ def write_step_summary(fresh, baseline, threshold, min_seconds):
         print(f"warning: could not write step summary: {e}")
 
 
+def write_series_summary(runs, threshold, min_seconds):
+    """Appends one markdown series table per (bench, section) scenario —
+    labels down, runs across — to $GITHUB_STEP_SUMMARY. No-op outside CI."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    scenarios = {}
+    for ri, run in enumerate(runs):
+        for key_str, seconds in run.get("rows", {}).items():
+            bench, section, label = str_to_key(key_str)
+            series = scenarios.setdefault((bench, section), {}).setdefault(
+                label, [None] * len(runs))
+            series[ri] = seconds
+    lines = ["## Bench trend", "",
+             f"_Series over the last {len(runs)} runs "
+             f"(oldest → newest; history cap {MAX_HISTORY})._", ""]
+    run_labels = [str(run.get("label", f"run{ri}"))[:12]
+                  for ri, run in enumerate(runs)]
+    for (bench, section), rows in sorted(scenarios.items()):
+        lines.append(f"### {bench} — {section or '(default)'}")
+        lines.append("")
+        lines.append("| label | " + " | ".join(run_labels) + " | Δ |")
+        lines.append("| --- |" + " ---: |" * (len(runs) + 1))
+        for label, series in sorted(rows.items()):
+            cells = [format_seconds(s) for s in series]
+            newest = series[-1]
+            prev = next((s for s in reversed(series[:-1]) if s is not None),
+                        None)
+            if newest is None:
+                delta_cell = "gone"
+            elif prev is None:
+                delta_cell = "new"
+            elif prev <= 0:
+                delta_cell = "n/a"
+            else:
+                delta = newest / prev - 1.0
+                noisy = newest <= min_seconds or prev <= min_seconds
+                flag = " ⚠" if not noisy and delta > threshold else ""
+                delta_cell = f"{delta:+.0%}{flag}"
+            lines.append(f"| {label} | " + " | ".join(cells) +
+                         f" | {delta_cell} |")
+        lines.append("")
+    try:
+        with open(path, "a") as f:
+            f.write("\n".join(lines) + "\n")
+    except OSError as e:
+        print(f"warning: could not write step summary: {e}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -127,6 +229,12 @@ def main():
                         help="max allowed relative slowdown (0.30 = +30%%)")
     parser.add_argument("--min-seconds", type=float, default=0.005,
                         help="ignore rows where either side is below this")
+    parser.add_argument("--history-in", default=None,
+                        help="directory with the previous bench_history.json")
+    parser.add_argument("--history-out", default=None,
+                        help="where to write the extended history chain")
+    parser.add_argument("--run-label", default="fresh",
+                        help="column label for this run (e.g. short sha)")
     args = parser.parse_args()
 
     fresh = load_rows(args.fresh, exclude=args.baseline)
@@ -136,7 +244,22 @@ def main():
     baseline = {}
     if os.path.isdir(args.baseline):
         baseline = load_rows(args.baseline)
-    write_step_summary(fresh, baseline, args.threshold, args.min_seconds)
+
+    history = []
+    if args.history_in and os.path.isdir(args.history_in):
+        history = load_history(args.history_in)
+    runs = (history + [{
+        "label": args.run_label,
+        "rows": {key_to_str(k): v for k, v in fresh.items()},
+    }])[-MAX_HISTORY:]
+    if args.history_out:
+        write_history(args.history_out, runs)
+        print(f"history: {len(runs)} runs -> {args.history_out}")
+
+    if len(runs) >= 2:
+        write_series_summary(runs, args.threshold, args.min_seconds)
+    else:
+        write_step_summary(fresh, baseline, args.threshold, args.min_seconds)
     if not baseline:
         print(f"no baseline rows under {args.baseline}; skipping trend check")
         return 0

@@ -1,0 +1,1272 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/metrics.h"
+#include "graph/subgraph.h"
+#include "util/cancel.h"
+#include "util/hybrid_set.h"
+#include "util/logging.h"
+#include "util/sorted_ops.h"
+#include "util/thread_pool.h"
+
+namespace scpm {
+
+namespace {
+
+using Key = std::vector<std::uint32_t>;
+
+/// One node of the attribute-set enumeration tree. The covered set K_S is
+/// not stored here: it lives in the shared CoveredSetCache while children
+/// may still need it for Theorem-3 pruning. Tidsets are hybrid: root
+/// classes borrow the graph-owned attribute tidsets, dense sets live as
+/// bitmaps, and intersections dispatch to the matching kernel.
+struct Node {
+  AttributeSet items;
+  HybridVertexSet tidset;  // V(S)
+};
+
+/// FNV-1a over the attribute ids.
+struct AttributeSetHash {
+  std::size_t operator()(const AttributeSet& items) const {
+    std::uint64_t h = 1469598103934665603ull;
+    for (AttributeId a : items) {
+      h ^= a;
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Concurrent map S -> K_S sharing Theorem-3 covered-vertex sets across
+/// workers. Mutex-striped so unrelated attribute sets do not contend.
+///
+/// Usage is deterministic by construction: an entry is inserted before any
+/// frontier entry that reads it exists (children of an equivalence class
+/// are created only after every class member is evaluated), and only the
+/// two generating parents of a child are consulted — never whichever
+/// other subsets happen to be resident. That keeps the mined output and
+/// every counter independent of thread timing.
+class CoveredSetCache {
+ public:
+  using Entry = std::shared_ptr<const HybridVertexSet>;
+
+  void Insert(const AttributeSet& items, Entry covered) {
+    Shard& shard = ShardFor(items);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map[items] = std::move(covered);
+  }
+
+  Entry Lookup(const AttributeSet& items) {
+    Shard& shard = ShardFor(items);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(items);
+    return it == shard.map.end() ? nullptr : it->second;
+  }
+
+  void Erase(const AttributeSet& items) {
+    Shard& shard = ShardFor(items);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.erase(items);
+  }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<AttributeSet, Entry, AttributeSetHash> map;
+  };
+
+  Shard& ShardFor(const AttributeSet& items) {
+    return shards_[AttributeSetHash{}(items) % shards_.size()];
+  }
+
+  std::array<Shard, 16> shards_;
+};
+
+/// An evaluated equivalence class whose members may still be extended.
+/// Destruction (when the last frontier entry referencing the class is
+/// consumed) evicts the members' covered sets from the cache.
+struct ClassNode {
+  explicit ClassNode(CoveredSetCache* cache) : cache(cache) {}
+  ~ClassNode() {
+    for (const Node& s : siblings) cache->Erase(s.items);
+  }
+  ClassNode(const ClassNode&) = delete;
+  ClassNode& operator=(const ClassNode&) = delete;
+
+  std::vector<Node> siblings;
+  CoveredSetCache* cache;
+};
+
+/// Mutable per-worker scratch: a reusable quasi-clique miner and the
+/// induced-subgraph workspace feeding it. Counters do NOT live here —
+/// they flow through per-entry bundles so a cancelled entry's partial
+/// work leaves no trace.
+struct WorkerState {
+  explicit WorkerState(const ScpmOptions& options)
+      : miner(options.miner_options()) {
+    miner.set_workspace(&workspace);
+  }
+
+  SubgraphWorkspace workspace;  // before miner: it must outlive it
+  QuasiCliqueMiner miner;
+};
+
+/// Deterministic counter deltas of one evaluation batch or one frontier
+/// entry, folded up the tree at barriers (batch -> entry -> engine
+/// totals) in a fixed order. Cancelled entries discard theirs, so engine
+/// totals reflect exactly the completed entries.
+struct CounterBundle {
+  ScpmCounters counters;
+  SetOpStats set_ops;
+
+  void MergeFrom(const CounterBundle& other) {
+    counters.attribute_sets_evaluated +=
+        other.counters.attribute_sets_evaluated;
+    counters.attribute_sets_reported += other.counters.attribute_sets_reported;
+    counters.attribute_sets_extended += other.counters.attribute_sets_extended;
+    counters.coverage_candidates += other.counters.coverage_candidates;
+    counters.evaluation_batches += other.counters.evaluation_batches;
+    counters.intra_search_evaluations +=
+        other.counters.intra_search_evaluations;
+    counters.intra_branch_tasks += other.counters.intra_branch_tasks;
+    set_ops.MergeFrom(other.set_ops);
+  }
+};
+
+/// Evaluation output and bookkeeping of one child attribute set.
+struct EvalSlot {
+  Node node;
+  Key key;                         // emission key, set by the producer
+  CoveredSetCache::Entry covered;  // set only when extendable
+  bool extendable = false;
+  bool reported = false;
+  AttributeSetOutput output;  // valid when reported
+};
+
+/// A frequent singleton: its fixed emission index plus its evaluation
+/// slot, filled by the root-batch entry covering it.
+struct RootSlot {
+  std::uint32_t index = 0;  // position in the frequent-singleton list
+  AttributeId attr = 0;
+  bool done = false;  // marked by the driver at the wave barrier
+  EvalSlot slot;
+};
+
+/// One unit of frontier work. cls == nullptr marks a root batch
+/// (evaluate singles[begin, end)); otherwise the entry expands
+/// cls->siblings[sibling] under emission-key prefix `path`.
+struct FrontierEntry {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::shared_ptr<ClassNode> cls;
+  std::uint32_t sibling = 0;
+  Key path;
+};
+
+/// What one processed entry hands back to the driver at the wave barrier.
+struct EntryResult {
+  bool cancelled = false;  // discard everything, re-queue the entry
+  CounterBundle bundle;
+  std::uint64_t emitted = 0;           // attribute sets
+  std::uint64_t patterns_emitted = 0;  // patterns across those sets
+  std::vector<FrontierEntry> children;  // in sibling (key) order
+};
+
+/// Entry-scoped cancellation latch shared by an entry's evaluation tasks.
+struct EntryCtx {
+  std::atomic<bool> cancelled{false};
+};
+
+/// One Run/Resume segment: owns the frontier, the pool, the caches, and
+/// the wave loop.
+class EngineRunner {
+ public:
+  EngineRunner(const AttributedGraph& graph, const ScpmOptions& options,
+               const EngineBudget& budget, std::size_t wave,
+               ExpectationModel* null_model, PatternSink* sink,
+               const std::function<void(const EngineProgress&)>& progress)
+      : graph_(graph),
+        options_(options),
+        budget_(budget),
+        wave_(wave),
+        null_model_(null_model),
+        sink_(sink),
+        progress_(progress),
+        // Slot count caps the intra-search branch tasks outstanding at
+        // once across ALL evaluations: a huge-G(S) evaluation that grabs
+        // slots is borrowing parallelism its sibling evaluations would
+        // otherwise spend, and returns it as its subtasks drain.
+        intra_budget_(options.num_threads > 1 ? 2 * options.num_threads : 0) {
+    const std::size_t workers = std::max<std::size_t>(1, options_.num_threads);
+    states_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      states_.push_back(std::make_unique<WorkerState>(options_));
+    }
+    if (options_.num_threads > 1) {
+      pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    }
+    for (const std::unique_ptr<WorkerState>& ws : states_) {
+      ws->miner.set_parallel_context(pool_.get(), &intra_budget_);
+      ws->miner.set_cancel_token(&token_);
+    }
+  }
+
+  /// Seeds the frontier with the frequent singletons (paper Algorithm 2
+  /// line 1), pre-batched into root entries.
+  void SeedFresh() {
+    phase_roots_ = true;
+    for (AttributeId a = 0; a < graph_.NumAttributes(); ++a) {
+      if (graph_.VerticesWith(a).size() < options_.min_support) continue;
+      RootSlot rs;
+      rs.index = static_cast<std::uint32_t>(singles_.size());
+      rs.attr = a;
+      singles_.push_back(std::move(rs));
+    }
+    // Batch by tidset mass exactly like child evaluations, one frontier
+    // entry per batch.
+    const std::size_t grain = options_.eval_batch_grain;
+    std::size_t begin = 0;
+    std::size_t weight = 0;
+    for (std::size_t s = 0; s < singles_.size(); ++s) {
+      weight += std::max<std::size_t>(
+          1, graph_.VerticesWith(singles_[s].attr).size());
+      if (grain == 0 || weight >= grain) {
+        PushRootEntry(begin, s + 1);
+        begin = s + 1;
+        weight = 0;
+      }
+    }
+    if (begin < singles_.size()) PushRootEntry(begin, singles_.size());
+  }
+
+  Status SeedFromCheckpoint(const EngineCheckpoint& cp) {
+    if (!cp.valid) {
+      return Status::InvalidArgument("checkpoint is empty or unparsed");
+    }
+    if (cp.num_vertices != graph_.NumVertices() ||
+        cp.num_attributes != graph_.NumAttributes() ||
+        cp.num_edges != graph_.graph().NumEdges()) {
+      return Status::InvalidArgument(
+          "checkpoint was taken against a different graph");
+    }
+    if (cp.options_fingerprint !=
+        ScpmEngine::OptionsFingerprint(options_, null_model_ != nullptr)) {
+      return Status::InvalidArgument(
+          "checkpoint was taken under different mining options");
+    }
+    // Covered sets are the one bulky untrusted input: everything
+    // downstream (bitmap promotion, Theorem-3 word kernels) assumes
+    // sorted, duplicate-free, in-range vertex ids.
+    const auto valid_covered = [this](const VertexSet& covered) {
+      return IsStrictlySorted(covered) &&
+             (covered.empty() || covered.back() < graph_.NumVertices());
+    };
+    SetOpStats* stats = SeedSetStats();
+    if (cp.in_roots_phase) {
+      phase_roots_ = true;
+      for (const EngineCheckpoint::DoneRoot& dr : cp.done_roots) {
+        if (dr.attr >= graph_.NumAttributes()) {
+          return Status::InvalidArgument("checkpoint root attr out of range");
+        }
+        if (!valid_covered(dr.covered)) {
+          return Status::InvalidArgument(
+              "checkpoint root covered set malformed");
+        }
+        RootSlot rs;
+        rs.index = dr.index;
+        rs.attr = dr.attr;
+        rs.done = true;
+        rs.slot.node.items = {dr.attr};
+        rs.slot.node.tidset =
+            HybridVertexSet::View(&graph_.VerticesWith(dr.attr), SetUniverse());
+        rs.slot.node.tidset.Normalize(stats);
+        rs.slot.extendable = true;
+        rs.slot.covered = std::make_shared<const HybridVertexSet>(
+            HybridVertexSet::FromVector(dr.covered, SetUniverse(), stats));
+        singles_.push_back(std::move(rs));
+      }
+      for (const EngineCheckpoint::PendingRootBatch& batch : cp.root_batches) {
+        if (batch.indices.size() != batch.attrs.size()) {
+          return Status::InvalidArgument("checkpoint root batch malformed");
+        }
+        const std::size_t begin = singles_.size();
+        for (std::size_t k = 0; k < batch.attrs.size(); ++k) {
+          if (batch.attrs[k] >= graph_.NumAttributes()) {
+            return Status::InvalidArgument(
+                "checkpoint root attr out of range");
+          }
+          RootSlot rs;
+          rs.index = batch.indices[k];
+          rs.attr = batch.attrs[k];
+          singles_.push_back(std::move(rs));
+        }
+        PushRootEntry(begin, singles_.size());
+      }
+      return Status::OK();
+    }
+
+    phase_roots_ = false;
+    std::vector<std::shared_ptr<ClassNode>> classes;
+    std::vector<const Key*> paths;
+    classes.reserve(cp.classes.size());
+    for (const EngineCheckpoint::PendingClass& pc : cp.classes) {
+      auto cls = std::make_shared<ClassNode>(&cache_);
+      for (const EngineCheckpoint::Member& m : pc.members) {
+        if (m.items.empty()) {
+          return Status::InvalidArgument("checkpoint class member is empty");
+        }
+        for (AttributeId a : m.items) {
+          if (a >= graph_.NumAttributes()) {
+            return Status::InvalidArgument(
+                "checkpoint member attr out of range");
+          }
+        }
+        if (!valid_covered(m.covered)) {
+          return Status::InvalidArgument(
+              "checkpoint member covered set malformed");
+        }
+        Node node;
+        node.items = m.items;
+        node.tidset = RecomputeTidset(m.items, stats);
+        cache_.Insert(m.items, std::make_shared<const HybridVertexSet>(
+                                   HybridVertexSet::FromVector(
+                                       m.covered, SetUniverse(), stats)));
+        cls->siblings.push_back(std::move(node));
+      }
+      classes.push_back(std::move(cls));
+      paths.push_back(&pc.path);
+    }
+    for (const EngineCheckpoint::PendingExpansion& e : cp.expansions) {
+      if (e.class_index >= classes.size() ||
+          e.sibling >= classes[e.class_index]->siblings.size()) {
+        return Status::InvalidArgument("checkpoint expansion out of range");
+      }
+      FrontierEntry entry;
+      entry.cls = classes[e.class_index];
+      entry.sibling = e.sibling;
+      entry.path = *paths[e.class_index];
+      frontier_.push_back(std::move(entry));
+    }
+    return Status::OK();
+  }
+
+  /// The wave loop: drain the frontier until exhausted, cut, or error.
+  Status Drive() {
+    if (budget_.deadline_ms != 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(budget_.deadline_ms);
+      token_.SetDeadline(deadline_);
+    }
+    while (true) {
+      if (has_error_.load()) return FirstError();
+      if (frontier_.empty()) {
+        if (phase_roots_) {
+          FormRootClass();
+          phase_roots_ = false;
+          continue;
+        }
+        exhausted_ = true;
+        return FirstError();
+      }
+      if (BudgetHit()) {
+        exhausted_ = false;
+        return Status::OK();
+      }
+      RunWave();
+      if (progress_) {
+        EngineProgress p;
+        p.evaluations = total_.counters.attribute_sets_evaluated;
+        p.emitted = emitted_;
+        p.frontier_entries = frontier_.size();
+        progress_(p);
+      }
+    }
+  }
+
+  MiningRun TakeRun() {
+    MiningRun run;
+    run.exhausted = exhausted_;
+    run.counters = total_.counters;
+    run.counters.bitmap_intersections += total_.set_ops.bitmap_intersections;
+    run.counters.galloping_intersections +=
+        total_.set_ops.galloping_intersections;
+    run.counters.chunked_intersections +=
+        total_.set_ops.chunked_intersections;
+    run.counters.dense_conversions += total_.set_ops.dense_conversions;
+    run.counters.chunked_conversions += total_.set_ops.chunked_conversions;
+    run.emitted = emitted_;
+    run.patterns_emitted = patterns_emitted_;
+    run.frontier_entries = frontier_.size();
+    if (!exhausted_) run.checkpoint = BuildCheckpoint();
+    return run;
+  }
+
+ private:
+  /// Runs `fn` inline (sequential mode) or as a pool task.
+  void Launch(ThreadPool::TaskGroup* group, std::function<void()> fn) {
+    if (pool_ != nullptr) {
+      pool_->Spawn(group, std::move(fn));
+    } else {
+      fn();
+    }
+  }
+
+  void Await(ThreadPool::TaskGroup* group) {
+    if (pool_ != nullptr) pool_->WaitFor(group);
+  }
+
+  /// Waits out one wave. With a deadline, the wait is bounded: on timeout
+  /// the token latches and the wait resumes — every search polls the
+  /// token, so the remaining tasks unwind within a candidate's work each.
+  void AwaitWave(ThreadPool::TaskGroup* group) {
+    if (pool_ == nullptr) return;
+    if (budget_.deadline_ms != 0) {
+      if (!pool_->WaitForUntil(group, deadline_)) {
+        token_.RequestCancel();
+        pool_->WaitFor(group);
+      }
+    } else {
+      pool_->WaitFor(group);
+    }
+  }
+
+  void PushRootEntry(std::size_t begin, std::size_t end) {
+    FrontierEntry entry;
+    entry.begin = begin;
+    entry.end = end;
+    frontier_.push_back(std::move(entry));
+  }
+
+  /// The calling worker's scratch (slot 0 in sequential mode and for the
+  /// driving thread, which only runs work while no task is live).
+  WorkerState& State() {
+    const int index = pool_ != nullptr ? pool_->current_worker_index() : -1;
+    return *states_[index < 0 ? 0 : static_cast<std::size_t>(index)];
+  }
+
+  /// Universe passed to every hybrid set: the vertex count with hybrid
+  /// storage on, 0 (never dense, pure merge path) with it off.
+  VertexId SetUniverse() const {
+    return options_.use_hybrid_sets ? graph_.NumVertices() : 0;
+  }
+
+  SetOpStats* BundleSetStats(CounterBundle* bundle) {
+    return options_.use_hybrid_sets ? &bundle->set_ops : nullptr;
+  }
+
+  /// Kernel-counter sink for driver-side seeding work (resume tidset
+  /// recomputation); folds into the engine totals like everything else.
+  SetOpStats* SeedSetStats() { return BundleSetStats(&total_); }
+
+  void RecordError(Status status) {
+    {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (first_error_.ok()) first_error_ = std::move(status);
+    }
+    has_error_.store(true);
+    // Abort in-flight searches quickly; nothing will be emitted or
+    // checkpointed after an error anyway.
+    token_.RequestCancel();
+  }
+
+  Status FirstError() {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    return first_error_;
+  }
+
+  bool BudgetHit() {
+    if (budget_.max_evaluations != 0 &&
+        total_.counters.attribute_sets_evaluated >= budget_.max_evaluations) {
+      return true;
+    }
+    if (budget_.max_patterns != 0 &&
+        patterns_emitted_ >= budget_.max_patterns) {
+      return true;
+    }
+    if (budget_.deadline_ms != 0 && token_.CheckNow()) return true;
+    return false;
+  }
+
+  /// Pops up to wave_ entries off the frontier's back, processes them in
+  /// parallel, and folds the survivors at the barrier (in wave order, so
+  /// every fold is deterministic). Cancelled entries go back whole.
+  void RunWave() {
+    const std::size_t n = std::min(frontier_.size(), wave_);
+    const std::size_t base = frontier_.size() - n;
+    std::vector<FrontierEntry> entries(
+        std::make_move_iterator(frontier_.begin() + base),
+        std::make_move_iterator(frontier_.end()));
+    frontier_.resize(base);
+
+    std::vector<EntryResult> results(n);
+    ThreadPool::TaskGroup group;
+    for (std::size_t i = 0; i < n; ++i) {
+      Launch(&group, [this, &entries, &results, i] {
+        ProcessEntry(&entries[i], &results[i]);
+      });
+    }
+    AwaitWave(&group);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      EntryResult& r = results[i];
+      if (r.cancelled) {
+        frontier_.push_back(std::move(entries[i]));
+        continue;
+      }
+      if (entries[i].cls == nullptr) {
+        for (std::size_t s = entries[i].begin; s < entries[i].end; ++s) {
+          singles_[s].done = true;
+        }
+      }
+      total_.MergeFrom(r.bundle);
+      emitted_ += r.emitted;
+      patterns_emitted_ += r.patterns_emitted;
+      for (FrontierEntry& child : r.children) {
+        frontier_.push_back(std::move(child));
+      }
+    }
+  }
+
+  void ProcessEntry(FrontierEntry* entry, EntryResult* result) {
+    if (has_error_.load() || token_.cancelled()) {
+      result->cancelled = true;
+      return;
+    }
+    if (entry->cls == nullptr) {
+      ProcessRootBatch(*entry, result);
+    } else {
+      ProcessExpansion(*entry, result);
+    }
+  }
+
+  /// Evaluates one pre-batched range of frequent singletons (emission
+  /// keys {0, index}) and flushes the reported ones.
+  void ProcessRootBatch(const FrontierEntry& entry, EntryResult* result) {
+    EntryCtx ctx;
+    result->bundle.counters.evaluation_batches += 1;
+    for (std::size_t s = entry.begin; s < entry.end; ++s) {
+      if (token_.cancelled() || has_error_.load()) {
+        ctx.cancelled.store(true, std::memory_order_relaxed);
+        break;
+      }
+      RootSlot& rs = singles_[s];
+      rs.slot = EvalSlot();  // reset: the entry may be a re-run after a cut
+      rs.slot.node.items = {rs.attr};
+      // Borrow the graph-owned tidset: promoting a dense root to its
+      // bitmap happens inside this (parallel) entry, sharding the
+      // root-class build across the pool.
+      rs.slot.node.tidset =
+          HybridVertexSet::View(&graph_.VerticesWith(rs.attr), SetUniverse());
+      rs.slot.key = Key{0, rs.index};
+      EvaluateNode(&rs.slot, nullptr, nullptr, &result->bundle, &ctx);
+      if (ctx.cancelled.load(std::memory_order_relaxed)) break;
+    }
+    if (has_error_.load() || ctx.cancelled.load(std::memory_order_relaxed) ||
+        token_.cancelled()) {
+      result->cancelled = true;
+      return;
+    }
+    for (std::size_t s = entry.begin; s < entry.end; ++s) {
+      if (!FlushSlot(&singles_[s].slot, result)) return;
+    }
+  }
+
+  /// Expands sibling i of class `entry.cls` (paper Algorithm 3):
+  /// evaluates the children it generates with later siblings, flushes the
+  /// reported ones, and hands the extendable children back as a new class
+  /// worth of frontier entries.
+  void ProcessExpansion(const FrontierEntry& entry, EntryResult* result) {
+    EntryCtx ctx;
+    const std::vector<Node>& siblings = entry.cls->siblings;
+    const std::size_t i = entry.sibling;
+
+    std::vector<EvalSlot> slots;
+    std::vector<std::size_t> js;
+    SetOpStats* set_stats = BundleSetStats(&result->bundle);
+    for (std::size_t j = i + 1; j < siblings.size(); ++j) {
+      EvalSlot slot;
+      SortedUnion(siblings[i].items, siblings[j].items, &slot.node.items);
+      HybridVertexSet::Intersect(siblings[i].tidset, siblings[j].tidset,
+                                 &slot.node.tidset, set_stats);
+      if (slot.node.tidset.size() < options_.min_support) continue;
+      slot.key = entry.path;
+      slot.key.reserve(slot.key.size() + 3);
+      slot.key.push_back(static_cast<std::uint32_t>(i));
+      slot.key.push_back(0);
+      slot.key.push_back(static_cast<std::uint32_t>(j));
+      slots.push_back(std::move(slot));
+      js.push_back(j);
+    }
+    if (slots.empty()) return;
+
+    const auto ranges = BatchRanges(slots);
+    result->bundle.counters.evaluation_batches += ranges.size();
+    std::vector<CounterBundle> batch_bundles(ranges.size());
+    ThreadPool::TaskGroup evals;
+    for (std::size_t r = 0; r < ranges.size(); ++r) {
+      Launch(&evals, [this, &siblings, &slots, &js, &batch_bundles, &ctx, i,
+                      r, begin = ranges[r].first, end = ranges[r].second] {
+        for (std::size_t s = begin; s < end; ++s) {
+          if (token_.cancelled() || has_error_.load() ||
+              ctx.cancelled.load(std::memory_order_relaxed)) {
+            ctx.cancelled.store(true, std::memory_order_relaxed);
+            return;
+          }
+          EvaluateNode(&slots[s], &siblings[i].items, &siblings[js[s]].items,
+                       &batch_bundles[r], &ctx);
+        }
+      });
+    }
+    Await(&evals);
+    if (has_error_.load() || ctx.cancelled.load(std::memory_order_relaxed) ||
+        token_.cancelled()) {
+      result->cancelled = true;
+      return;
+    }
+    for (const CounterBundle& b : batch_bundles) result->bundle.MergeFrom(b);
+    for (EvalSlot& slot : slots) {
+      if (!FlushSlot(&slot, result)) return;
+    }
+
+    auto child_class = std::make_shared<ClassNode>(&cache_);
+    for (EvalSlot& slot : slots) {
+      if (!slot.extendable) continue;
+      cache_.Insert(slot.node.items, std::move(slot.covered));
+      child_class->siblings.push_back(std::move(slot.node));
+    }
+    result->bundle.counters.attribute_sets_extended +=
+        child_class->siblings.size();
+    if (child_class->siblings.empty() ||
+        child_class->siblings.front().items.size() >=
+            options_.max_attribute_set_size) {
+      return;
+    }
+    Key child_path = entry.path;
+    child_path.push_back(static_cast<std::uint32_t>(i));
+    child_path.push_back(1);
+    result->children.reserve(child_class->siblings.size());
+    for (std::size_t c = 0; c < child_class->siblings.size(); ++c) {
+      FrontierEntry child;
+      child.cls = child_class;
+      child.sibling = static_cast<std::uint32_t>(c);
+      child.path = child_path;
+      result->children.push_back(std::move(child));
+    }
+  }
+
+  /// Emits a reported slot to the sink. Returns false after recording an
+  /// error (the run aborts; the entry is marked cancelled so the driver
+  /// folds nothing from it).
+  bool FlushSlot(EvalSlot* slot, EntryResult* result) {
+    if (!slot->reported) return true;
+    const std::uint64_t patterns = slot->output.patterns.size();
+    Status status = sink_->Emit(slot->key, std::move(slot->output));
+    slot->reported = false;
+    if (!status.ok()) {
+      RecordError(std::move(status));
+      result->cancelled = true;
+      return false;
+    }
+    ++result->emitted;
+    result->patterns_emitted += patterns;
+    return true;
+  }
+
+  /// Greedy pack of evaluation slots into per-task index ranges:
+  /// consecutive slots share a task until their tidset sizes reach
+  /// eval_batch_grain. A pure function of the slot sizes, so the launch
+  /// plan — and every counter it feeds — is identical for every thread
+  /// count.
+  std::vector<std::pair<std::size_t, std::size_t>> BatchRanges(
+      const std::vector<EvalSlot>& slots) const {
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    const std::size_t grain = options_.eval_batch_grain;
+    std::size_t begin = 0;
+    std::size_t weight = 0;
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      weight += std::max<std::size_t>(1, slots[s].node.tidset.size());
+      if (grain == 0 || weight >= grain) {
+        ranges.emplace_back(begin, s + 1);
+        begin = s + 1;
+        weight = 0;
+      }
+    }
+    if (begin < slots.size()) ranges.emplace_back(begin, slots.size());
+    return ranges;
+  }
+
+  /// Computes K_S / eps / delta for a node, records it (and its patterns)
+  /// into the slot when it passes the thresholds, and decides
+  /// extendability per Theorems 4 and 5. A cancelled quasi-clique search
+  /// latches ctx->cancelled instead of erroring.
+  void EvaluateNode(EvalSlot* slot, const AttributeSet* parent_a,
+                    const AttributeSet* parent_b, CounterBundle* bundle,
+                    EntryCtx* ctx) {
+    if (has_error_.load()) return;
+    WorkerState& ws = State();
+    SetOpStats* set_stats = BundleSetStats(bundle);
+    ++bundle->counters.attribute_sets_evaluated;
+    Node& node = slot->node;
+    // Root tidsets arrive as borrowed views; promote the dense ones to
+    // bitmaps here, inside the (parallel) evaluation task. Intersection
+    // results are already in canonical representation, so this is a
+    // cheap no-op for every deeper node.
+    node.tidset.Normalize(set_stats);
+
+    // Theorem 3: quasi-cliques of G(S) live inside the parents' covered
+    // sets, so the search universe can be restricted to them.
+    HybridVertexSet universe = node.tidset;
+    if (options_.use_vertex_pruning) {
+      HybridVertexSet tmp;
+      for (const AttributeSet* parent : {parent_a, parent_b}) {
+        if (parent == nullptr) continue;
+        CoveredSetCache::Entry covered = cache_.Lookup(*parent);
+        SCPM_CHECK(covered != nullptr)
+            << "parent covered set evicted before its children finished";
+        HybridVertexSet::Intersect(universe, *covered, &tmp, set_stats);
+        universe = std::move(tmp);
+        tmp = HybridVertexSet();
+      }
+    }
+
+    // Adaptive granularity, subgraph side: a huge G(S) decomposes its own
+    // quasi-clique search into branch tasks, borrowing pool slots from
+    // the shared budget. The trigger compares deterministic sizes only,
+    // so the decision (and all counters downstream of it) is identical
+    // for every num_threads.
+    const bool intra_search =
+        options_.intra_search_min_universe != 0 &&
+        universe.size() >= options_.intra_search_min_universe;
+    ws.miner.set_spawn_depth(intra_search ? options_.intra_search_spawn_depth
+                                          : 0);
+    if (intra_search) ++bundle->counters.intra_search_evaluations;
+
+    Result<InducedSubgraph> sub =
+        ws.workspace.Build(graph_.graph(), std::move(universe));
+    if (!sub.ok()) return RecordError(sub.status());
+    Result<VertexSet> covered = ws.miner.MineCoverage(sub->graph());
+    if (!covered.ok()) {
+      ws.workspace.Recycle(std::move(sub).value());
+      if (covered.status().code() == StatusCode::kCancelled) {
+        ctx->cancelled.store(true, std::memory_order_relaxed);
+      } else {
+        RecordError(covered.status());
+      }
+      return;
+    }
+    bundle->counters.coverage_candidates +=
+        ws.miner.stats().candidates_processed;
+    bundle->counters.intra_branch_tasks += ws.miner.stats().branch_tasks;
+    VertexSet covered_global = sub->ToGlobal(*covered);
+    const std::size_t covered_size = covered_global.size();
+
+    const std::size_t support = node.tidset.size();
+    const double eps =
+        static_cast<double>(covered_size) / static_cast<double>(support);
+    const double expected =
+        null_model_ != nullptr ? null_model_->Expectation(support) : 1.0;
+    const double delta =
+        expected > 0.0 ? eps / expected : (eps > 0.0 ? 1e300 : 0.0);
+
+    const bool passes =
+        eps >= options_.min_epsilon && delta >= options_.min_delta;
+    if (passes && node.items.size() >= options_.min_report_size) {
+      ++bundle->counters.attribute_sets_reported;
+      slot->output.stats.attributes = node.items;
+      slot->output.stats.support = support;
+      slot->output.stats.covered = covered_size;
+      slot->output.stats.epsilon = eps;
+      slot->output.stats.expected_epsilon = expected;
+      slot->output.stats.delta = delta;
+      if (options_.collect_patterns && covered_size > 0) {
+        Status status = CollectPatterns(node, *sub, &ws, bundle, slot);
+        if (!status.ok()) {
+          ws.workspace.Recycle(std::move(sub).value());
+          if (status.code() == StatusCode::kCancelled) {
+            ctx->cancelled.store(true, std::memory_order_relaxed);
+          } else {
+            RecordError(std::move(status));
+          }
+          return;
+        }
+      }
+      slot->reported = true;
+    }
+    ws.workspace.Recycle(std::move(sub).value());
+
+    // Theorems 4 and 5: upper bounds on eps / delta of any extension.
+    const double mass = eps * static_cast<double>(support);
+    bool extendable = true;
+    if (options_.use_epsilon_pruning &&
+        mass <
+            options_.min_epsilon * static_cast<double>(options_.min_support)) {
+      extendable = false;
+    }
+    if (extendable && options_.use_delta_pruning && null_model_ != nullptr) {
+      const double expected_at_min =
+          null_model_->Expectation(options_.min_support);
+      if (mass < options_.min_delta * expected_at_min *
+                     static_cast<double>(options_.min_support)) {
+        extendable = false;
+      }
+    }
+    slot->extendable = extendable;
+    if (extendable) {
+      // Stored for the children's Theorem-3 intersection, so it goes in
+      // hybrid form (dense covered sets intersect by word-AND).
+      slot->covered = std::make_shared<const HybridVertexSet>(
+          HybridVertexSet::FromVector(std::move(covered_global),
+                                      SetUniverse(), set_stats));
+    }
+  }
+
+  /// Patterns of G(S): top-k (paper §3.2.3) or the complete maximal set
+  /// (SCORP semantics), reported in global ids into the slot.
+  Status CollectPatterns(const Node& node, const InducedSubgraph& sub,
+                         WorkerState* ws, CounterBundle* bundle,
+                         EvalSlot* slot) {
+    std::vector<RankedQuasiClique> found;
+    if (options_.pattern_scope == PatternScope::kTopK) {
+      Result<std::vector<RankedQuasiClique>> top =
+          ws->miner.MineTopK(sub.graph(), options_.top_k);
+      if (!top.ok()) return top.status();
+      found = std::move(top).value();
+    } else {
+      Result<std::vector<VertexSet>> all = ws->miner.MineMaximal(sub.graph());
+      if (!all.ok()) return all.status();
+      found.reserve(all->size());
+      for (VertexSet& q : *all) {
+        RankedQuasiClique entry;
+        entry.min_degree_ratio = MinDegreeRatio(sub.graph(), q);
+        entry.vertices = std::move(q);
+        found.push_back(std::move(entry));
+      }
+    }
+    bundle->counters.coverage_candidates +=
+        ws->miner.stats().candidates_processed;
+    bundle->counters.intra_branch_tasks += ws->miner.stats().branch_tasks;
+    for (RankedQuasiClique& q : found) {
+      StructuralCorrelationPattern pattern;
+      pattern.attributes = node.items;
+      pattern.min_degree_ratio = q.min_degree_ratio;
+      pattern.edge_density = SubsetDensity(sub.graph(), q.vertices);
+      pattern.vertices = sub.ToGlobal(q.vertices);
+      slot->output.patterns.push_back(std::move(pattern));
+    }
+    return Status::OK();
+  }
+
+  /// Frontier boundary between the roots phase and the lattice walk:
+  /// forms the root equivalence class from the extendable singletons (in
+  /// emission-index order, so the class layout — and every key derived
+  /// from it — matches the sequential enumeration) and seeds one
+  /// expansion entry per member under key prefix {1}.
+  void FormRootClass() {
+    std::vector<RootSlot*> extendable;
+    for (RootSlot& rs : singles_) {
+      if (rs.slot.extendable) extendable.push_back(&rs);
+    }
+    std::sort(extendable.begin(), extendable.end(),
+              [](const RootSlot* a, const RootSlot* b) {
+                return a->index < b->index;
+              });
+    auto roots = std::make_shared<ClassNode>(&cache_);
+    for (RootSlot* rs : extendable) {
+      cache_.Insert(rs->slot.node.items, std::move(rs->slot.covered));
+      roots->siblings.push_back(std::move(rs->slot.node));
+    }
+    total_.counters.attribute_sets_extended += roots->siblings.size();
+    if (options_.max_attribute_set_size <= 1 || roots->siblings.size() < 2) {
+      return;
+    }
+    for (std::size_t i = 0; i < roots->siblings.size(); ++i) {
+      FrontierEntry entry;
+      entry.cls = roots;
+      entry.sibling = static_cast<std::uint32_t>(i);
+      entry.path = Key{1};
+      frontier_.push_back(std::move(entry));
+    }
+  }
+
+  /// Recomputes V(S) from the graph's attribute index (resume path): the
+  /// elements are exactly the original lattice tidset, and the
+  /// representation is the same pure function of (size, universe).
+  HybridVertexSet RecomputeTidset(const AttributeSet& items,
+                                  SetOpStats* stats) {
+    HybridVertexSet t =
+        HybridVertexSet::View(&graph_.VerticesWith(items[0]), SetUniverse());
+    if (items.size() == 1) {
+      t.Normalize(stats);
+      return t;
+    }
+    for (std::size_t k = 1; k < items.size(); ++k) {
+      HybridVertexSet next =
+          HybridVertexSet::View(&graph_.VerticesWith(items[k]), SetUniverse());
+      HybridVertexSet out;
+      HybridVertexSet::Intersect(t, next, &out, stats);
+      t = std::move(out);
+    }
+    return t;
+  }
+
+  EngineCheckpoint BuildCheckpoint() {
+    EngineCheckpoint cp;
+    cp.num_vertices = graph_.NumVertices();
+    cp.num_attributes = graph_.NumAttributes();
+    cp.num_edges = graph_.graph().NumEdges();
+    cp.options_fingerprint =
+        ScpmEngine::OptionsFingerprint(options_, null_model_ != nullptr);
+    cp.valid = true;
+    if (phase_roots_) {
+      cp.in_roots_phase = true;
+      for (const RootSlot& rs : singles_) {
+        if (!rs.done || !rs.slot.extendable) continue;
+        EngineCheckpoint::DoneRoot dr;
+        dr.index = rs.index;
+        dr.attr = rs.attr;
+        dr.covered = rs.slot.covered->ToVector();
+        cp.done_roots.push_back(std::move(dr));
+      }
+      for (const FrontierEntry& entry : frontier_) {
+        EngineCheckpoint::PendingRootBatch batch;
+        for (std::size_t s = entry.begin; s < entry.end; ++s) {
+          batch.indices.push_back(singles_[s].index);
+          batch.attrs.push_back(singles_[s].attr);
+        }
+        cp.root_batches.push_back(std::move(batch));
+      }
+      return cp;
+    }
+    std::unordered_map<const ClassNode*, std::uint32_t> class_index;
+    for (const FrontierEntry& entry : frontier_) {
+      auto [it, inserted] = class_index.emplace(
+          entry.cls.get(), static_cast<std::uint32_t>(cp.classes.size()));
+      if (inserted) {
+        EngineCheckpoint::PendingClass pc;
+        pc.path = entry.path;
+        for (const Node& node : entry.cls->siblings) {
+          EngineCheckpoint::Member member;
+          member.items = node.items;
+          CoveredSetCache::Entry covered = cache_.Lookup(node.items);
+          SCPM_CHECK(covered != nullptr)
+              << "class member covered set missing at checkpoint";
+          member.covered = covered->ToVector();
+          pc.members.push_back(std::move(member));
+        }
+        cp.classes.push_back(std::move(pc));
+      }
+      EngineCheckpoint::PendingExpansion e;
+      e.class_index = it->second;
+      e.sibling = entry.sibling;
+      cp.expansions.push_back(e);
+    }
+    return cp;
+  }
+
+  const AttributedGraph& graph_;
+  const ScpmOptions& options_;
+  const EngineBudget budget_;
+  const std::size_t wave_;
+  ExpectationModel* null_model_;
+  PatternSink* sink_;
+  const std::function<void(const EngineProgress&)>& progress_;
+
+  // Shared by every worker's miner; must outlive pool_ (declared later,
+  // destroyed first) because draining tasks may still release slots.
+  ParallelismBudget intra_budget_;
+  CancelToken token_;
+  std::chrono::steady_clock::time_point deadline_{};
+
+  std::vector<std::unique_ptr<WorkerState>> states_;
+  CoveredSetCache cache_;
+
+  bool phase_roots_ = false;
+  std::vector<RootSlot> singles_;
+  std::vector<FrontierEntry> frontier_;
+
+  CounterBundle total_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t patterns_emitted_ = 0;
+  bool exhausted_ = false;
+
+  std::mutex error_mutex_;
+  Status first_error_;
+  std::atomic<bool> has_error_{false};
+
+  // Declared last, destroyed first: joining the workers destroys every
+  // outstanding task closure, whose captured ClassNode references erase
+  // cache entries — all of which must still be alive at that point.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace
+
+std::uint64_t ScpmEngine::OptionsFingerprint(const ScpmOptions& options,
+                                             bool has_null_model) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  auto mix_double = [&mix](double d) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  mix_double(options.quasi_clique.gamma);
+  mix(options.quasi_clique.min_size);
+  mix(options.min_support);
+  mix_double(options.min_epsilon);
+  mix_double(options.min_delta);
+  mix(options.top_k);
+  mix(static_cast<std::uint64_t>(options.pattern_scope));
+  mix(options.max_attribute_set_size);
+  mix(options.min_report_size);
+  mix(static_cast<std::uint64_t>(options.search_order));
+  mix(options.use_vertex_pruning ? 1 : 0);
+  mix(options.use_epsilon_pruning ? 1 : 0);
+  mix(options.use_delta_pruning ? 1 : 0);
+  mix(options.collect_patterns ? 1 : 0);
+  mix(has_null_model ? 1 : 0);
+  return h;
+}
+
+Result<MiningRun> ScpmEngine::Run(const AttributedGraph& graph,
+                                  PatternSink* sink) {
+  SCPM_RETURN_IF_ERROR(options_.Validate());
+  if (sink == nullptr) {
+    return Status::InvalidArgument("sink must not be null");
+  }
+  EngineRunner runner(graph, options_, budget_, frontier_wave_, null_model_,
+                      sink, progress_);
+  runner.SeedFresh();
+  SCPM_RETURN_IF_ERROR(runner.Drive());
+  return runner.TakeRun();
+}
+
+Result<MiningRun> ScpmEngine::Resume(const AttributedGraph& graph,
+                                     const EngineCheckpoint& checkpoint,
+                                     PatternSink* sink) {
+  SCPM_RETURN_IF_ERROR(options_.Validate());
+  if (sink == nullptr) {
+    return Status::InvalidArgument("sink must not be null");
+  }
+  EngineRunner runner(graph, options_, budget_, frontier_wave_, null_model_,
+                      sink, progress_);
+  SCPM_RETURN_IF_ERROR(runner.SeedFromCheckpoint(checkpoint));
+  SCPM_RETURN_IF_ERROR(runner.Drive());
+  return runner.TakeRun();
+}
+
+// ------------------------------------------------------- checkpoint I/O
+
+namespace {
+
+void WriteVertexSet(std::ostream& os, const VertexSet& v) {
+  os << v.size();
+  for (VertexId x : v) os << ' ' << x;
+}
+
+bool ReadCount(std::istream& is, std::uint64_t limit, std::uint64_t* out) {
+  if (!(is >> *out)) return false;
+  return *out <= limit;
+}
+
+bool ReadVertexSet(std::istream& is, VertexSet* out) {
+  std::uint64_t count = 0;
+  if (!ReadCount(is, std::uint64_t{1} << 32, &count)) return false;
+  out->clear();
+  // The count is untrusted until the elements actually parse: cap the
+  // up-front reservation so a tiny file claiming 2^32 elements fails at
+  // the first missing token instead of in a giant allocation.
+  out->reserve(static_cast<std::size_t>(std::min<std::uint64_t>(count, 4096)));
+  for (std::uint64_t k = 0; k < count; ++k) {
+    VertexId v;
+    if (!(is >> v)) return false;
+    out->push_back(v);
+  }
+  return true;
+}
+
+bool ExpectToken(std::istream& is, const char* token) {
+  std::string word;
+  return (is >> word) && word == token;
+}
+
+}  // namespace
+
+Status EngineCheckpoint::Save(std::ostream& os) const {
+  os << "scpm-checkpoint 1\n";
+  os << "graph " << num_vertices << ' ' << num_attributes << ' ' << num_edges
+     << "\n";
+  os << "options " << options_fingerprint << "\n";
+  os << "phase " << (in_roots_phase ? "roots" : "tree") << "\n";
+  os << "done-roots " << done_roots.size() << "\n";
+  for (const DoneRoot& dr : done_roots) {
+    os << "root " << dr.index << ' ' << dr.attr << ' ';
+    WriteVertexSet(os, dr.covered);
+    os << "\n";
+  }
+  os << "root-batches " << root_batches.size() << "\n";
+  for (const PendingRootBatch& batch : root_batches) {
+    os << "batch " << batch.attrs.size();
+    for (std::size_t k = 0; k < batch.attrs.size(); ++k) {
+      os << ' ' << batch.indices[k] << ' ' << batch.attrs[k];
+    }
+    os << "\n";
+  }
+  os << "classes " << classes.size() << "\n";
+  for (const PendingClass& pc : classes) {
+    os << "class " << pc.path.size();
+    for (std::uint32_t p : pc.path) os << ' ' << p;
+    os << ' ' << pc.members.size() << "\n";
+    for (const Member& m : pc.members) {
+      os << "member " << m.items.size();
+      for (AttributeId a : m.items) os << ' ' << a;
+      os << ' ';
+      WriteVertexSet(os, m.covered);
+      os << "\n";
+    }
+  }
+  os << "expansions " << expansions.size() << "\n";
+  for (const PendingExpansion& e : expansions) {
+    os << e.class_index << ' ' << e.sibling << "\n";
+  }
+  os << "end\n";
+  if (!os.good()) return Status::IoError("checkpoint write failed");
+  return Status::OK();
+}
+
+std::string EngineCheckpoint::Serialize() const {
+  std::ostringstream os;
+  Save(os).ok();
+  return os.str();
+}
+
+Result<EngineCheckpoint> EngineCheckpoint::Load(std::istream& is) {
+  const Status malformed = Status::InvalidArgument("malformed checkpoint");
+  EngineCheckpoint cp;
+  std::string word;
+  std::uint64_t version = 0;
+  if (!ExpectToken(is, "scpm-checkpoint") || !(is >> version)) {
+    return malformed;
+  }
+  if (version != 1) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  if (!ExpectToken(is, "graph") || !(is >> cp.num_vertices) ||
+      !(is >> cp.num_attributes) || !(is >> cp.num_edges)) {
+    return malformed;
+  }
+  if (!ExpectToken(is, "options") || !(is >> cp.options_fingerprint)) {
+    return malformed;
+  }
+  if (!ExpectToken(is, "phase") || !(is >> word)) return malformed;
+  if (word == "roots") {
+    cp.in_roots_phase = true;
+  } else if (word == "tree") {
+    cp.in_roots_phase = false;
+  } else {
+    return malformed;
+  }
+
+  constexpr std::uint64_t kMaxItems = std::uint64_t{1} << 32;
+  std::uint64_t count = 0;
+  if (!ExpectToken(is, "done-roots") || !ReadCount(is, kMaxItems, &count)) {
+    return malformed;
+  }
+  for (std::uint64_t k = 0; k < count; ++k) {
+    DoneRoot dr;
+    if (!ExpectToken(is, "root") || !(is >> dr.index) || !(is >> dr.attr) ||
+        !ReadVertexSet(is, &dr.covered)) {
+      return malformed;
+    }
+    cp.done_roots.push_back(std::move(dr));
+  }
+
+  if (!ExpectToken(is, "root-batches") || !ReadCount(is, kMaxItems, &count)) {
+    return malformed;
+  }
+  for (std::uint64_t k = 0; k < count; ++k) {
+    PendingRootBatch batch;
+    std::uint64_t size = 0;
+    if (!ExpectToken(is, "batch") || !ReadCount(is, kMaxItems, &size)) {
+      return malformed;
+    }
+    for (std::uint64_t j = 0; j < size; ++j) {
+      std::uint32_t index = 0;
+      AttributeId attr = 0;
+      if (!(is >> index) || !(is >> attr)) return malformed;
+      batch.indices.push_back(index);
+      batch.attrs.push_back(attr);
+    }
+    cp.root_batches.push_back(std::move(batch));
+  }
+
+  if (!ExpectToken(is, "classes") || !ReadCount(is, kMaxItems, &count)) {
+    return malformed;
+  }
+  for (std::uint64_t k = 0; k < count; ++k) {
+    PendingClass pc;
+    std::uint64_t path_len = 0;
+    std::uint64_t members = 0;
+    if (!ExpectToken(is, "class") || !ReadCount(is, kMaxItems, &path_len)) {
+      return malformed;
+    }
+    for (std::uint64_t j = 0; j < path_len; ++j) {
+      std::uint32_t p = 0;
+      if (!(is >> p)) return malformed;
+      pc.path.push_back(p);
+    }
+    if (!ReadCount(is, kMaxItems, &members)) return malformed;
+    for (std::uint64_t j = 0; j < members; ++j) {
+      Member m;
+      std::uint64_t attrs = 0;
+      if (!ExpectToken(is, "member") || !ReadCount(is, kMaxItems, &attrs)) {
+        return malformed;
+      }
+      for (std::uint64_t a = 0; a < attrs; ++a) {
+        AttributeId id = 0;
+        if (!(is >> id)) return malformed;
+        m.items.push_back(id);
+      }
+      if (!ReadVertexSet(is, &m.covered)) return malformed;
+      pc.members.push_back(std::move(m));
+    }
+    cp.classes.push_back(std::move(pc));
+  }
+
+  if (!ExpectToken(is, "expansions") || !ReadCount(is, kMaxItems, &count)) {
+    return malformed;
+  }
+  for (std::uint64_t k = 0; k < count; ++k) {
+    PendingExpansion e;
+    if (!(is >> e.class_index) || !(is >> e.sibling)) return malformed;
+    cp.expansions.push_back(e);
+  }
+  if (!ExpectToken(is, "end")) return malformed;
+  cp.valid = true;
+  return cp;
+}
+
+Result<EngineCheckpoint> EngineCheckpoint::Parse(const std::string& text) {
+  std::istringstream is(text);
+  return Load(is);
+}
+
+}  // namespace scpm

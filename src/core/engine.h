@@ -1,0 +1,219 @@
+// Frontier-driven SCPM mining engine.
+//
+// The paper's Algorithm 2 walks the attribute-set lattice; the original
+// implementation expressed that walk as recursive task spawning, which
+// ties the run's lifetime and memory to the whole lattice. This engine
+// makes the walk's state explicit — a deterministic work-list (the
+// *frontier*) of expansion entries, in the style of Galois worklists and
+// LTSmin exploration frontiers — and drains it in fixed-size waves on the
+// existing work-stealing pool. An entry expands one member of one
+// evaluated equivalence class: it evaluates the member's children,
+// finalizes the reported ones into the run's PatternSink, and appends the
+// extendable children's class back onto the frontier.
+//
+// What the explicit frontier buys:
+//
+//  * Streaming output — a finalized attribute set leaves the engine
+//    immediately through the sink; with a streaming sink, resident memory
+//    is O(frontier), not O(output).
+//  * Budgets / anytime mining — evaluation-count and pattern-count
+//    budgets cut the run at the next wave boundary (a deterministic,
+//    thread-count-independent point); a wall-clock deadline additionally
+//    latches a CancelToken that the quasi-clique searches poll, so even
+//    one long coverage search stops within a candidate's work. Entries in
+//    flight at a deadline cut are discarded whole and re-queued (their
+//    output was never emitted), so no attribute set is ever emitted
+//    twice.
+//  * Checkpoint / resume — a cut run serializes the remaining frontier
+//    (pending entries, their classes' attribute sets, and the Theorem-3
+//    covered sets children still need). Resume(checkpoint) recomputes the
+//    cheap derived state (tidsets) and continues; the union of emissions
+//    across the cut run and its resumes equals an uncut run's output
+//    exactly.
+//
+// Determinism contract: with no budget, the engine's output through an
+// AccumulatingSink is byte-identical — rows, patterns, and every counter
+// — to the pre-engine recursive miner, for any thread count and any
+// frontier wave size. Traversal order changes; the keyed emission order
+// and the per-evaluation arithmetic do not.
+
+#ifndef SCPM_CORE_ENGINE_H_
+#define SCPM_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/scpm.h"
+#include "core/sink.h"
+#include "graph/attributed_graph.h"
+#include "graph/types.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace scpm {
+
+/// Anytime budgets. All default to "unlimited"; the evaluation and
+/// pattern budgets are enforced at wave boundaries only, so their cut
+/// point is a pure function of the input (never of thread count or
+/// timing). The deadline is wall-clock and therefore cuts at whichever
+/// boundary the clock picks — still an entry-consistent state.
+struct EngineBudget {
+  /// Cut once this many attribute-set evaluations have completed
+  /// (0 = unlimited).
+  std::uint64_t max_evaluations = 0;
+  /// Cut once this many patterns have been emitted to the sink
+  /// (0 = unlimited).
+  std::uint64_t max_patterns = 0;
+  /// Wall-clock deadline in milliseconds from Run/Resume entry
+  /// (0 = none).
+  std::uint64_t deadline_ms = 0;
+
+  bool unlimited() const {
+    return max_evaluations == 0 && max_patterns == 0 && deadline_ms == 0;
+  }
+};
+
+/// Serializable snapshot of a cut run: everything a later process needs
+/// to finish the walk. Tidsets are deliberately absent — they are
+/// recomputed from the graph's attribute index on resume, which keeps the
+/// checkpoint O(frontier) in the covered sets only.
+class EngineCheckpoint {
+ public:
+  /// One evaluated, extendable attribute set still referenced by pending
+  /// expansion entries.
+  struct Member {
+    AttributeSet items;
+    VertexSet covered;  // K_S, for the children's Theorem-3 pruning
+  };
+  /// An equivalence class with at least one unexpanded member.
+  struct PendingClass {
+    std::vector<std::uint32_t> path;  // emission-key prefix of the class
+    std::vector<Member> members;
+  };
+  /// One pending expansion entry: class index + member index.
+  struct PendingExpansion {
+    std::uint32_t class_index = 0;
+    std::uint32_t sibling = 0;
+  };
+  /// One pending root (singleton) evaluation batch; `indices` are the
+  /// positions in the frequent-singleton list (they fix emission keys).
+  struct PendingRootBatch {
+    std::vector<std::uint32_t> indices;
+    std::vector<AttributeId> attrs;
+  };
+  /// An already-evaluated, extendable singleton awaiting root-class
+  /// formation (roots phase only).
+  struct DoneRoot {
+    std::uint32_t index = 0;
+    AttributeId attr = 0;
+    VertexSet covered;
+  };
+
+  bool empty() const {
+    return root_batches.empty() && classes.empty() && !valid;
+  }
+
+  Status Save(std::ostream& os) const;
+  std::string Serialize() const;
+  static Result<EngineCheckpoint> Load(std::istream& is);
+  static Result<EngineCheckpoint> Parse(const std::string& text);
+
+  // Binding: a checkpoint only resumes against the same graph shape and
+  // the same output-relevant options (perf knobs may differ).
+  VertexId num_vertices = 0;
+  std::uint64_t num_attributes = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t options_fingerprint = 0;
+
+  bool in_roots_phase = false;
+  std::vector<DoneRoot> done_roots;            // roots phase
+  std::vector<PendingRootBatch> root_batches;  // roots phase, frontier order
+  std::vector<PendingClass> classes;           // tree phase
+  std::vector<PendingExpansion> expansions;    // tree phase, frontier order
+  bool valid = false;  // set by the engine / a successful parse
+};
+
+/// Outcome of one Run/Resume segment.
+struct MiningRun {
+  /// True when the lattice walk completed; false when a budget cut it.
+  bool exhausted = true;
+  /// Engine counters for THIS segment (cancelled in-flight entries
+  /// contribute nothing, so deterministic budgets yield deterministic
+  /// counters). A resumed run's counters do not include prior segments.
+  ScpmCounters counters;
+  /// Attribute sets / patterns emitted to the sink during this segment.
+  std::uint64_t emitted = 0;
+  std::uint64_t patterns_emitted = 0;
+  /// Frontier entries remaining at the cut (0 when exhausted).
+  std::size_t frontier_entries = 0;
+  /// Set when exhausted is false.
+  EngineCheckpoint checkpoint;
+};
+
+/// Wave-boundary progress snapshot for observers.
+struct EngineProgress {
+  std::uint64_t evaluations = 0;
+  std::uint64_t emitted = 0;
+  std::size_t frontier_entries = 0;
+};
+
+/// The engine. Stateless between calls apart from configuration; each
+/// Run/Resume builds its own pool, worker states, and frontier. The
+/// optional null model is borrowed and must be the same (semantically)
+/// across a checkpoint's segments — the fingerprint only records its
+/// presence.
+class ScpmEngine {
+ public:
+  explicit ScpmEngine(ScpmOptions options,
+                      ExpectationModel* null_model = nullptr)
+      : options_(options), null_model_(null_model) {}
+
+  const ScpmOptions& options() const { return options_; }
+
+  void set_budget(EngineBudget budget) { budget_ = budget; }
+  const EngineBudget& budget() const { return budget_; }
+
+  /// Entries drained per frontier wave. Budget checks happen between
+  /// waves, so this is the cut granularity; it never affects what an
+  /// uncut run mines. Thread-count independent by default on purpose.
+  void set_frontier_wave(std::size_t wave) {
+    frontier_wave_ = wave == 0 ? 1 : wave;
+  }
+
+  /// Observer invoked at every wave boundary (from the driving thread).
+  void set_progress(std::function<void(const EngineProgress&)> progress) {
+    progress_ = std::move(progress);
+  }
+
+  /// Walks the whole lattice (or up to the budget), emitting every
+  /// reported attribute set into `sink`.
+  Result<MiningRun> Run(const AttributedGraph& graph, PatternSink* sink);
+
+  /// Continues a cut run. The checkpoint must have been produced against
+  /// the same graph and output-relevant options. Emits only sets not yet
+  /// emitted by earlier segments.
+  Result<MiningRun> Resume(const AttributedGraph& graph,
+                           const EngineCheckpoint& checkpoint,
+                           PatternSink* sink);
+
+  /// Fingerprint of the output-relevant options (thresholds, scope,
+  /// ordering, pruning toggles, null-model presence) used to bind
+  /// checkpoints. Perf knobs (threads, grains, hybrid/simd toggles) are
+  /// excluded: they never change what is mined.
+  static std::uint64_t OptionsFingerprint(const ScpmOptions& options,
+                                          bool has_null_model);
+
+ private:
+  ScpmOptions options_;
+  ExpectationModel* null_model_;
+  EngineBudget budget_;
+  std::size_t frontier_wave_ = 16;
+  std::function<void(const EngineProgress&)> progress_;
+};
+
+}  // namespace scpm
+
+#endif  // SCPM_CORE_ENGINE_H_

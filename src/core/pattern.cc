@@ -33,19 +33,20 @@ std::vector<AttributeSetStats> RankAttributeSets(
   return out;
 }
 
+bool PatternRankLess(const StructuralCorrelationPattern& a,
+                     const StructuralCorrelationPattern& b) {
+  if (a.size() != b.size()) return a.size() > b.size();
+  if (a.min_degree_ratio != b.min_degree_ratio) {
+    return a.min_degree_ratio > b.min_degree_ratio;
+  }
+  if (a.attributes != b.attributes) {
+    return a.attributes < b.attributes;
+  }
+  return a.vertices < b.vertices;
+}
+
 void SortPatterns(std::vector<StructuralCorrelationPattern>* patterns) {
-  std::sort(patterns->begin(), patterns->end(),
-            [](const StructuralCorrelationPattern& a,
-               const StructuralCorrelationPattern& b) {
-              if (a.size() != b.size()) return a.size() > b.size();
-              if (a.min_degree_ratio != b.min_degree_ratio) {
-                return a.min_degree_ratio > b.min_degree_ratio;
-              }
-              if (a.attributes != b.attributes) {
-                return a.attributes < b.attributes;
-              }
-              return a.vertices < b.vertices;
-            });
+  std::sort(patterns->begin(), patterns->end(), PatternRankLess);
 }
 
 std::string FormatPattern(const AttributedGraph& graph,

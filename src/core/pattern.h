@@ -41,8 +41,13 @@ enum class AttributeSetOrder { kBySupport, kByEpsilon, kByDelta };
 std::vector<AttributeSetStats> RankAttributeSets(
     const std::vector<AttributeSetStats>& stats, AttributeSetOrder order);
 
-/// Sorts patterns by (size desc, min_degree_ratio desc, attributes,
-/// vertices) — the paper's top-k ranking.
+/// The paper's top-k ranking: (size desc, min_degree_ratio desc,
+/// attributes, vertices). The single source of truth — SortPatterns and
+/// the streaming TopKPatternSink both order by it.
+bool PatternRankLess(const StructuralCorrelationPattern& a,
+                     const StructuralCorrelationPattern& b);
+
+/// Sorts patterns by PatternRankLess.
 void SortPatterns(std::vector<StructuralCorrelationPattern>* patterns);
 
 /// One-line rendering, e.g. "({A, B}, {6,7,8}) size=3 gamma=0.67".

@@ -1,20 +1,9 @@
 #include "core/scpm.h"
 
-#include <algorithm>
-#include <array>
-#include <cstdint>
-#include <memory>
-#include <mutex>
-#include <unordered_map>
 #include <utility>
-#include <vector>
 
-#include "graph/metrics.h"
-#include "graph/subgraph.h"
-#include "util/hybrid_set.h"
-#include "util/logging.h"
-#include "util/sorted_ops.h"
-#include "util/thread_pool.h"
+#include "core/engine.h"
+#include "core/sink.h"
 
 namespace scpm {
 
@@ -57,567 +46,18 @@ Status ScpmOptions::Validate() const {
   return Status::OK();
 }
 
-namespace {
-
-/// One node of the attribute-set enumeration tree. The covered set K_S is
-/// not stored here: it lives in the shared CoveredSetCache while children
-/// may still need it for Theorem-3 pruning. Tidsets are hybrid: root
-/// classes borrow the graph-owned attribute tidsets, dense sets live as
-/// bitmaps, and intersections dispatch to the matching kernel.
-struct Node {
-  AttributeSet items;
-  HybridVertexSet tidset;  // V(S)
-};
-
-/// FNV-1a over the attribute ids.
-struct AttributeSetHash {
-  std::size_t operator()(const AttributeSet& items) const {
-    std::uint64_t h = 1469598103934665603ull;
-    for (AttributeId a : items) {
-      h ^= a;
-      h *= 1099511628211ull;
-    }
-    return static_cast<std::size_t>(h);
-  }
-};
-
-/// Concurrent map S -> K_S sharing Theorem-3 covered-vertex sets across
-/// workers. Mutex-striped so unrelated attribute sets do not contend.
-///
-/// Usage is deterministic by construction: an entry is inserted before any
-/// task that reads it is spawned (children of an equivalence class are
-/// spawned only after every class member is evaluated), and only the two
-/// generating parents of a child are consulted — never whichever other
-/// subsets happen to be resident. That keeps the mined output and every
-/// counter independent of thread timing.
-class CoveredSetCache {
- public:
-  using Entry = std::shared_ptr<const HybridVertexSet>;
-
-  void Insert(const AttributeSet& items, Entry covered) {
-    Shard& shard = ShardFor(items);
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.map[items] = std::move(covered);
-  }
-
-  Entry Lookup(const AttributeSet& items) {
-    Shard& shard = ShardFor(items);
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.map.find(items);
-    return it == shard.map.end() ? nullptr : it->second;
-  }
-
-  void Erase(const AttributeSet& items) {
-    Shard& shard = ShardFor(items);
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.map.erase(items);
-  }
-
- private:
-  struct Shard {
-    std::mutex mutex;
-    std::unordered_map<AttributeSet, Entry, AttributeSetHash> map;
-  };
-
-  Shard& ShardFor(const AttributeSet& items) {
-    return shards_[AttributeSetHash{}(items) % shards_.size()];
-  }
-
-  std::array<Shard, 16> shards_;
-};
-
-/// An evaluated equivalence class whose members may still be extended.
-/// Destruction (when the last subtree task referencing the class finishes)
-/// evicts the members' covered sets from the cache.
-struct ClassNode {
-  explicit ClassNode(CoveredSetCache* cache) : cache(cache) {}
-  ~ClassNode() {
-    for (const Node& s : siblings) cache->Erase(s.items);
-  }
-  ClassNode(const ClassNode&) = delete;
-  ClassNode& operator=(const ClassNode&) = delete;
-
-  std::vector<Node> siblings;
-  CoveredSetCache* cache;
-};
-
-/// Mutable per-worker state: a reusable quasi-clique miner, the induced-
-/// subgraph workspace feeding it, and this worker's share of the counters
-/// (summed on join).
-struct WorkerState {
-  explicit WorkerState(const ScpmOptions& options)
-      : miner(options.miner_options()) {
-    miner.set_workspace(&workspace);
-  }
-
-  SubgraphWorkspace workspace;  // before miner: it must outlive it
-  QuasiCliqueMiner miner;
-  ScpmCounters counters;
-  SetOpStats set_ops;  // this worker's hybrid-kernel dispatches
-};
-
-/// Evaluation output a parent task needs from a child-evaluation task.
-struct EvalSlot {
-  Node node;
-  CoveredSetCache::Entry covered;  // set only when extendable
-  bool extendable = false;
-};
-
-/// Reported stats/patterns of one attribute set, tagged with its position
-/// in the sequential enumeration order (see Key below).
-struct ResultShard {
-  std::vector<std::uint32_t> key;
-  std::vector<AttributeSetStats> attribute_sets;
-  std::vector<StructuralCorrelationPattern> patterns;
-};
-
-/// Shared mining state across the (possibly parallel) enumeration.
-///
-/// Parallel structure: every sibling of every equivalence class is a task
-/// that (a) forks one evaluation task per child attribute set, (b) waits
-/// for them — helping the pool, so fork/join nests freely — and (c) forks
-/// subtree tasks for the extendable children. Work stealing balances
-/// heavy subtrees across workers at every lattice level.
-///
-/// Determinism: each reported attribute set carries a key encoding its
-/// position in the sequential depth-first order. A class at key prefix P
-/// emits sibling i's child evaluations under P+{i,0,j} and its descendant
-/// subtree under P+{i,1,...}; singleton roots use {0,idx} and root
-/// subtrees {1,...}. Lexicographic order of the keys therefore equals the
-/// exact sequential emission order, so sorting the shards at the end makes
-/// the output byte-identical to a single-threaded run.
-class Mining {
- public:
-  using Key = std::vector<std::uint32_t>;
-
-  Mining(const AttributedGraph& graph, const ScpmOptions& options,
-         ExpectationModel* null_model)
-      : graph_(graph),
-        options_(options),
-        null_model_(null_model),
-        // Slot count caps the intra-search branch tasks outstanding at
-        // once across ALL evaluations: a huge-G(S) evaluation that grabs
-        // slots is borrowing parallelism its sibling evaluations (and
-        // other searches) would otherwise spend, and returns it as its
-        // subtasks drain. 2x threads keeps the queues fed without
-        // flooding the pool with fine-grained tasks.
-        intra_budget_(options.num_threads > 1 ? 2 * options.num_threads : 0) {
-    const std::size_t workers = std::max<std::size_t>(1, options_.num_threads);
-    states_.reserve(workers);
-    for (std::size_t i = 0; i < workers; ++i) {
-      states_.push_back(std::make_unique<WorkerState>(options_));
-    }
-    if (options_.num_threads > 1) {
-      pool_ = std::make_unique<ThreadPool>(options_.num_threads);
-    }
-    for (const std::unique_ptr<WorkerState>& ws : states_) {
-      ws->miner.set_parallel_context(pool_.get(), &intra_budget_);
-    }
-  }
-
-  /// Paper Algorithm 2: evaluate frequent single attributes, then extend
-  /// (Algorithm 3) with one task per class sibling.
-  Status Run() {
-    std::vector<EvalSlot> singles;
-    for (AttributeId a = 0; a < graph_.NumAttributes(); ++a) {
-      const VertexSet& tidset = graph_.VerticesWith(a);
-      if (tidset.size() < options_.min_support) continue;
-      EvalSlot slot;
-      slot.node.items = {a};
-      // Borrow the graph-owned tidset: the O(size) work of promoting a
-      // dense root to its bitmap happens inside the evaluation tasks
-      // below, sharding the root-class build across the pool instead of
-      // serializing one copy-everything pass here.
-      slot.node.tidset = HybridVertexSet::View(&tidset, SetUniverse());
-      singles.push_back(std::move(slot));
-    }
-
-    // Phase 1: evaluate every frequent singleton (keys {0, idx}), tiny
-    // tidsets batched several per task. The batch count is recorded
-    // before the first Launch: once tasks run, worker 0 shares slot 0
-    // with this coordinating thread.
-    const auto single_ranges = BatchRanges(singles);
-    State().counters.evaluation_batches += single_ranges.size();
-    ThreadPool::TaskGroup phase1;
-    for (const auto& [begin, end] : single_ranges) {
-      Launch(&phase1, [this, &singles, begin = begin, end = end] {
-        for (std::size_t i = begin; i < end; ++i) {
-          EvaluateNode(&singles[i], nullptr, nullptr,
-                       Key{0, static_cast<std::uint32_t>(i)});
-        }
-      });
-    }
-    Await(&phase1);
-    SCPM_RETURN_IF_ERROR(FirstError());
-
-    auto roots = std::make_shared<ClassNode>(&cache_);
-    for (EvalSlot& slot : singles) {
-      if (!slot.extendable) continue;
-      cache_.Insert(slot.node.items, std::move(slot.covered));
-      roots->siblings.push_back(std::move(slot.node));
-    }
-    states_[0]->counters.attribute_sets_extended += roots->siblings.size();
-    if (options_.max_attribute_set_size <= 1 || roots->siblings.size() < 2) {
-      return FirstError();
-    }
-
-    // Phase 2: one subtree task per root (keys {1, i, ...}); every
-    // descendant class sibling forks its own task into the same group.
-    for (std::size_t i = 0; i < roots->siblings.size(); ++i) {
-      Launch(&tree_, [this, roots, i] { ProcessSibling(roots, i, Key{1}); });
-    }
-    Await(&tree_);
-    return FirstError();
-  }
-
-  ScpmResult TakeResult() {
-    std::sort(shards_.begin(), shards_.end(),
-              [](const ResultShard& a, const ResultShard& b) {
-                return a.key < b.key;
-              });
-    for (ResultShard& shard : shards_) {
-      for (auto& s : shard.attribute_sets) {
-        result_.attribute_sets.push_back(std::move(s));
-      }
-      for (auto& p : shard.patterns) {
-        result_.patterns.push_back(std::move(p));
-      }
-    }
-    for (const std::unique_ptr<WorkerState>& ws : states_) {
-      result_.counters.attribute_sets_evaluated +=
-          ws->counters.attribute_sets_evaluated;
-      result_.counters.attribute_sets_reported +=
-          ws->counters.attribute_sets_reported;
-      result_.counters.attribute_sets_extended +=
-          ws->counters.attribute_sets_extended;
-      result_.counters.coverage_candidates += ws->counters.coverage_candidates;
-      result_.counters.evaluation_batches += ws->counters.evaluation_batches;
-      result_.counters.intra_search_evaluations +=
-          ws->counters.intra_search_evaluations;
-      result_.counters.intra_branch_tasks += ws->counters.intra_branch_tasks;
-      result_.counters.bitmap_intersections +=
-          ws->set_ops.bitmap_intersections;
-      result_.counters.galloping_intersections +=
-          ws->set_ops.galloping_intersections;
-      result_.counters.chunked_intersections +=
-          ws->set_ops.chunked_intersections;
-      result_.counters.dense_conversions += ws->set_ops.dense_conversions;
-      result_.counters.chunked_conversions += ws->set_ops.chunked_conversions;
-    }
-    SortPatterns(&result_.patterns);
-    return std::move(result_);
-  }
-
- private:
-  /// Runs `fn` inline (sequential mode) or as a pool task.
-  void Launch(ThreadPool::TaskGroup* group, std::function<void()> fn) {
-    if (pool_ != nullptr) {
-      pool_->Spawn(group, std::move(fn));
-    } else {
-      fn();
-    }
-  }
-
-  void Await(ThreadPool::TaskGroup* group) {
-    if (pool_ != nullptr) pool_->WaitFor(group);
-  }
-
-  /// Greedy pack of evaluation slots into per-task index ranges:
-  /// consecutive slots share a task until their tidset sizes reach
-  /// eval_batch_grain. A pure function of the slot sizes, so the launch
-  /// plan — and every counter it feeds — is identical for every thread
-  /// count.
-  std::vector<std::pair<std::size_t, std::size_t>> BatchRanges(
-      const std::vector<EvalSlot>& slots) const {
-    std::vector<std::pair<std::size_t, std::size_t>> ranges;
-    const std::size_t grain = options_.eval_batch_grain;
-    std::size_t begin = 0;
-    std::size_t weight = 0;
-    for (std::size_t s = 0; s < slots.size(); ++s) {
-      weight += std::max<std::size_t>(1, slots[s].node.tidset.size());
-      if (grain == 0 || weight >= grain) {
-        ranges.emplace_back(begin, s + 1);
-        begin = s + 1;
-        weight = 0;
-      }
-    }
-    if (begin < slots.size()) ranges.emplace_back(begin, slots.size());
-    return ranges;
-  }
-
-  /// The calling worker's state (slot 0 in sequential mode and for the
-  /// coordinating thread, which only touches it while no task is live).
-  WorkerState& State() {
-    const int index = pool_ != nullptr ? pool_->current_worker_index() : -1;
-    return *states_[index < 0 ? 0 : static_cast<std::size_t>(index)];
-  }
-
-  /// Universe passed to every hybrid set: the vertex count with hybrid
-  /// storage on, 0 (never dense, pure merge path) with it off.
-  VertexId SetUniverse() const {
-    return options_.use_hybrid_sets ? graph_.NumVertices() : 0;
-  }
-
-  /// The calling worker's kernel-counter sink, or null when the hybrid
-  /// representation (and its counters) is disabled.
-  SetOpStats* SetStats() {
-    return options_.use_hybrid_sets ? &State().set_ops : nullptr;
-  }
-
-  void RecordError(Status status) {
-    std::lock_guard<std::mutex> lock(error_mutex_);
-    if (first_error_.ok()) first_error_ = std::move(status);
-    has_error_.store(true);
-  }
-
-  Status FirstError() {
-    std::lock_guard<std::mutex> lock(error_mutex_);
-    return first_error_;
-  }
-
-  /// Task body for sibling i of the class `cls` (whose key prefix is
-  /// `cls_path`): evaluates the children of cls->siblings[i] within its
-  /// class, then forks one task per extendable child (paper Algorithm 3).
-  void ProcessSibling(const std::shared_ptr<ClassNode>& cls, std::size_t i,
-                      const Key& cls_path) {
-    if (has_error_.load()) return;
-    const std::vector<Node>& siblings = cls->siblings;
-
-    std::vector<EvalSlot> slots;
-    std::vector<std::size_t> js;
-    SetOpStats* set_stats = SetStats();
-    for (std::size_t j = i + 1; j < siblings.size(); ++j) {
-      EvalSlot slot;
-      SortedUnion(siblings[i].items, siblings[j].items, &slot.node.items);
-      HybridVertexSet::Intersect(siblings[i].tidset, siblings[j].tidset,
-                                 &slot.node.tidset, set_stats);
-      if (slot.node.tidset.size() < options_.min_support) continue;
-      slots.push_back(std::move(slot));
-      js.push_back(j);
-    }
-    if (slots.empty()) return;
-
-    const auto ranges = BatchRanges(slots);
-    State().counters.evaluation_batches += ranges.size();
-    ThreadPool::TaskGroup evals;
-    for (const auto& [begin, end] : ranges) {
-      Launch(&evals, [this, &cls, &cls_path, i, &slots, &js, begin = begin,
-                      end = end] {
-        for (std::size_t s = begin; s < end; ++s) {
-          Key key = cls_path;
-          key.reserve(key.size() + 3);
-          key.push_back(static_cast<std::uint32_t>(i));
-          key.push_back(0);
-          key.push_back(static_cast<std::uint32_t>(js[s]));
-          EvaluateNode(&slots[s], &cls->siblings[i].items,
-                       &cls->siblings[js[s]].items, key);
-        }
-      });
-    }
-    Await(&evals);
-    if (has_error_.load()) return;
-
-    auto child_class = std::make_shared<ClassNode>(&cache_);
-    for (EvalSlot& slot : slots) {
-      if (!slot.extendable) continue;
-      cache_.Insert(slot.node.items, std::move(slot.covered));
-      child_class->siblings.push_back(std::move(slot.node));
-    }
-    State().counters.attribute_sets_extended += child_class->siblings.size();
-    if (child_class->siblings.empty() ||
-        child_class->siblings.front().items.size() >=
-            options_.max_attribute_set_size) {
-      return;
-    }
-    Key child_path = cls_path;
-    child_path.push_back(static_cast<std::uint32_t>(i));
-    child_path.push_back(1);
-    for (std::size_t c = 0; c < child_class->siblings.size(); ++c) {
-      Launch(&tree_, [this, child_class, c, child_path] {
-        ProcessSibling(child_class, c, child_path);
-      });
-    }
-  }
-
-  /// Computes K_S / eps / delta for a node, reports it (and its patterns)
-  /// into a keyed shard when it passes the thresholds, and decides
-  /// extendability per Theorems 4 and 5.
-  void EvaluateNode(EvalSlot* slot, const AttributeSet* parent_a,
-                    const AttributeSet* parent_b, const Key& key) {
-    if (has_error_.load()) return;
-    WorkerState& ws = State();
-    SetOpStats* set_stats = SetStats();
-    ++ws.counters.attribute_sets_evaluated;
-    Node& node = slot->node;
-    // Root tidsets arrive as borrowed views; promote the dense ones to
-    // bitmaps here, inside the (parallel) evaluation task. Intersection
-    // results are already in canonical representation, so this is a
-    // cheap no-op for every deeper node.
-    node.tidset.Normalize(set_stats);
-
-    // Theorem 3: quasi-cliques of G(S) live inside the parents' covered
-    // sets, so the search universe can be restricted to them.
-    HybridVertexSet universe = node.tidset;
-    if (options_.use_vertex_pruning) {
-      HybridVertexSet tmp;
-      for (const AttributeSet* parent : {parent_a, parent_b}) {
-        if (parent == nullptr) continue;
-        CoveredSetCache::Entry covered = cache_.Lookup(*parent);
-        SCPM_CHECK(covered != nullptr)
-            << "parent covered set evicted before its children finished";
-        HybridVertexSet::Intersect(universe, *covered, &tmp, set_stats);
-        universe = std::move(tmp);
-        tmp = HybridVertexSet();
-      }
-    }
-
-    // Adaptive granularity, subgraph side: a huge G(S) decomposes its own
-    // quasi-clique search into branch tasks, borrowing pool slots from
-    // the shared budget. The trigger compares deterministic sizes only,
-    // so the decision (and all counters downstream of it) is identical
-    // for every num_threads — with one thread the decomposed search
-    // simply runs inline.
-    const bool intra_search =
-        options_.intra_search_min_universe != 0 &&
-        universe.size() >= options_.intra_search_min_universe;
-    ws.miner.set_spawn_depth(intra_search ? options_.intra_search_spawn_depth
-                                          : 0);
-    if (intra_search) ++ws.counters.intra_search_evaluations;
-
-    Result<InducedSubgraph> sub =
-        ws.workspace.Build(graph_.graph(), std::move(universe));
-    if (!sub.ok()) return RecordError(sub.status());
-    Result<VertexSet> covered = ws.miner.MineCoverage(sub->graph());
-    if (!covered.ok()) return RecordError(covered.status());
-    ws.counters.coverage_candidates += ws.miner.stats().candidates_processed;
-    ws.counters.intra_branch_tasks += ws.miner.stats().branch_tasks;
-    VertexSet covered_global = sub->ToGlobal(*covered);
-    const std::size_t covered_size = covered_global.size();
-
-    const std::size_t support = node.tidset.size();
-    const double eps = static_cast<double>(covered_size) /
-                       static_cast<double>(support);
-    const double expected =
-        null_model_ != nullptr ? null_model_->Expectation(support) : 1.0;
-    const double delta =
-        expected > 0.0 ? eps / expected : (eps > 0.0 ? 1e300 : 0.0);
-
-    const bool passes =
-        eps >= options_.min_epsilon && delta >= options_.min_delta;
-    if (passes && node.items.size() >= options_.min_report_size) {
-      ++ws.counters.attribute_sets_reported;
-      ResultShard shard;
-      shard.key = key;
-      AttributeSetStats stats;
-      stats.attributes = node.items;
-      stats.support = support;
-      stats.covered = covered_size;
-      stats.epsilon = eps;
-      stats.expected_epsilon = expected;
-      stats.delta = delta;
-      shard.attribute_sets.push_back(std::move(stats));
-      if (options_.collect_patterns && covered_size > 0) {
-        Status status = CollectPatterns(node, *sub, &ws, &shard);
-        if (!status.ok()) return RecordError(std::move(status));
-      }
-      std::lock_guard<std::mutex> lock(shards_mutex_);
-      shards_.push_back(std::move(shard));
-    }
-    ws.workspace.Recycle(std::move(sub).value());
-
-    // Theorems 4 and 5: upper bounds on eps / delta of any extension.
-    const double mass = eps * static_cast<double>(support);
-    bool extendable = true;
-    if (options_.use_epsilon_pruning &&
-        mass <
-            options_.min_epsilon * static_cast<double>(options_.min_support)) {
-      extendable = false;
-    }
-    if (extendable && options_.use_delta_pruning && null_model_ != nullptr) {
-      const double expected_at_min =
-          null_model_->Expectation(options_.min_support);
-      if (mass < options_.min_delta * expected_at_min *
-                     static_cast<double>(options_.min_support)) {
-        extendable = false;
-      }
-    }
-    slot->extendable = extendable;
-    if (extendable) {
-      // Stored for the children's Theorem-3 intersection, so it goes in
-      // hybrid form (dense covered sets intersect by word-AND).
-      slot->covered = std::make_shared<const HybridVertexSet>(
-          HybridVertexSet::FromVector(std::move(covered_global),
-                                      SetUniverse(), set_stats));
-    }
-  }
-
-  /// Patterns of G(S): top-k (paper §3.2.3) or the complete maximal set
-  /// (SCORP semantics), reported in global ids.
-  Status CollectPatterns(const Node& node, const InducedSubgraph& sub,
-                         WorkerState* ws, ResultShard* shard) {
-    std::vector<RankedQuasiClique> found;
-    if (options_.pattern_scope == PatternScope::kTopK) {
-      Result<std::vector<RankedQuasiClique>> top =
-          ws->miner.MineTopK(sub.graph(), options_.top_k);
-      if (!top.ok()) return top.status();
-      found = std::move(top).value();
-    } else {
-      Result<std::vector<VertexSet>> all = ws->miner.MineMaximal(sub.graph());
-      if (!all.ok()) return all.status();
-      found.reserve(all->size());
-      for (VertexSet& q : *all) {
-        RankedQuasiClique entry;
-        entry.min_degree_ratio = MinDegreeRatio(sub.graph(), q);
-        entry.vertices = std::move(q);
-        found.push_back(std::move(entry));
-      }
-    }
-    ws->counters.coverage_candidates += ws->miner.stats().candidates_processed;
-    ws->counters.intra_branch_tasks += ws->miner.stats().branch_tasks;
-    for (RankedQuasiClique& q : found) {
-      StructuralCorrelationPattern pattern;
-      pattern.attributes = node.items;
-      pattern.min_degree_ratio = q.min_degree_ratio;
-      pattern.edge_density = SubsetDensity(sub.graph(), q.vertices);
-      pattern.vertices = sub.ToGlobal(q.vertices);
-      shard->patterns.push_back(std::move(pattern));
-    }
-    return Status::OK();
-  }
-
-  const AttributedGraph& graph_;
-  const ScpmOptions& options_;
-  ExpectationModel* null_model_;
-  // Shared by every worker's miner; must outlive pool_ (declared later,
-  // destroyed first) because draining tasks may still release slots.
-  ParallelismBudget intra_budget_;
-
-  std::vector<std::unique_ptr<WorkerState>> states_;
-  ThreadPool::TaskGroup tree_;
-  CoveredSetCache cache_;
-
-  std::mutex shards_mutex_;
-  std::vector<ResultShard> shards_;
-
-  std::mutex error_mutex_;
-  Status first_error_;
-  std::atomic<bool> has_error_{false};
-
-  ScpmResult result_;
-
-  // Declared last, destroyed first: joining the workers destroys every
-  // outstanding task closure, whose captured ClassNode references erase
-  // cache entries — all of which must still be alive at that point.
-  std::unique_ptr<ThreadPool> pool_;
-};
-
-}  // namespace
-
+// The classic blocking API is a thin shell over the frontier engine: an
+// unbudgeted run into the accumulating sink reproduces the historical
+// fully-materialized result byte for byte (rows, patterns, counters) for
+// any thread count.
 Result<ScpmResult> ScpmMiner::Mine(const AttributedGraph& graph) {
-  SCPM_RETURN_IF_ERROR(options_.Validate());
-  Mining mining(graph, options_, null_model_);
-  SCPM_RETURN_IF_ERROR(mining.Run());
-  return mining.TakeResult();
+  ScpmEngine engine(options_, null_model_);
+  AccumulatingSink sink;
+  Result<MiningRun> run = engine.Run(graph, &sink);
+  if (!run.ok()) return run.status();
+  ScpmResult result = sink.TakeResult();
+  result.counters = run->counters;
+  return result;
 }
 
 }  // namespace scpm

@@ -162,6 +162,12 @@ struct ScpmResult {
 /// The SCPM algorithm. The optional null model is borrowed (not owned) and
 /// must outlive the miner; without one, expected_epsilon = 1 and
 /// delta = eps.
+///
+/// Mine() is a thin wrapper over the frontier-driven ScpmEngine
+/// (core/engine.h) with an AccumulatingSink: the whole lattice is walked
+/// and the complete result materialized. Callers that want streaming
+/// output, budgets/deadlines, or checkpoint/resume use the engine
+/// directly.
 class ScpmMiner {
  public:
   explicit ScpmMiner(ScpmOptions options,

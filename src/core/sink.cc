@@ -1,0 +1,162 @@
+#include "core/sink.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace scpm {
+
+namespace {
+
+/// Shortest round-trip rendering of a double (JSON-safe: finite inputs
+/// only; the engine never emits NaN/inf).
+void AppendDouble(std::string* out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+template <typename T>
+void AppendIdArray(std::string* out, const std::vector<T>& ids) {
+  *out += '[';
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i != 0) *out += ',';
+    *out += std::to_string(ids[i]);
+  }
+  *out += ']';
+}
+
+}  // namespace
+
+Status AccumulatingSink::Emit(const SinkKey& key, AttributeSetOutput output) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shards_.push_back(Shard{key, std::move(output)});
+  return Status::OK();
+}
+
+ScpmResult AccumulatingSink::TakeResult() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::sort(shards_.begin(), shards_.end(),
+            [](const Shard& a, const Shard& b) { return a.key < b.key; });
+  ScpmResult result;
+  result.attribute_sets.reserve(shards_.size());
+  for (Shard& shard : shards_) {
+    result.attribute_sets.push_back(std::move(shard.output.stats));
+    for (auto& p : shard.output.patterns) {
+      result.patterns.push_back(std::move(p));
+    }
+  }
+  shards_.clear();
+  SortPatterns(&result.patterns);
+  return result;
+}
+
+Result<std::unique_ptr<JsonlSink>> JsonlSink::Create(
+    const std::string& path, const AttributedGraph* graph) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!file->is_open()) {
+    return Status::IoError("cannot open JSONL output: " + path);
+  }
+  auto sink = std::make_unique<JsonlSink>(file.get(), graph);
+  sink->owned_ = std::move(file);
+  return sink;
+}
+
+Status JsonlSink::Emit(const SinkKey& key, AttributeSetOutput output) {
+  (void)key;
+  std::string line;
+  line.reserve(128 + 32 * output.patterns.size());
+  line += "{\"attributes\":";
+  AppendIdArray(&line, output.stats.attributes);
+  if (graph_ != nullptr) {
+    line += ",\"names\":[";
+    for (std::size_t i = 0; i < output.stats.attributes.size(); ++i) {
+      if (i != 0) line += ',';
+      AppendJsonString(&line,
+                       graph_->AttributeName(output.stats.attributes[i]));
+    }
+    line += ']';
+  }
+  line += ",\"support\":" + std::to_string(output.stats.support);
+  line += ",\"covered\":" + std::to_string(output.stats.covered);
+  line += ",\"epsilon\":";
+  AppendDouble(&line, output.stats.epsilon);
+  line += ",\"expected_epsilon\":";
+  AppendDouble(&line, output.stats.expected_epsilon);
+  line += ",\"delta\":";
+  AppendDouble(&line, output.stats.delta);
+  line += ",\"patterns\":[";
+  for (std::size_t i = 0; i < output.patterns.size(); ++i) {
+    const StructuralCorrelationPattern& p = output.patterns[i];
+    if (i != 0) line += ',';
+    line += "{\"vertices\":";
+    AppendIdArray(&line, p.vertices);
+    line += ",\"gamma\":";
+    AppendDouble(&line, p.min_degree_ratio);
+    line += ",\"density\":";
+    AppendDouble(&line, p.edge_density);
+    line += '}';
+  }
+  line += "]}\n";
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  os_->write(line.data(), static_cast<std::streamsize>(line.size()));
+  os_->flush();
+  if (!os_->good()) return Status::IoError("JSONL sink write failed");
+  ++lines_;
+  return Status::OK();
+}
+
+Status TopKPatternSink::Emit(const SinkKey& key, AttributeSetOutput output) {
+  (void)key;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++sets_seen_;
+  for (StructuralCorrelationPattern& p : output.patterns) {
+    auto pos = std::lower_bound(best_.begin(), best_.end(), p,
+                                PatternRankLess);
+    if (pos == best_.end() && best_.size() >= k_) continue;
+    best_.insert(pos, std::move(p));
+    if (best_.size() > k_) best_.pop_back();
+  }
+  return Status::OK();
+}
+
+std::vector<StructuralCorrelationPattern> TopKPatternSink::best() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return best_;
+}
+
+std::uint64_t TopKPatternSink::sets_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sets_seen_;
+}
+
+Status CallbackSink::Emit(const SinkKey& key, AttributeSetOutput output) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return callback_(key, output);
+}
+
+}  // namespace scpm

@@ -9,6 +9,7 @@
 
 #include "graph/subgraph.h"
 #include "qclique/candidate.h"
+#include "util/cancel.h"
 #include "util/logging.h"
 #include "util/sorted_ops.h"
 #include "util/thread_pool.h"
@@ -227,6 +228,10 @@ class Search {
   /// a deterministic sequential prefix.
   void set_soft_limit(std::uint64_t limit) { soft_limit_ = limit; }
 
+  /// Borrowed cancellation token, polled once per candidate; a latched
+  /// token makes Run return StatusCode::kCancelled.
+  void set_cancel(CancelToken* cancel) { cancel_ = cancel; }
+
   /// Whether Run stopped at the soft limit with work left.
   bool stopped_early() const { return stopped_early_; }
 
@@ -245,6 +250,9 @@ class Search {
     work.push_back(std::move(root));
 
     while (!work.empty()) {
+      if (cancel_ != nullptr && cancel_->ShouldStop(&cancel_tick_)) {
+        return Status::Cancelled("quasi-clique search cancelled");
+      }
       if (soft_limit_ != 0 && stats_->candidates_processed >= soft_limit_) {
         stopped_early_ = true;
         return Status::OK();
@@ -395,6 +403,8 @@ class Search {
   TwoHopMarker marker_;  // diameter filter scratch
   std::uint64_t soft_limit_ = 0;
   bool stopped_early_ = false;
+  CancelToken* cancel_ = nullptr;
+  std::uint32_t cancel_tick_ = 0;  // clock-check throttle for cancel_
 };
 
 /// Decomposed (intra-parallel) search over one (already vertex-reduced)
@@ -416,12 +426,13 @@ class ParallelSearch {
  public:
   ParallelSearch(const Graph& graph, const QuasiCliqueMinerOptions& options,
                  Mode mode, ThreadPool* pool, ParallelismBudget* budget,
-                 MinerStats* stats)
+                 CancelToken* cancel, MinerStats* stats)
       : graph_(graph),
         options_(options),
         mode_(mode),
         pool_(pool),
         budget_(budget),
+        cancel_(cancel),
         stats_(stats),
         prototype_(graph),
         covered_(graph.NumVertices(), false) {
@@ -453,6 +464,7 @@ class ParallelSearch {
         Search primer(graph_, options_, Mode::kCoverage, 0,
                       &primer_result.stats);
         primer.set_soft_limit(options_.coverage_primer_candidates);
+        primer.set_cancel(cancel_);
         SCPM_RETURN_IF_ERROR(primer.Run());
         running = primer.covered_mask();
         running_count = primer.covered_count();
@@ -551,6 +563,7 @@ class ParallelSearch {
         : scratch(prototype), marker(graph) {}
     CandidateScratch scratch;
     TwoHopMarker marker;
+    std::uint32_t cancel_tick = 0;  // clock-check throttle; worker-local
   };
 
   /// Executes `task` as a pool task when a budget slot is free, inline on
@@ -627,6 +640,10 @@ class ParallelSearch {
                     std::vector<Candidate>* children) {
     const VertexId n = graph_.NumVertices();
     while (!has_error_.load()) {
+      if (cancel_ != nullptr && cancel_->ShouldStop(&arena->cancel_tick)) {
+        RecordError(Status::Cancelled("quasi-clique search cancelled"));
+        return false;
+      }
       ++stats->candidates_processed;
       if (options_.max_candidates != 0 &&
           shared_candidates_.fetch_add(1) + 1 > options_.max_candidates) {
@@ -851,6 +868,10 @@ class ParallelSearch {
     std::vector<Candidate> children;
     while (!work.empty()) {
       if (has_error_.load()) return;
+      if (cancel_ != nullptr && cancel_->ShouldStop(&arena.cancel_tick)) {
+        RecordError(Status::Cancelled("quasi-clique search cancelled"));
+        return;
+      }
       WorkItem item;
       if (options_.order == SearchOrder::kBfs) {
         item = std::move(work.front());
@@ -931,6 +952,7 @@ class ParallelSearch {
   Mode mode_;
   ThreadPool* pool_;
   ParallelismBudget* budget_;
+  CancelToken* cancel_;
   MinerStats* stats_;
 
   CandidateScratch prototype_;  // adjacency bits shared into the arenas
@@ -982,11 +1004,12 @@ Result<std::vector<VertexSet>> QuasiCliqueMiner::MineMaximal(
   std::vector<VertexSet> local;
   if (options_.spawn_depth > 0) {
     ParallelSearch search(sub->graph(), options_, Mode::kMaximal, pool_,
-                          budget_, &stats_);
+                          budget_, cancel_, &stats_);
     SCPM_RETURN_IF_ERROR(search.Run());
     local = search.TakeMaximal();
   } else {
     Search search(sub->graph(), options_, Mode::kMaximal, 0, &stats_);
+    search.set_cancel(cancel_);
     SCPM_RETURN_IF_ERROR(search.Run());
     local = search.TakeMaximal();
   }
@@ -1005,11 +1028,12 @@ Result<VertexSet> QuasiCliqueMiner::MineCoverage(const Graph& graph) {
   VertexSet covered;
   if (options_.spawn_depth > 0) {
     ParallelSearch search(sub->graph(), options_, Mode::kCoverage, pool_,
-                          budget_, &stats_);
+                          budget_, cancel_, &stats_);
     SCPM_RETURN_IF_ERROR(search.Run());
     covered = sub->ToGlobal(search.TakeCoverage());
   } else {
     Search search(sub->graph(), options_, Mode::kCoverage, 0, &stats_);
+    search.set_cancel(cancel_);
     SCPM_RETURN_IF_ERROR(search.Run());
     covered = sub->ToGlobal(search.TakeCoverage());
   }
@@ -1025,6 +1049,7 @@ Result<std::vector<RankedQuasiClique>> QuasiCliqueMiner::MineTopK(
   Result<InducedSubgraph> sub = Reduce(graph, options_, workspace_);
   if (!sub.ok()) return sub.status();
   Search search(sub->graph(), options_, Mode::kTopK, k, &stats_);
+  search.set_cancel(cancel_);
   SCPM_RETURN_IF_ERROR(search.Run());
   std::vector<RankedQuasiClique> local = search.TakeTopK();
   for (RankedQuasiClique& q : local) {

@@ -39,6 +39,7 @@
 
 namespace scpm {
 
+class CancelToken;
 class ParallelismBudget;
 class SubgraphWorkspace;
 class ThreadPool;
@@ -173,12 +174,21 @@ class QuasiCliqueMiner {
   /// SCPM policy flips it per evaluation based on |G(S)|).
   void set_spawn_depth(std::uint32_t depth) { options_.spawn_depth = depth; }
 
+  /// Borrowed cooperative-cancellation token (may be null). Every search
+  /// loop — sequential, decomposed branch tasks, and wave nodes alike —
+  /// polls it once per candidate, so a long coverage search observes an
+  /// engine budget within one candidate's work of the flag latching. A
+  /// cancelled Mine* call returns StatusCode::kCancelled; partial
+  /// discoveries are discarded.
+  void set_cancel_token(CancelToken* cancel) { cancel_ = cancel; }
+
  private:
   QuasiCliqueMinerOptions options_;
   MinerStats stats_;
   SubgraphWorkspace* workspace_ = nullptr;
   ThreadPool* pool_ = nullptr;
   ParallelismBudget* budget_ = nullptr;
+  CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace scpm

@@ -1,0 +1,81 @@
+// Cooperative cancellation shared by the frontier engine and the
+// quasi-clique searches.
+//
+// A CancelToken carries a sticky "stop now" flag plus an optional
+// wall-clock deadline. Long-running loops poll it: the flag read is one
+// relaxed atomic load, and the deadline comparison — the only part that
+// touches the clock — is throttled by a caller-owned tick counter, so a
+// candidate loop can poll on every iteration without paying a clock read
+// each time. Once the deadline is observed the flag latches, so every
+// other poller (including ones that never look at the clock) stops on its
+// next flag read.
+//
+// The flag only ever goes from clear to set; deadline configuration
+// happens before the token is shared with workers. That makes the token
+// safe to poll from any number of threads without further synchronization.
+
+#ifndef SCPM_UTIL_CANCEL_H_
+#define SCPM_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace scpm {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Latches the stop flag. Idempotent; callable from any thread.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms the wall-clock deadline. Must be called before the token is
+  /// shared with pollers (the engine configures it before the first
+  /// frontier wave).
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  /// The sticky flag alone — never touches the clock.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Flag check plus an unthrottled deadline check; latches the flag when
+  /// the deadline has passed. Used at frontier boundaries, where one
+  /// clock read per wave is nothing.
+  bool CheckNow() {
+    if (cancelled()) return true;
+    if (has_deadline_ &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      RequestCancel();
+      return true;
+    }
+    return false;
+  }
+
+  /// Hot-loop poll: the flag every call, the clock only every 256th call
+  /// per `tick` (caller-owned, one per polling loop — never shared
+  /// between threads).
+  bool ShouldStop(std::uint32_t* tick) {
+    if (cancelled()) return true;
+    if (!has_deadline_) return false;
+    if ((++*tick & 255u) != 0) return false;
+    return CheckNow();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+}  // namespace scpm
+
+#endif  // SCPM_UTIL_CANCEL_H_

@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "internal";
     case StatusCode::kUnimplemented:
       return "unimplemented";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

@@ -23,6 +23,10 @@ enum class StatusCode {
   kIoError = 5,
   kInternal = 6,
   kUnimplemented = 7,
+  /// Not an error: a cooperative cancellation (deadline or budget)
+  /// stopped the operation before completion. Callers that cut work on
+  /// purpose check for this code and recover instead of propagating.
+  kCancelled = 8,
 };
 
 /// Returns a stable human-readable name ("ok", "invalid-argument", ...).
@@ -62,6 +66,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -226,6 +226,29 @@ void ThreadPool::WaitFor(TaskGroup* group) {
   done_cv_.wait(lock, [group] { return group->pending_.load() == 0; });
 }
 
+bool ThreadPool::WaitForUntil(
+    TaskGroup* group, std::chrono::steady_clock::time_point deadline) {
+  if (tls_pool == this) {
+    const std::size_t self = tls_index;
+    while (group->pending_.load() != 0) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      const std::uint64_t epoch = epoch_.load();
+      if (RunOneTask(self, group)) continue;
+      std::unique_lock<std::mutex> lock(mutex_);
+      ScopedSleeper sleeper(&sleepers_);
+      cv_.wait_until(lock, deadline, [this, group, epoch] {
+        return group->pending_.load() == 0 || epoch_.load() != epoch;
+      });
+    }
+    return true;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  ScopedSleeper sleeper(&external_sleepers_);
+  return done_cv_.wait_until(lock, deadline, [group] {
+    return group->pending_.load() == 0;
+  });
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   ScopedSleeper sleeper(&external_sleepers_);

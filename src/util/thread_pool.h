@@ -20,6 +20,7 @@
 #define SCPM_UTIL_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -104,6 +105,18 @@ class ThreadPool {
   /// tasks while waiting, so tasks can fork-and-join recursively (see the
   /// file comment for why helping is limited to the awaited group).
   void WaitFor(TaskGroup* group);
+
+  /// WaitFor with a drain budget: helps (or parks) only until `deadline`
+  /// passes. Returns true when the group drained, false on timeout — in
+  /// which case the group's tasks may still be queued or running and the
+  /// caller must make them finish (typically by latching a CancelToken
+  /// they poll) before waiting again. A worker calling this stops taking
+  /// new tasks of the group once the deadline passes, but a task already
+  /// being helped runs to completion, so the return may overshoot by one
+  /// task body; budget-aware tasks bound that overshoot by polling their
+  /// token.
+  bool WaitForUntil(TaskGroup* group,
+                    std::chrono::steady_clock::time_point deadline);
 
   /// Blocks until every task (all groups and ungrouped submissions) has
   /// finished. Must be called from outside the pool's worker threads; a

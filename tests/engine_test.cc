@@ -1,0 +1,672 @@
+// Tests for the frontier-driven engine and its sinks: accumulating-sink
+// byte-identity against the classic Mine() across thread counts and
+// kernel toggles, budget cut + checkpoint + resume output-union equality
+// (paper example and randomized synthetic graphs, both phases), deadline
+// behavior, checkpoint (de)serialization robustness, and the streaming
+// sinks' contracts.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/scpm.h"
+#include "core/sink.h"
+#include "datasets/paper_example.h"
+#include "graph/attributed_graph.h"
+#include "nullmodel/expectation.h"
+#include "util/hybrid_set.h"
+#include "util/random.h"
+#include "util/simd_ops.h"
+
+namespace scpm {
+namespace {
+
+/// Paper parameters for Table 1 (see scpm_test.cc).
+ScpmOptions Table1Options() {
+  ScpmOptions o;
+  o.quasi_clique.gamma = 0.6;
+  o.quasi_clique.min_size = 4;
+  o.min_support = 3;
+  o.min_epsilon = 0.5;
+  o.top_k = 10;
+  return o;
+}
+
+/// Random attributed graph: ER topology + random attribute incidence.
+AttributedGraph RandomAttributed(int seed, VertexId n = 24,
+                                 int num_attrs = 5, double edge_p = 0.3,
+                                 double attr_p = 0.4) {
+  Rng rng(seed);
+  AttributedGraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.NextDouble() < edge_p) builder.AddEdge(u, v);
+    }
+  }
+  for (int a = 0; a < num_attrs; ++a) {
+    const AttributeId id = builder.InternAttribute("a" + std::to_string(a));
+    for (VertexId v = 0; v < n; ++v) {
+      if (rng.NextDouble() < attr_p) {
+        EXPECT_TRUE(builder.AddVertexAttribute(v, id).ok());
+      }
+    }
+  }
+  Result<AttributedGraph> g = builder.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+/// Field-by-field equality of complete mining outputs including every
+/// counter (mirrors scpm_test.cc's harness).
+void ExpectIdenticalResults(const ScpmResult& a, const ScpmResult& b) {
+  ASSERT_EQ(a.attribute_sets.size(), b.attribute_sets.size());
+  for (std::size_t i = 0; i < a.attribute_sets.size(); ++i) {
+    const AttributeSetStats& x = a.attribute_sets[i];
+    const AttributeSetStats& y = b.attribute_sets[i];
+    EXPECT_EQ(x.attributes, y.attributes) << "row " << i;
+    EXPECT_EQ(x.support, y.support);
+    EXPECT_EQ(x.covered, y.covered);
+    EXPECT_DOUBLE_EQ(x.epsilon, y.epsilon);
+    EXPECT_DOUBLE_EQ(x.expected_epsilon, y.expected_epsilon);
+    EXPECT_DOUBLE_EQ(x.delta, y.delta);
+  }
+  ASSERT_EQ(a.patterns.size(), b.patterns.size());
+  for (std::size_t i = 0; i < a.patterns.size(); ++i) {
+    EXPECT_EQ(a.patterns[i].attributes, b.patterns[i].attributes) << i;
+    EXPECT_EQ(a.patterns[i].vertices, b.patterns[i].vertices) << i;
+    EXPECT_DOUBLE_EQ(a.patterns[i].min_degree_ratio,
+                     b.patterns[i].min_degree_ratio);
+    EXPECT_DOUBLE_EQ(a.patterns[i].edge_density, b.patterns[i].edge_density);
+  }
+  EXPECT_EQ(a.counters.attribute_sets_evaluated,
+            b.counters.attribute_sets_evaluated);
+  EXPECT_EQ(a.counters.attribute_sets_reported,
+            b.counters.attribute_sets_reported);
+  EXPECT_EQ(a.counters.attribute_sets_extended,
+            b.counters.attribute_sets_extended);
+  EXPECT_EQ(a.counters.coverage_candidates, b.counters.coverage_candidates);
+  EXPECT_EQ(a.counters.evaluation_batches, b.counters.evaluation_batches);
+  EXPECT_EQ(a.counters.intra_search_evaluations,
+            b.counters.intra_search_evaluations);
+  EXPECT_EQ(a.counters.intra_branch_tasks, b.counters.intra_branch_tasks);
+  EXPECT_EQ(a.counters.bitmap_intersections, b.counters.bitmap_intersections);
+  EXPECT_EQ(a.counters.galloping_intersections,
+            b.counters.galloping_intersections);
+  EXPECT_EQ(a.counters.chunked_intersections,
+            b.counters.chunked_intersections);
+  EXPECT_EQ(a.counters.dense_conversions, b.counters.dense_conversions);
+  EXPECT_EQ(a.counters.chunked_conversions, b.counters.chunked_conversions);
+}
+
+/// Runs the engine with an AccumulatingSink; must exhaust.
+ScpmResult EngineAccumulate(const AttributedGraph& g,
+                            const ScpmOptions& options,
+                            ExpectationModel* model = nullptr) {
+  ScpmEngine engine(options, model);
+  AccumulatingSink sink;
+  Result<MiningRun> run = engine.Run(g, &sink);
+  EXPECT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->exhausted);
+  ScpmResult result = sink.TakeResult();
+  result.counters = run->counters;
+  return result;
+}
+
+// ----------------------------------------- sink equivalence (satellite)
+
+/// AccumulatingSink through the engine == legacy Mine(), byte for byte,
+/// across threads {1, 2, 8} x {hybrid, chunked, simd} toggles. Each cell
+/// is compared against that cell's own Mine() (counters differ between
+/// kernel configurations by design), and every cell's rows/patterns are
+/// compared against the global default baseline.
+TEST(SinkEquivalenceTest, AccumulatingMatchesMineAcrossTogglesAndThreads) {
+  struct DispatchRestore {
+    ~DispatchRestore() {
+      SetSimdDispatch(true);
+      HybridVertexSet::SetChunkedEnabled(true);
+    }
+  } restore;
+  const AttributedGraph g = RandomAttributed(31, /*n=*/120, /*num_attrs=*/4,
+                                             /*edge_p=*/0.08, /*attr_p=*/0.6);
+  ScpmOptions base;
+  base.quasi_clique.gamma = 0.6;
+  base.quasi_clique.min_size = 3;
+  base.min_support = 4;
+  base.min_epsilon = 0.05;
+  base.top_k = 3;
+
+  const ScpmResult global_baseline = EngineAccumulate(g, base);
+  ASSERT_FALSE(global_baseline.attribute_sets.empty());
+
+  for (bool hybrid : {true, false}) {
+    for (bool chunked : {true, false}) {
+      for (bool simd : {true, false}) {
+        SetSimdDispatch(simd);
+        HybridVertexSet::SetChunkedEnabled(chunked);
+        ScpmOptions cell = base;
+        cell.use_hybrid_sets = hybrid;
+        cell.num_threads = 1;
+        ScpmMiner legacy(cell);
+        Result<ScpmResult> mined = legacy.Mine(g);
+        ASSERT_TRUE(mined.ok()) << mined.status();
+        for (std::size_t threads : {1u, 2u, 8u}) {
+          ScpmOptions run_options = cell;
+          run_options.num_threads = threads;
+          const ScpmResult engine_result = EngineAccumulate(g, run_options);
+          ExpectIdenticalResults(*mined, engine_result);
+        }
+        // Rows and patterns (not counters) also match the default cell.
+        ASSERT_EQ(mined->attribute_sets.size(),
+                  global_baseline.attribute_sets.size());
+        ASSERT_EQ(mined->patterns.size(), global_baseline.patterns.size());
+        for (std::size_t i = 0; i < mined->patterns.size(); ++i) {
+          EXPECT_EQ(mined->patterns[i].vertices,
+                    global_baseline.patterns[i].vertices);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------- budget / cut / resume
+
+/// Sorts a union of segment outputs into canonical order for comparison
+/// against an uncut run.
+void SortCanonical(ScpmResult* result) {
+  std::sort(result->attribute_sets.begin(), result->attribute_sets.end(),
+            [](const AttributeSetStats& a, const AttributeSetStats& b) {
+              return a.attributes < b.attributes;
+            });
+  SortPatterns(&result->patterns);
+}
+
+/// Runs budget-cut segments (Run, then Resume until exhausted, each
+/// segment round-tripping the checkpoint through its text serialization)
+/// and returns the union of everything emitted plus the segment count.
+std::pair<ScpmResult, int> RunSegmented(const AttributedGraph& g,
+                                        const ScpmOptions& options,
+                                        const EngineBudget& budget,
+                                        std::size_t wave,
+                                        ExpectationModel* model = nullptr) {
+  ScpmResult united;
+  int segments = 0;
+  EngineCheckpoint checkpoint;
+  bool exhausted = false;
+  while (!exhausted) {
+    ScpmEngine engine(options, model);
+    engine.set_budget(budget);
+    engine.set_frontier_wave(wave);
+    AccumulatingSink sink;
+    Result<MiningRun> run =
+        segments == 0 ? engine.Run(g, &sink)
+                      : engine.Resume(g, checkpoint, &sink);
+    EXPECT_TRUE(run.ok()) << run.status();
+    if (!run.ok()) break;
+    ScpmResult segment = sink.TakeResult();
+    EXPECT_EQ(segment.attribute_sets.size(), run->emitted);
+    for (auto& s : segment.attribute_sets) {
+      united.attribute_sets.push_back(std::move(s));
+    }
+    for (auto& p : segment.patterns) united.patterns.push_back(std::move(p));
+    ++segments;
+    exhausted = run->exhausted;
+    if (!exhausted) {
+      EXPECT_GT(run->frontier_entries, 0u);
+      // Serialization round trip, exactly like a cross-process resume.
+      Result<EngineCheckpoint> restored =
+          EngineCheckpoint::Parse(run->checkpoint.Serialize());
+      EXPECT_TRUE(restored.ok()) << restored.status();
+      if (!restored.ok()) break;
+      checkpoint = std::move(restored).value();
+    }
+    EXPECT_LT(segments, 10000) << "resume chain does not terminate";
+    if (segments >= 10000) break;
+  }
+  SortCanonical(&united);
+  return {std::move(united), segments};
+}
+
+void ExpectSameUnion(const ScpmResult& uncut_in, ScpmResult united) {
+  ScpmResult uncut;
+  uncut.attribute_sets = uncut_in.attribute_sets;
+  uncut.patterns = uncut_in.patterns;
+  SortCanonical(&uncut);
+  // Exact multiset equality: same rows once each (no duplicates across
+  // segments), same patterns.
+  ASSERT_EQ(united.attribute_sets.size(), uncut.attribute_sets.size());
+  for (std::size_t i = 0; i < uncut.attribute_sets.size(); ++i) {
+    EXPECT_EQ(united.attribute_sets[i].attributes,
+              uncut.attribute_sets[i].attributes);
+    EXPECT_EQ(united.attribute_sets[i].support,
+              uncut.attribute_sets[i].support);
+    EXPECT_EQ(united.attribute_sets[i].covered,
+              uncut.attribute_sets[i].covered);
+    EXPECT_DOUBLE_EQ(united.attribute_sets[i].epsilon,
+                     uncut.attribute_sets[i].epsilon);
+  }
+  ASSERT_EQ(united.patterns.size(), uncut.patterns.size());
+  for (std::size_t i = 0; i < uncut.patterns.size(); ++i) {
+    EXPECT_EQ(united.patterns[i].attributes, uncut.patterns[i].attributes);
+    EXPECT_EQ(united.patterns[i].vertices, uncut.patterns[i].vertices);
+  }
+}
+
+TEST(CheckpointResumeTest, EvalBudgetUnionEqualsUncutOnPaperExample) {
+  const AttributedGraph g = PaperExampleGraph();
+  ScpmOptions options = Table1Options();
+  const ScpmResult uncut = EngineAccumulate(g, options);
+
+  EngineBudget budget;
+  budget.max_evaluations = 2;
+  auto [united, segments] = RunSegmented(g, options, budget, /*wave=*/1);
+  EXPECT_GE(segments, 2) << "budget never cut the run";
+  ExpectSameUnion(uncut, std::move(united));
+}
+
+/// The roots phase checkpoints too: with one evaluation per batch and a
+/// tiny wave, the cut lands while frequent singletons are still pending,
+/// exercising the roots-phase serialization and the done-root carryover.
+TEST(CheckpointResumeTest, RootsPhaseCheckpointRoundTrips) {
+  const AttributedGraph g = RandomAttributed(5, /*n=*/40, /*num_attrs=*/8,
+                                             /*edge_p=*/0.25, /*attr_p=*/0.5);
+  ScpmOptions options;
+  options.quasi_clique.gamma = 0.5;
+  options.quasi_clique.min_size = 3;
+  options.min_support = 3;
+  options.min_epsilon = 0.0;
+  options.top_k = 2;
+  options.eval_batch_grain = 0;  // one singleton per root entry
+  const ScpmResult uncut = EngineAccumulate(g, options);
+
+  // First segment by hand so the roots-phase checkpoint can be asserted.
+  ScpmEngine engine(options);
+  EngineBudget budget;
+  budget.max_evaluations = 1;
+  engine.set_budget(budget);
+  engine.set_frontier_wave(2);
+  AccumulatingSink first_sink;
+  Result<MiningRun> first = engine.Run(g, &first_sink);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_FALSE(first->exhausted);
+  EXPECT_TRUE(first->checkpoint.in_roots_phase);
+  EXPECT_FALSE(first->checkpoint.root_batches.empty());
+
+  auto [united, segments] = RunSegmented(g, options, budget, /*wave=*/2);
+  EXPECT_GT(segments, 2);
+  ExpectSameUnion(uncut, std::move(united));
+}
+
+class ResumeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResumeSweep, UnionEqualsUncutOnRandomGraphs) {
+  const AttributedGraph g =
+      RandomAttributed(GetParam(), /*n=*/32, /*num_attrs=*/6);
+  ScpmOptions options;
+  options.quasi_clique.gamma = 0.5;
+  options.quasi_clique.min_size = 3;
+  options.min_support = 3;
+  options.min_epsilon = 0.1;
+  options.top_k = 3;
+  Graph topology = g.graph();
+  MaxExpectationModel model(topology, options.quasi_clique);
+  options.min_delta = 0.25;
+  const ScpmResult uncut = EngineAccumulate(g, options, &model);
+
+  for (std::uint64_t max_evals : {1u, 3u, 7u}) {
+    for (std::size_t threads : {1u, 4u}) {
+      ScpmOptions cell = options;
+      cell.num_threads = threads;
+      EngineBudget budget;
+      budget.max_evaluations = max_evals;
+      auto [united, segments] =
+          RunSegmented(g, cell, budget, /*wave=*/3, &model);
+      EXPECT_GE(segments, 2) << "budget never cut the run";
+      ExpectSameUnion(uncut, std::move(united));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResumeSweep, ::testing::Range(0, 4));
+
+TEST(CheckpointResumeTest, PatternBudgetCutsAndResumes) {
+  const AttributedGraph g = RandomAttributed(9, /*n=*/40, /*num_attrs=*/6,
+                                             /*edge_p=*/0.3, /*attr_p=*/0.5);
+  ScpmOptions options;
+  options.quasi_clique.gamma = 0.5;
+  options.quasi_clique.min_size = 3;
+  options.min_support = 3;
+  options.min_epsilon = 0.0;
+  options.top_k = 3;
+  const ScpmResult uncut = EngineAccumulate(g, options);
+  ASSERT_GT(uncut.patterns.size(), 4u);
+
+  EngineBudget budget;
+  budget.max_patterns = 2;
+  auto [united, segments] = RunSegmented(g, options, budget, /*wave=*/1);
+  EXPECT_GE(segments, 2);
+  ExpectSameUnion(uncut, std::move(united));
+}
+
+/// Perf knobs may change between a cut and its resume: hybrid storage is
+/// not part of the checkpoint binding (the hybrid contract makes it
+/// unobservable in output), so a run cut with hybrid sets on resumes
+/// with them off — and the union still matches, as does a pure
+/// hybrid-off chain.
+TEST(CheckpointResumeTest, ResumeAcrossHybridToggle) {
+  const AttributedGraph g = RandomAttributed(17, /*n=*/40, /*num_attrs=*/5,
+                                             /*edge_p=*/0.3, /*attr_p=*/0.5);
+  ScpmOptions options;
+  options.quasi_clique.gamma = 0.5;
+  options.quasi_clique.min_size = 3;
+  options.min_support = 3;
+  options.min_epsilon = 0.1;
+  options.top_k = 3;
+  const ScpmResult uncut = EngineAccumulate(g, options);
+
+  ScpmOptions off = options;
+  off.use_hybrid_sets = false;
+  EngineBudget budget;
+  budget.max_evaluations = 3;
+  auto [united_off, segments_off] = RunSegmented(g, off, budget, /*wave=*/2);
+  EXPECT_GE(segments_off, 2);
+  ExpectSameUnion(uncut, std::move(united_off));
+
+  // Cut with hybrid on, resume everything with hybrid off.
+  ScpmEngine on_engine(options);
+  on_engine.set_budget(budget);
+  on_engine.set_frontier_wave(2);
+  AccumulatingSink first_sink;
+  Result<MiningRun> first = on_engine.Run(g, &first_sink);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_FALSE(first->exhausted);
+  ScpmResult united = first_sink.TakeResult();
+  ScpmEngine off_engine(off);
+  AccumulatingSink rest_sink;
+  Result<MiningRun> rest =
+      off_engine.Resume(g, first->checkpoint, &rest_sink);
+  ASSERT_TRUE(rest.ok()) << rest.status();
+  ASSERT_TRUE(rest->exhausted);
+  ScpmResult tail = rest_sink.TakeResult();
+  for (auto& s : tail.attribute_sets) {
+    united.attribute_sets.push_back(std::move(s));
+  }
+  for (auto& p : tail.patterns) united.patterns.push_back(std::move(p));
+  SortCanonical(&united);
+  ExpectSameUnion(uncut, std::move(united));
+}
+
+/// A deadline cut behaves like any other cut: whatever was emitted plus
+/// a resume-to-exhaustion equals the uncut run. (Whether the deadline
+/// actually fires depends on machine speed; the union property must hold
+/// either way.)
+TEST(CheckpointResumeTest, DeadlineCutResumesToSameUnion) {
+  const AttributedGraph g = RandomAttributed(13, /*n=*/60, /*num_attrs=*/6,
+                                             /*edge_p=*/0.25, /*attr_p=*/0.5);
+  ScpmOptions options;
+  options.quasi_clique.gamma = 0.5;
+  options.quasi_clique.min_size = 3;
+  options.min_support = 3;
+  options.min_epsilon = 0.0;
+  options.top_k = 3;
+  options.num_threads = 2;
+  const ScpmResult uncut = EngineAccumulate(g, options);
+
+  ScpmEngine engine(options);
+  EngineBudget budget;
+  budget.deadline_ms = 1;
+  engine.set_budget(budget);
+  AccumulatingSink sink;
+  Result<MiningRun> first = engine.Run(g, &sink);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ScpmResult united = sink.TakeResult();
+  EngineCheckpoint checkpoint = first->checkpoint;
+  bool exhausted = first->exhausted;
+  int guard = 0;
+  while (!exhausted && guard++ < 1000) {
+    ScpmEngine next(options);  // no budget: finish in one segment
+    AccumulatingSink seg_sink;
+    Result<MiningRun> run = next.Resume(g, checkpoint, &seg_sink);
+    ASSERT_TRUE(run.ok()) << run.status();
+    ScpmResult segment = seg_sink.TakeResult();
+    for (auto& s : segment.attribute_sets) {
+      united.attribute_sets.push_back(std::move(s));
+    }
+    for (auto& p : segment.patterns) united.patterns.push_back(std::move(p));
+    checkpoint = run->checkpoint;
+    exhausted = run->exhausted;
+  }
+  SortCanonical(&united);
+  ExpectSameUnion(uncut, std::move(united));
+}
+
+// ------------------------------------------------ checkpoint validation
+
+TEST(CheckpointTest, SerializationRoundTripsExactly) {
+  const AttributedGraph g = PaperExampleGraph();
+  ScpmOptions options = Table1Options();
+  ScpmEngine engine(options);
+  EngineBudget budget;
+  budget.max_evaluations = 2;
+  engine.set_budget(budget);
+  engine.set_frontier_wave(1);
+  AccumulatingSink sink;
+  Result<MiningRun> run = engine.Run(g, &sink);
+  ASSERT_TRUE(run.ok());
+  ASSERT_FALSE(run->exhausted);
+  const std::string text = run->checkpoint.Serialize();
+  Result<EngineCheckpoint> parsed = EngineCheckpoint::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Serialize(), text);
+}
+
+TEST(CheckpointTest, RejectsGarbageAndTruncation) {
+  EXPECT_FALSE(EngineCheckpoint::Parse("").ok());
+  EXPECT_FALSE(EngineCheckpoint::Parse("not a checkpoint").ok());
+  EXPECT_FALSE(EngineCheckpoint::Parse("scpm-checkpoint 99\n").ok());
+
+  const AttributedGraph g = PaperExampleGraph();
+  ScpmEngine engine(Table1Options());
+  EngineBudget budget;
+  budget.max_evaluations = 2;
+  engine.set_budget(budget);
+  engine.set_frontier_wave(1);
+  AccumulatingSink sink;
+  Result<MiningRun> run = engine.Run(g, &sink);
+  ASSERT_TRUE(run.ok());
+  ASSERT_FALSE(run->exhausted);
+  const std::string text = run->checkpoint.Serialize();
+  // Every truncation of a valid checkpoint must fail to parse cleanly.
+  for (std::size_t cut : {std::size_t{1}, text.size() / 2, text.size() - 2}) {
+    EXPECT_FALSE(EngineCheckpoint::Parse(text.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(CheckpointTest, ResumeRejectsMalformedCoveredSets) {
+  const AttributedGraph g = PaperExampleGraph();
+  ScpmOptions options = Table1Options();
+  ScpmEngine engine(options);
+  EngineBudget budget;
+  budget.max_evaluations = 2;
+  engine.set_budget(budget);
+  AccumulatingSink sink;
+  Result<MiningRun> run = engine.Run(g, &sink);
+  ASSERT_TRUE(run.ok());
+  ASSERT_FALSE(run->exhausted);
+  ASSERT_FALSE(run->checkpoint.classes.empty());
+  ASSERT_FALSE(run->checkpoint.classes[0].members.empty());
+
+  EngineCheckpoint out_of_range = run->checkpoint;
+  out_of_range.classes[0].members[0].covered = {99999};  // 11-vertex graph
+  AccumulatingSink s1;
+  EXPECT_FALSE(ScpmEngine(options).Resume(g, out_of_range, &s1).ok());
+
+  EngineCheckpoint unsorted = run->checkpoint;
+  unsorted.classes[0].members[0].covered = {5, 3};
+  AccumulatingSink s2;
+  EXPECT_FALSE(ScpmEngine(options).Resume(g, unsorted, &s2).ok());
+}
+
+TEST(CheckpointTest, ResumeRejectsWrongGraphOrOptions) {
+  const AttributedGraph g = PaperExampleGraph();
+  ScpmOptions options = Table1Options();
+  ScpmEngine engine(options);
+  EngineBudget budget;
+  budget.max_evaluations = 2;
+  engine.set_budget(budget);
+  AccumulatingSink sink;
+  Result<MiningRun> run = engine.Run(g, &sink);
+  ASSERT_TRUE(run.ok());
+  ASSERT_FALSE(run->exhausted);
+
+  // Different graph.
+  const AttributedGraph other = RandomAttributed(1);
+  ScpmEngine same_options(options);
+  AccumulatingSink s1;
+  EXPECT_FALSE(same_options.Resume(other, run->checkpoint, &s1).ok());
+
+  // Different thresholds.
+  ScpmOptions changed = options;
+  changed.min_epsilon = 0.25;
+  ScpmEngine different(changed);
+  AccumulatingSink s2;
+  EXPECT_FALSE(different.Resume(g, run->checkpoint, &s2).ok());
+
+  // Perf knobs are not part of the fingerprint.
+  ScpmOptions perf = options;
+  perf.num_threads = 4;
+  perf.eval_batch_grain = 7;
+  ScpmEngine perf_engine(perf);
+  AccumulatingSink s3;
+  EXPECT_TRUE(perf_engine.Resume(g, run->checkpoint, &s3).ok());
+}
+
+// ------------------------------------------------------- sink contracts
+
+AttributeSetOutput MakeOutput(AttributeSet attrs, std::size_t support,
+                              std::vector<VertexSet> pattern_sets) {
+  AttributeSetOutput out;
+  out.stats.attributes = attrs;
+  out.stats.support = support;
+  out.stats.covered = support;
+  out.stats.epsilon = 1.0;
+  for (VertexSet& v : pattern_sets) {
+    StructuralCorrelationPattern p;
+    p.attributes = attrs;
+    p.vertices = std::move(v);
+    p.min_degree_ratio = 0.5;
+    p.edge_density = 0.5;
+    out.patterns.push_back(std::move(p));
+  }
+  return out;
+}
+
+TEST(SinkTest, TopKPatternSinkKeepsGlobalBest) {
+  TopKPatternSink sink(2);
+  EXPECT_TRUE(sink.Emit({0}, MakeOutput({0}, 3, {{1, 2, 3}})).ok());
+  EXPECT_TRUE(
+      sink.Emit({1}, MakeOutput({1}, 5, {{1, 2, 3, 4, 5}, {2, 3}})).ok());
+  EXPECT_TRUE(sink.Emit({2}, MakeOutput({2}, 4, {{1, 2, 3, 4}})).ok());
+  EXPECT_EQ(sink.sets_seen(), 3u);
+  const auto best = sink.best();
+  ASSERT_EQ(best.size(), 2u);  // bounded at k
+  EXPECT_EQ(best[0].vertices.size(), 5u);
+  EXPECT_EQ(best[1].vertices.size(), 4u);
+}
+
+TEST(SinkTest, CallbackSinkForwardsAndPropagatesErrors) {
+  std::vector<std::size_t> supports;
+  CallbackSink ok_sink([&](const SinkKey&, const AttributeSetOutput& out) {
+    supports.push_back(out.stats.support);
+    return Status::OK();
+  });
+  EXPECT_TRUE(ok_sink.Emit({0}, MakeOutput({0}, 7, {})).ok());
+  EXPECT_EQ(supports, (std::vector<std::size_t>{7}));
+
+  const AttributedGraph g = PaperExampleGraph();
+  ScpmEngine engine(Table1Options());
+  CallbackSink failing([](const SinkKey&, const AttributeSetOutput&) {
+    return Status::Internal("sink says no");
+  });
+  Result<MiningRun> run = engine.Run(g, &failing);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInternal);
+}
+
+TEST(SinkTest, JsonlSinkStreamsOneLinePerSet) {
+  const AttributedGraph g = PaperExampleGraph();
+  std::ostringstream out;
+  JsonlSink sink(&out, &g);
+  ScpmEngine engine(Table1Options());
+  Result<MiningRun> run = engine.Run(g, &sink);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->exhausted);
+  EXPECT_EQ(sink.lines_written(), run->emitted);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"attributes\""), std::string::npos);
+    EXPECT_NE(line.find("\"patterns\""), std::string::npos);
+  }
+  EXPECT_EQ(count, run->emitted);
+  // The Table-1 run reports exactly {A}, {B}, {A,B}.
+  EXPECT_EQ(count, 3u);
+}
+
+/// With one worker the streaming emission order IS the sequential
+/// enumeration order (keys ascending).
+TEST(SinkTest, SingleThreadStreamingEmitsInSequentialOrder) {
+  const AttributedGraph g = RandomAttributed(3, /*n=*/30, /*num_attrs=*/5);
+  ScpmOptions options;
+  options.quasi_clique.gamma = 0.5;
+  options.quasi_clique.min_size = 3;
+  options.min_support = 3;
+  options.min_epsilon = 0.0;
+  options.top_k = 2;
+  std::vector<SinkKey> keys;
+  CallbackSink sink([&](const SinkKey& key, const AttributeSetOutput&) {
+    keys.push_back(key);
+    return Status::OK();
+  });
+  ScpmEngine engine(options);
+  // Wave size 1 pins the traversal to pure depth-first order.
+  engine.set_frontier_wave(1);
+  Result<MiningRun> run = engine.Run(g, &sink);
+  ASSERT_TRUE(run.ok()) << run.status();
+  ASSERT_GT(keys.size(), 3u);
+  // Keys are unique; the accumulating path sorts them into the canonical
+  // order, and the engine never emits the same key twice.
+  std::set<SinkKey> unique(keys.begin(), keys.end());
+  EXPECT_EQ(unique.size(), keys.size());
+}
+
+TEST(SinkTest, ProgressHookObservesWaves) {
+  const AttributedGraph g = PaperExampleGraph();
+  ScpmEngine engine(Table1Options());
+  engine.set_frontier_wave(1);
+  std::vector<EngineProgress> snapshots;
+  engine.set_progress(
+      [&](const EngineProgress& p) { snapshots.push_back(p); });
+  AccumulatingSink sink;
+  Result<MiningRun> run = engine.Run(g, &sink);
+  ASSERT_TRUE(run.ok());
+  ASSERT_FALSE(snapshots.empty());
+  EXPECT_EQ(snapshots.back().evaluations,
+            run->counters.attribute_sets_evaluated);
+  EXPECT_EQ(snapshots.back().emitted, run->emitted);
+}
+
+}  // namespace
+}  // namespace scpm

@@ -1,6 +1,7 @@
 // Unit tests for src/graph: CSR graph, induced subgraph, attributed graph,
 // text IO, metrics.
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -262,6 +263,70 @@ TEST(SubgraphWorkspaceTest, ServesMultipleParentGraphs) {
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(b->graph().NumEdges(), 1u);
   workspace.Recycle(std::move(b).value());
+}
+
+/// The chunked fast path of Build(HybridVertexSet): a mid-density set
+/// over a >= 2^16 universe stays in its roaring representation (no
+/// vector materialization, no stamp pass) and must produce the identical
+/// subgraph. 2000 of 70000 vertices (2.9%) lands in the chunked band and
+/// splits across two chunks — the first dense (bitmap payload), the
+/// second sparse (u16 payload) — so both in-chunk rank paths run.
+TEST(SubgraphWorkspaceTest, ChunkedBuildMatchesVectorBuild) {
+  Rng rng(7);
+  const VertexId n = 70000;
+  VertexSet members = rng.SampleWithoutReplacement(n, 2000);
+  std::sort(members.begin(), members.end());
+  std::vector<Edge> edges;
+  for (int i = 0; i < 4000; ++i) {
+    const VertexId u = members[rng.NextBounded(members.size())];
+    const VertexId v = members[rng.NextBounded(members.size())];
+    if (u != v) edges.push_back({std::min(u, v), std::max(u, v)});
+    const VertexId w = static_cast<VertexId>(rng.NextBounded(n));
+    if (w != u) edges.push_back({std::min(u, w), std::max(u, w)});
+  }
+  Result<Graph> g = Graph::FromEdges(n, std::move(edges));
+  ASSERT_TRUE(g.ok());
+
+  SetOpStats stats;
+  HybridVertexSet set = HybridVertexSet::FromVector(members, n, &stats);
+  ASSERT_TRUE(set.chunked());  // the point of the test
+  ASSERT_TRUE(set.chunk_set().chunks().front().dense());
+  ASSERT_FALSE(set.chunk_set().chunks().back().dense());
+
+  SubgraphWorkspace workspace;
+  Result<InducedSubgraph> chunked = workspace.Build(*g, std::move(set));
+  ASSERT_TRUE(chunked.ok()) << chunked.status();
+  Result<InducedSubgraph> plain = InducedSubgraph::Create(*g, members);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(chunked->global_ids(), plain->global_ids());
+  ExpectSameGraph(chunked->graph(), plain->graph());
+  workspace.Recycle(std::move(chunked).value());
+
+  // Round 2 on recycled buffers, different member set.
+  VertexSet other = rng.SampleWithoutReplacement(n, 1500);
+  std::sort(other.begin(), other.end());
+  HybridVertexSet set2 = HybridVertexSet::FromVector(other, n, &stats);
+  ASSERT_TRUE(set2.chunked());
+  Result<InducedSubgraph> again = workspace.Build(*g, std::move(set2));
+  ASSERT_TRUE(again.ok());
+  Result<InducedSubgraph> plain2 = InducedSubgraph::Create(*g, other);
+  ASSERT_TRUE(plain2.ok());
+  EXPECT_EQ(again->global_ids(), plain2->global_ids());
+  ExpectSameGraph(again->graph(), plain2->graph());
+}
+
+TEST(SubgraphWorkspaceTest, ChunkedBuildValidatesVertexRange) {
+  // Members live in [0, 70000) but the parent graph is smaller: the
+  // chunked path must reject the build like the other paths do.
+  Rng rng(11);
+  VertexSet members = rng.SampleWithoutReplacement(70000, 1000);
+  std::sort(members.begin(), members.end());
+  SetOpStats stats;
+  HybridVertexSet set = HybridVertexSet::FromVector(members, 70000, &stats);
+  ASSERT_TRUE(set.chunked());
+  Graph small(100);
+  SubgraphWorkspace workspace;
+  EXPECT_FALSE(workspace.Build(small, std::move(set)).ok());
 }
 
 // ------------------------------------------------------ AttributedGraph

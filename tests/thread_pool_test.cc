@@ -3,10 +3,13 @@
 // under contention, group reuse, and worker identity.
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <thread>
 #include <vector>
+
+#include "util/cancel.h"
 
 #include <gtest/gtest.h>
 
@@ -130,6 +133,43 @@ TEST(ThreadPoolSpawnTest, TasksSpawnedDuringShutdownStillDrain) {
     // Destructor must drain both generations before joining.
   }
   EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolDeadlineTest, WaitForUntilDrainsFastGroups) {
+  ThreadPool pool(2);
+  ThreadPool::TaskGroup group;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Spawn(&group, [&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_TRUE(pool.WaitForUntil(
+      &group, std::chrono::steady_clock::now() + std::chrono::seconds(30)));
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPoolDeadlineTest, WaitForUntilTimesOutAndTokenUnblocks) {
+  // The drain-with-budget protocol of the frontier engine: a bounded
+  // wait times out on a stuck group, the caller latches the cancel token
+  // the tasks poll, and the plain WaitFor then drains promptly.
+  ThreadPool pool(2);
+  ThreadPool::TaskGroup group;
+  CancelToken token;
+  std::atomic<int> finished{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.Spawn(&group, [&token, &finished] {
+      std::uint32_t tick = 0;
+      while (!token.ShouldStop(&tick)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      finished.fetch_add(1);
+    });
+  }
+  EXPECT_FALSE(pool.WaitForUntil(
+      &group,
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(20)));
+  token.RequestCancel();
+  pool.WaitFor(&group);
+  EXPECT_EQ(finished.load(), 4);
 }
 
 TEST(ThreadPoolIdentityTest, WorkerIndexInsideAndOutside) {
