@@ -1,18 +1,21 @@
-# scpm_cli flag-handling contract, run via ctest:
-#   cmake -DCLI=<path-to-scpm_cli> -P cli_test.cmake
+# CLI flag-handling contract, run via ctest:
+#   cmake -DCLI=<path-to-scpm_cli> [-DSERVE_CLI=<path-to-scpm_serve_cli>] \
+#         -P cli_test.cmake
 #
 # Unknown flags, flags missing their value, and missing positionals must
 # all exit non-zero (2) with usage text on stderr — never be silently
 # ignored. Flag parsing happens before any file IO, so the positional
-# paths need not exist.
+# paths need not exist. `--help` must exit 0 and print the flag
+# reference on stdout (docs/CLI.md is diffed against it by the
+# docs_drift gate).
 
 if(NOT DEFINED CLI)
   message(FATAL_ERROR "pass -DCLI=<path to scpm_cli>")
 endif()
 
-function(expect_usage_error label)
+function(expect_usage_error binary label)
   execute_process(
-    COMMAND ${CLI} ${ARGN}
+    COMMAND ${binary} ${ARGN}
     RESULT_VARIABLE code
     OUTPUT_VARIABLE out
     ERROR_VARIABLE err)
@@ -24,8 +27,25 @@ function(expect_usage_error label)
   endif()
 endfunction()
 
-expect_usage_error("no arguments")
-expect_usage_error("unknown flag" edges.txt attrs.txt --bogus 1)
+function(expect_help binary label)
+  execute_process(
+    COMMAND ${binary} --help
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "${label}: --help expected exit 0, got ${code}")
+  endif()
+  if(NOT out MATCHES "usage:")
+    message(FATAL_ERROR "${label}: --help stdout lacks usage text:\n${out}")
+  endif()
+  if(NOT out MATCHES "Exit codes:")
+    message(FATAL_ERROR "${label}: --help lacks the exit-code table:\n${out}")
+  endif()
+endfunction()
+
+expect_usage_error(${CLI} "no arguments")
+expect_usage_error(${CLI} "unknown flag" edges.txt attrs.txt --bogus 1)
 execute_process(
   COMMAND ${CLI} edges.txt attrs.txt --bogus 1
   RESULT_VARIABLE code
@@ -33,7 +53,29 @@ execute_process(
 if(NOT err MATCHES "unknown flag: --bogus")
   message(FATAL_ERROR "unknown flag not named in the error:\n${err}")
 endif()
-expect_usage_error("flag missing value" edges.txt attrs.txt --gamma)
-expect_usage_error("bad sink value" edges.txt attrs.txt --sink csv)
-expect_usage_error("bad scope value" edges.txt attrs.txt --scope everything)
-message(STATUS "scpm_cli flag contract ok")
+expect_usage_error(${CLI} "flag missing value" edges.txt attrs.txt --gamma)
+expect_usage_error(${CLI} "bad sink value" edges.txt attrs.txt --sink csv)
+expect_usage_error(${CLI} "bad scope value" edges.txt attrs.txt
+                   --scope everything)
+expect_help(${CLI} "scpm_cli")
+# --help wins no matter where it appears.
+execute_process(
+  COMMAND ${CLI} edges.txt attrs.txt --help
+  RESULT_VARIABLE code
+  OUTPUT_VARIABLE out)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "trailing --help: expected exit 0, got ${code}")
+endif()
+
+if(DEFINED SERVE_CLI)
+  expect_usage_error(${SERVE_CLI} "serve: no arguments")
+  expect_usage_error(${SERVE_CLI} "serve: unknown flag" edges.txt attrs.txt
+                     --bogus 1)
+  expect_usage_error(${SERVE_CLI} "serve: missing --socket" edges.txt
+                     attrs.txt --threads 2)
+  expect_usage_error(${SERVE_CLI} "serve: flag missing value" edges.txt
+                     attrs.txt --socket)
+  expect_help(${SERVE_CLI} "scpm_serve_cli")
+endif()
+
+message(STATUS "cli flag contract ok")

@@ -79,12 +79,78 @@ void Usage() {
                "[--simd 0|1] [--chunked 0|1] [--top-n N] "
                "[--sink accumulate|jsonl] [--out FILE] [--deadline-ms MS] "
                "[--max-evals N] [--max-patterns N] [--checkpoint FILE] "
-               "[--resume FILE]\n";
+               "[--resume FILE]\n"
+               "run scpm_cli --help for the full flag reference\n";
+}
+
+// The flag table below is contract: scripts/check_docs.py diffs the
+// "--flag" lines against docs/CLI.md, so a new flag must land in both
+// (the ctest docs_drift gate fails otherwise).
+void Help() {
+  std::cout <<
+      "scpm_cli: mine structural correlation patterns from files on disk\n"
+      "\n"
+      "usage: scpm_cli <edges.txt> <attrs.txt> [options]\n"
+      "\n"
+      "  edges.txt : one \"u v\" edge per line ('#' comments allowed)\n"
+      "  attrs.txt : one \"v name1 name2 ...\" line per vertex\n"
+      "\n"
+      "Mining options (defaults in parentheses):\n"
+      "  --gamma G          quasi-clique density threshold in (0, 1] (0.5)\n"
+      "  --min-size S       minimum quasi-clique size (5)\n"
+      "  --sigma-min N      minimum attribute-set support (10)\n"
+      "  --eps-min E        minimum structural correlation (0.1)\n"
+      "  --delta-min D      minimum normalized structural correlation;\n"
+      "                     > 0 enables the max-exp null model (0)\n"
+      "  --top-k K          patterns reported per attribute set (5)\n"
+      "  --scope V          topk (SCPM) or maximal (SCORP) (topk)\n"
+      "  --order V          dfs or bfs candidate search order (dfs)\n"
+      "\n"
+      "Performance options (never change what is mined):\n"
+      "  --threads T        worker threads (1)\n"
+      "  --batch-grain W    tidset mass per evaluation task; 0 = one\n"
+      "                     evaluation per task (256)\n"
+      "  --intra-min U      |G(S)| at which one coverage search decomposes\n"
+      "                     into parallel branch tasks; 0 = never (512)\n"
+      "  --intra-depth D    decomposition depth of intra-search tasks (12)\n"
+      "  --hybrid B         hybrid sparse/chunked/dense vertex sets; 0 =\n"
+      "                     pure sorted-vector kernels (1)\n"
+      "  --simd B           SIMD word-kernel dispatch; 0 pins the scalar\n"
+      "                     path (1)\n"
+      "  --chunked B        roaring-style chunked mid-density sets; 0 =\n"
+      "                     two-way sparse/dense rule (1)\n"
+      "\n"
+      "Output options:\n"
+      "  --top-n N          rows printed per ranking table (10)\n"
+      "  --sink V           accumulate (full result, O(output) memory) or\n"
+      "                     jsonl (streaming, O(frontier)) (accumulate)\n"
+      "  --out FILE         jsonl destination (stdout)\n"
+      "\n"
+      "Budget / anytime options (frontier engine):\n"
+      "  --deadline-ms MS   wall-clock budget; 0 = none (0)\n"
+      "  --max-evals N      evaluation budget, cut at a deterministic\n"
+      "                     frontier boundary; 0 = none (0)\n"
+      "  --max-patterns N   emitted-pattern budget, same discipline (0)\n"
+      "  --checkpoint FILE  write the frontier checkpoint on a budget cut\n"
+      "  --resume FILE      continue from a previous run's checkpoint\n"
+      "\n"
+      "Other:\n"
+      "  --help             print this reference and exit 0\n"
+      "\n"
+      "Exit codes: 0 = lattice exhausted, 1 = runtime error, 2 = usage\n"
+      "error, 3 = budget cut the run (checkpoint written if --checkpoint\n"
+      "was given).\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      Help();
+      return 0;
+    }
+  }
   if (argc < 3) {
     Usage();
     return 2;

@@ -1,0 +1,141 @@
+// scpm_serve_cli: long-lived SCPM query server over a Unix domain socket.
+//
+// Loads an attributed graph once, then serves concurrent mining queries
+// through the newline-delimited JSON protocol documented in
+// docs/SERVER.md (ops: submit / status / cancel / stats / shutdown).
+// Run `scpm_serve_cli --help` for the flag reference; see
+// examples/server_client.py for a minimal client.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "graph/io.h"
+#include "server/server.h"
+#include "util/hybrid_set.h"
+#include "util/simd_ops.h"
+
+namespace {
+
+void Usage() {
+  std::cerr << "usage: scpm_serve_cli <edges.txt> <attrs.txt> --socket PATH "
+               "[--threads T] [--max-concurrent C] [--queue-depth Q] "
+               "[--memo-mb MB] [--memo-shards S] [--simd 0|1] "
+               "[--chunked 0|1]\n"
+               "run scpm_serve_cli --help for the full flag reference\n";
+}
+
+// Contract with scripts/check_docs.py: the "--flag" lines below must
+// match the scpm_serve_cli table in docs/CLI.md (ctest docs_drift gate).
+void Help() {
+  std::cout <<
+      "scpm_serve_cli: long-lived SCPM query server on a Unix domain socket\n"
+      "\n"
+      "usage: scpm_serve_cli <edges.txt> <attrs.txt> --socket PATH [options]\n"
+      "\n"
+      "  edges.txt : one \"u v\" edge per line ('#' comments allowed)\n"
+      "  attrs.txt : one \"v name1 name2 ...\" line per vertex\n"
+      "\n"
+      "The server loads the graph once, then accepts newline-delimited\n"
+      "JSON requests (docs/SERVER.md): submit / status / cancel / stats /\n"
+      "shutdown. Per-query mining options travel in the submit request,\n"
+      "not on this command line.\n"
+      "\n"
+      "Options (defaults in parentheses):\n"
+      "  --socket PATH      Unix socket path to listen on (required)\n"
+      "  --threads T        shared worker-pool threads mining for all\n"
+      "                     queries together (4)\n"
+      "  --max-concurrent C queries mining at once; admitted queries\n"
+      "                     beyond C wait in the queue (2)\n"
+      "  --queue-depth Q    waiting queries; a submit past this depth is\n"
+      "                     rejected with code resource-exhausted (16)\n"
+      "  --memo-mb MB       cross-query evaluation memo budget in MiB;\n"
+      "                     0 disables the memo (64)\n"
+      "  --memo-shards S    memo mutex stripes (16)\n"
+      "  --simd B           process-wide SIMD word-kernel dispatch; 0\n"
+      "                     pins the scalar path (1)\n"
+      "  --chunked B        process-wide chunked mid-density sets (1)\n"
+      "  --help             print this reference and exit 0\n"
+      "\n"
+      "Exit codes: 0 = clean shutdown (shutdown op received), 1 = runtime\n"
+      "error, 2 = usage error.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      Help();
+      return 0;
+    }
+  }
+  if (argc < 3) {
+    Usage();
+    return 2;
+  }
+  scpm::ServerOptions options;
+  std::string socket_path;
+
+  for (int i = 3; i < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::cerr << "flag " << flag << " is missing its value\n";
+      Usage();
+      return 2;
+    }
+    const char* value = argv[i + 1];
+    if (flag == "--socket") {
+      socket_path = value;
+    } else if (flag == "--threads") {
+      options.threads = static_cast<std::size_t>(std::atoll(value));
+    } else if (flag == "--max-concurrent") {
+      options.max_concurrent = static_cast<std::size_t>(std::atoll(value));
+    } else if (flag == "--queue-depth") {
+      options.queue_depth = static_cast<std::size_t>(std::atoll(value));
+    } else if (flag == "--memo-mb") {
+      options.memo.max_bytes =
+          static_cast<std::size_t>(std::atoll(value)) << 20;
+    } else if (flag == "--memo-shards") {
+      options.memo.num_shards = static_cast<std::size_t>(std::atoll(value));
+    } else if (flag == "--simd") {
+      scpm::SetSimdDispatch(std::atoi(value) != 0);
+    } else if (flag == "--chunked") {
+      scpm::HybridVertexSet::SetChunkedEnabled(std::atoi(value) != 0);
+    } else {
+      std::cerr << "unknown flag: " << flag << "\n";
+      Usage();
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    std::cerr << "--socket is required\n";
+    Usage();
+    return 2;
+  }
+
+  scpm::Result<scpm::AttributedGraph> graph =
+      scpm::LoadAttributedGraph(argv[1], argv[2]);
+  if (!graph.ok()) {
+    std::cerr << "load failed: " << graph.status() << "\n";
+    return 1;
+  }
+  std::cerr << "loaded " << graph->NumVertices() << " vertices, "
+            << graph->graph().NumEdges() << " edges, "
+            << graph->NumAttributes() << " attributes\n";
+
+  scpm::ScpmServer server(&*graph, options);
+  server.Start();
+  std::cerr << "serving on " << socket_path << " (threads="
+            << options.threads << " max_concurrent=" << options.max_concurrent
+            << " queue_depth=" << options.queue_depth << " memo="
+            << (options.memo.max_bytes >> 20) << "MiB)\n";
+  scpm::Status served = server.Serve(socket_path);
+  if (!served.ok()) {
+    std::cerr << "serve failed: " << served << "\n";
+    return 1;
+  }
+  std::cerr << "shut down cleanly\n";
+  return 0;
+}

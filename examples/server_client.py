@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Minimal scpm_serve_cli client: two concurrent budgeted queries.
+
+Start the server on any graph, then point this script at its socket:
+
+    ./build/scpm_serve_cli graph.edges graph.attrs --socket /tmp/scpm.sock
+    python3 examples/server_client.py /tmp/scpm.sock
+
+Each query runs on its own connection with its own thresholds and a
+wall-clock budget (deadline_ms), so a graph too big to mine exhaustively
+still answers promptly with exhausted=false. The wire protocol is
+newline-delimited JSON (docs/SERVER.md); this file is the reference
+client implementation for it.
+"""
+
+import json
+import socket
+import sys
+import threading
+
+QUERIES = [
+    {"gamma": 0.6, "min_size": 4, "sigma_min": 3, "eps_min": 0.5,
+     "top_k": 10, "deadline_ms": 5000},
+    {"gamma": 0.5, "min_size": 3, "sigma_min": 5, "eps_min": 0.3,
+     "scope": "maximal", "deadline_ms": 5000},
+]
+
+
+def request(sock_path, payload):
+    """One request -> one response on a fresh connection."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.connect(sock_path)
+        sock.sendall((json.dumps(payload) + "\n").encode())
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    return json.loads(buf)
+
+
+def run_query(sock_path, spec, slot, results):
+    results[slot] = request(
+        sock_path, {"op": "submit", "wait": True, "query": spec})
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} /path/to/scpm.sock", file=sys.stderr)
+        return 2
+    sock_path = sys.argv[1]
+
+    results = [None] * len(QUERIES)
+    workers = [
+        threading.Thread(target=run_query, args=(sock_path, spec, i, results))
+        for i, spec in enumerate(QUERIES)
+    ]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+
+    for spec, response in zip(QUERIES, results):
+        if not response.get("ok"):
+            print(f"query {spec} failed: {response}", file=sys.stderr)
+            return 1
+        query = response["query"]
+        counters = query["counters"]
+        print(f"query id={query['id']} state={query['state']} "
+              f"exhausted={query['exhausted']}")
+        print(f"  gamma={spec['gamma']} min_size={spec['min_size']} "
+              f"sigma_min={spec['sigma_min']}")
+        print(f"  queue_wait={query['queue_wait_ms']:.1f}ms "
+              f"wall={query['wall_ms']:.1f}ms "
+              f"memo_hits={query['memo_hits']} "
+              f"memo_misses={query['memo_misses']}")
+        print(f"  evaluated={counters['attribute_sets_evaluated']} "
+              f"reported={counters['attribute_sets_reported']} "
+              f"emitted={query['emitted']}")
+
+    stats = request(sock_path, {"op": "stats"})
+    memo = stats["memo"]
+    print(f"server: submitted={stats['submitted']} "
+          f"rejected={stats['rejected']} threads={stats['threads']}")
+    if memo["enabled"]:
+        print(f"memo: hit_rate={memo['hit_rate']:.2f} "
+              f"entries={memo['entries']} bytes={memo['bytes']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -132,8 +132,15 @@ struct WorkerState {
 struct CounterBundle {
   ScpmCounters counters;
   SetOpStats set_ops;
+  // Cross-run memo outcomes; not part of ScpmCounters (they describe
+  // the cache, not the mining effort) but folded with the same
+  // cancelled-entries-leave-no-trace discipline.
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
 
   void MergeFrom(const CounterBundle& other) {
+    memo_hits += other.memo_hits;
+    memo_misses += other.memo_misses;
     counters.attribute_sets_evaluated +=
         other.counters.attribute_sets_evaluated;
     counters.attribute_sets_reported += other.counters.attribute_sets_reported;
@@ -198,7 +205,9 @@ class EngineRunner {
   EngineRunner(const AttributedGraph& graph, const ScpmOptions& options,
                const EngineBudget& budget, std::size_t wave,
                ExpectationModel* null_model, PatternSink* sink,
-               const std::function<void(const EngineProgress&)>& progress)
+               const std::function<void(const EngineProgress&)>& progress,
+               ThreadPool* shared_pool, ParallelismBudget* shared_intra_budget,
+               EvalMemo* memo, CancelToken* cancel)
       : graph_(graph),
         options_(options),
         budget_(budget),
@@ -206,21 +215,35 @@ class EngineRunner {
         null_model_(null_model),
         sink_(sink),
         progress_(progress),
+        memo_(memo),
         // Slot count caps the intra-search branch tasks outstanding at
         // once across ALL evaluations: a huge-G(S) evaluation that grabs
         // slots is borrowing parallelism its sibling evaluations would
-        // otherwise spend, and returns it as its subtasks drain.
-        intra_budget_(options.num_threads > 1 ? 2 * options.num_threads : 0) {
-    const std::size_t workers = std::max<std::size_t>(1, options_.num_threads);
+        // otherwise spend, and returns it as its subtasks drain. With a
+        // shared pool the caller's budget plays that role server-wide.
+        own_intra_budget_(options.num_threads > 1 ? 2 * options.num_threads
+                                                  : 0),
+        intra_budget_(shared_intra_budget != nullptr ? shared_intra_budget
+                                                     : &own_intra_budget_),
+        token_(cancel != nullptr ? *cancel : own_token_) {
+    if (shared_pool != nullptr) {
+      pool_ = shared_pool;
+    } else if (options_.num_threads > 1) {
+      owned_pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+      pool_ = owned_pool_.get();
+    }
+    // One scratch per thread that can run evaluation tasks: the pool's
+    // workers (a shared pool may have more than options.num_threads),
+    // slot 0 doubling for the driving thread in sequential mode.
+    const std::size_t workers =
+        pool_ != nullptr ? pool_->num_threads()
+                         : std::max<std::size_t>(1, options_.num_threads);
     states_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i) {
       states_.push_back(std::make_unique<WorkerState>(options_));
     }
-    if (options_.num_threads > 1) {
-      pool_ = std::make_unique<ThreadPool>(options_.num_threads);
-    }
     for (const std::unique_ptr<WorkerState>& ws : states_) {
-      ws->miner.set_parallel_context(pool_.get(), &intra_budget_);
+      ws->miner.set_parallel_context(pool_, intra_budget_);
       ws->miner.set_cancel_token(&token_);
     }
   }
@@ -408,6 +431,8 @@ class EngineRunner {
         total_.set_ops.chunked_intersections;
     run.counters.dense_conversions += total_.set_ops.dense_conversions;
     run.counters.chunked_conversions += total_.set_ops.chunked_conversions;
+    run.memo_hits = total_.memo_hits;
+    run.memo_misses = total_.memo_misses;
     run.emitted = emitted_;
     run.patterns_emitted = patterns_emitted_;
     run.frontier_entries = frontier_.size();
@@ -498,6 +523,9 @@ class EngineRunner {
       return true;
     }
     if (budget_.deadline_ms != 0 && token_.CheckNow()) return true;
+    // An externally latched token (no deadline armed) must also cut,
+    // or cancelled entries would re-queue forever.
+    if (token_.cancelled()) return true;
     return false;
   }
 
@@ -727,6 +755,35 @@ class EngineRunner {
     // cheap no-op for every deeper node.
     node.tidset.Normalize(set_stats);
 
+    // Cross-run memo: a hit replays the stored outcome — same report
+    // decision, same stats and patterns, same extendability, same
+    // covered set for the children — without building G(S) or running
+    // either quasi-clique search. The caller bound the memo to this
+    // graph and options fingerprint, so the replay is byte-identical to
+    // evaluating; the evaluated/reported counters advance exactly as on
+    // a cold evaluation (budget cut points do not move between hot and
+    // cold runs), only the work counters shrink.
+    if (memo_ != nullptr) {
+      std::shared_ptr<const EvalMemo::Evaluation> hit =
+          memo_->Lookup(node.items);
+      if (hit != nullptr) {
+        ++bundle->memo_hits;
+        if (hit->reported) {
+          ++bundle->counters.attribute_sets_reported;
+          slot->output = hit->output;
+          slot->reported = true;
+        }
+        slot->extendable = hit->extendable;
+        if (hit->extendable) {
+          slot->covered = std::make_shared<const HybridVertexSet>(
+              HybridVertexSet::FromVector(hit->covered, SetUniverse(),
+                                          set_stats));
+        }
+        return;
+      }
+      ++bundle->memo_misses;
+    }
+
     // Theorem 3: quasi-cliques of G(S) live inside the parents' covered
     // sets, so the search universe can be restricted to them.
     HybridVertexSet universe = node.tidset;
@@ -825,6 +882,17 @@ class EngineRunner {
       }
     }
     slot->extendable = extendable;
+    if (memo_ != nullptr) {
+      auto entry = std::make_shared<EvalMemo::Evaluation>();
+      // The covered set is only consulted on a hit when the set is
+      // extendable (children's Theorem-3 pruning); skip the copy
+      // otherwise — the stats row already carries |K_S|.
+      if (extendable) entry->covered = covered_global;
+      entry->extendable = extendable;
+      entry->reported = slot->reported;
+      if (slot->reported) entry->output = slot->output;
+      memo_->Insert(node.items, std::move(entry));
+    }
     if (extendable) {
       // Stored for the children's Theorem-3 intersection, so it goes in
       // hybrid form (dense covered sets intersect by word-AND).
@@ -984,11 +1052,18 @@ class EngineRunner {
   ExpectationModel* null_model_;
   PatternSink* sink_;
   const std::function<void(const EngineProgress&)>& progress_;
+  EvalMemo* memo_;
 
-  // Shared by every worker's miner; must outlive pool_ (declared later,
-  // destroyed first) because draining tasks may still release slots.
-  ParallelismBudget intra_budget_;
-  CancelToken token_;
+  // Shared by every worker's miner; must outlive owned_pool_ (declared
+  // later, destroyed first) because draining tasks may still release
+  // slots. intra_budget_ points here or at the caller's shared budget.
+  ParallelismBudget own_intra_budget_;
+  ParallelismBudget* intra_budget_;
+  // The run's cancel latch: the caller's token when one was injected
+  // (server-side cancellation), else this run-private one. Either way
+  // the engine owns arming the deadline.
+  CancelToken own_token_;
+  CancelToken& token_;
   std::chrono::steady_clock::time_point deadline_{};
 
   std::vector<std::unique_ptr<WorkerState>> states_;
@@ -1009,8 +1084,12 @@ class EngineRunner {
 
   // Declared last, destroyed first: joining the workers destroys every
   // outstanding task closure, whose captured ClassNode references erase
-  // cache entries — all of which must still be alive at that point.
-  std::unique_ptr<ThreadPool> pool_;
+  // cache entries — all of which must still be alive at that point. With
+  // a shared (caller-owned) pool owned_pool_ stays null; the wave
+  // discipline guarantees no task of this runner is outstanding once
+  // Drive() returns, so the runner may destruct under a live pool.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace
@@ -1053,7 +1132,8 @@ Result<MiningRun> ScpmEngine::Run(const AttributedGraph& graph,
     return Status::InvalidArgument("sink must not be null");
   }
   EngineRunner runner(graph, options_, budget_, frontier_wave_, null_model_,
-                      sink, progress_);
+                      sink, progress_, shared_pool_, shared_intra_budget_,
+                      memo_, cancel_);
   runner.SeedFresh();
   SCPM_RETURN_IF_ERROR(runner.Drive());
   return runner.TakeRun();
@@ -1067,7 +1147,8 @@ Result<MiningRun> ScpmEngine::Resume(const AttributedGraph& graph,
     return Status::InvalidArgument("sink must not be null");
   }
   EngineRunner runner(graph, options_, budget_, frontier_wave_, null_model_,
-                      sink, progress_);
+                      sink, progress_, shared_pool_, shared_intra_budget_,
+                      memo_, cancel_);
   SCPM_RETURN_IF_ERROR(runner.SeedFromCheckpoint(checkpoint));
   SCPM_RETURN_IF_ERROR(runner.Drive());
   return runner.TakeRun();

@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -50,10 +51,52 @@
 #include "core/sink.h"
 #include "graph/attributed_graph.h"
 #include "graph/types.h"
+#include "util/cancel.h"
 #include "util/result.h"
 #include "util/status.h"
 
 namespace scpm {
+
+class ParallelismBudget;
+class ThreadPool;
+
+/// Cross-run evaluation memo consulted by the engine, one lookup per
+/// attribute-set evaluation. The stored value is the complete outcome of
+/// evaluating an attribute set — its Theorem-3 covered set, whether it
+/// passed the report thresholds (and with what stats/patterns), and
+/// whether it is extendable — all of which are pure functions of (graph,
+/// output-relevant options, attribute set). A hit skips the induced
+/// subgraph build and both quasi-clique searches and replays the stored
+/// outcome, so the emitted rows and patterns are byte-identical to a
+/// cold evaluation; only the work counters (coverage candidates, kernel
+/// dispatches) shrink to reflect the work actually done.
+///
+/// The caller is responsible for binding: an implementation must never
+/// serve a value recorded under a different graph or a different
+/// OptionsFingerprint (the server wraps its cache in a per-query view
+/// keyed by graph epoch + fingerprint; see server/memo.h). Lookup and
+/// Insert may be called concurrently from pool workers.
+class EvalMemo {
+ public:
+  struct Evaluation {
+    VertexSet covered;  // K_S in global ids (sorted)
+    bool extendable = false;
+    bool reported = false;
+    AttributeSetOutput output;  // valid when reported
+  };
+
+  virtual ~EvalMemo() = default;
+
+  /// Returns the memoized evaluation of `items`, or nullptr on miss.
+  virtual std::shared_ptr<const Evaluation> Lookup(
+      const AttributeSet& items) = 0;
+
+  /// Publishes a finished evaluation. Implementations may drop it (size
+  /// cap) or keep an existing entry — concurrent inserts for the same
+  /// key carry identical values by construction.
+  virtual void Insert(const AttributeSet& items,
+                      std::shared_ptr<const Evaluation> eval) = 0;
+};
 
 /// Anytime budgets. All default to "unlimited"; the evaluation and
 /// pattern budgets are enforced at wave boundaries only, so their cut
@@ -149,6 +192,11 @@ struct MiningRun {
   std::uint64_t patterns_emitted = 0;
   /// Frontier entries remaining at the cut (0 when exhausted).
   std::size_t frontier_entries = 0;
+  /// Evaluation-memo outcomes for this segment (both zero when no memo
+  /// is attached). Hits replay a stored evaluation; misses did the work
+  /// and published it. hits + misses = attribute_sets_evaluated.
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
   /// Set when exhausted is false.
   EngineCheckpoint checkpoint;
 };
@@ -188,6 +236,34 @@ class ScpmEngine {
     progress_ = std::move(progress);
   }
 
+  /// Runs waves on a caller-owned pool instead of building one per
+  /// Run/Resume, with intra-search decomposition drawing slots from the
+  /// caller's budget. Both pointers are borrowed and must outlive every
+  /// Run/Resume; pass nullptrs to return to per-run pools. Placement
+  /// only: the shared pool overrides options.num_threads for *where*
+  /// tasks execute, never for what is mined, so output stays
+  /// byte-identical. This is what lets one resident server multiplex
+  /// many concurrent engine runs over one set of worker threads.
+  void set_shared_pool(ThreadPool* pool, ParallelismBudget* intra_budget) {
+    shared_pool_ = pool;
+    shared_intra_budget_ = intra_budget;
+  }
+
+  /// Attaches a cross-run evaluation memo (borrowed; may be nullptr).
+  /// The caller must guarantee the memo only serves values recorded
+  /// under this engine's graph and OptionsFingerprint.
+  void set_eval_memo(EvalMemo* memo) { memo_ = memo; }
+
+  /// Borrows an external cancel token for the next Run/Resume (nullptr
+  /// reverts to a per-run internal token). RequestCancel() from any
+  /// thread cuts the run at the next wave boundary exactly like a
+  /// deadline: in-flight entries are discarded whole and re-queued, the
+  /// run returns exhausted=false with a valid checkpoint, and nothing is
+  /// ever emitted twice. The engine arms budget().deadline_ms on this
+  /// token before the first wave; the caller must only RequestCancel,
+  /// never SetDeadline. One token serves one run at a time.
+  void set_cancel_token(CancelToken* token) { cancel_ = token; }
+
   /// Walks the whole lattice (or up to the budget), emitting every
   /// reported attribute set into `sink`.
   Result<MiningRun> Run(const AttributedGraph& graph, PatternSink* sink);
@@ -212,6 +288,10 @@ class ScpmEngine {
   EngineBudget budget_;
   std::size_t frontier_wave_ = 16;
   std::function<void(const EngineProgress&)> progress_;
+  ThreadPool* shared_pool_ = nullptr;
+  ParallelismBudget* shared_intra_budget_ = nullptr;
+  EvalMemo* memo_ = nullptr;
+  CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace scpm

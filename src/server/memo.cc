@@ -1,0 +1,137 @@
+#include "server/memo.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace scpm {
+
+namespace {
+
+/// FNV-1a over a 64-bit word.
+inline std::uint64_t MixWord(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ull;
+  return h;
+}
+
+}  // namespace
+
+std::size_t MemoCache::KeyHash::operator()(const Key& key) const {
+  std::uint64_t h = 1469598103934665603ull;
+  h = MixWord(h, key.epoch);
+  h = MixWord(h, key.fingerprint);
+  for (AttributeId a : key.items) h = MixWord(h, a);
+  return static_cast<std::size_t>(h);
+}
+
+MemoCache::MemoCache(MemoCacheOptions options)
+    : options_(options),
+      shard_budget_(options.num_shards == 0
+                        ? options.max_bytes
+                        : options.max_bytes / options.num_shards) {
+  const std::size_t shards = std::max<std::size_t>(1, options_.num_shards);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+MemoCache::Shard& MemoCache::ShardFor(const Key& key) {
+  return *shards_[KeyHash{}(key) % shards_.size()];
+}
+
+std::size_t MemoCache::EvaluationBytes(const EvalMemo::Evaluation& eval) {
+  std::size_t bytes = sizeof(EvalMemo::Evaluation);
+  bytes += eval.covered.capacity() * sizeof(VertexId);
+  bytes += eval.output.stats.attributes.capacity() * sizeof(AttributeId);
+  for (const StructuralCorrelationPattern& p : eval.output.patterns) {
+    bytes += sizeof(StructuralCorrelationPattern);
+    bytes += p.vertices.capacity() * sizeof(VertexId);
+    bytes += p.attributes.capacity() * sizeof(AttributeId);
+  }
+  return bytes;
+}
+
+std::shared_ptr<const EvalMemo::Evaluation> MemoCache::Lookup(
+    std::uint64_t epoch, std::uint64_t fingerprint,
+    const AttributeSet& items) {
+  Key key{epoch, fingerprint, items};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  // Refresh recency: splice the entry to the hot end.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->eval;
+}
+
+void MemoCache::Insert(std::uint64_t epoch, std::uint64_t fingerprint,
+                       const AttributeSet& items,
+                       std::shared_ptr<const EvalMemo::Evaluation> eval) {
+  if (eval == nullptr) return;
+  const std::size_t bytes = EvaluationBytes(*eval);
+  // Never cache what a shard could not hold: admitting it would evict
+  // the whole stripe for one entry that is immediately evicted itself.
+  if (bytes > shard_budget_) return;
+  Key key{epoch, fingerprint, items};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Same key, identical value by construction: refresh recency and
+    // byte accounting only.
+    shard.bytes -= it->second->bytes;
+    it->second->eval = std::move(eval);
+    it->second->bytes = bytes;
+    shard.bytes += bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(eval), bytes});
+  shard.index.emplace(std::move(key), shard.lru.begin());
+  shard.bytes += bytes;
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
+    const Entry& cold = shard.lru.back();
+    shard.bytes -= cold.bytes;
+    shard.index.erase(cold.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void MemoCache::BeginEpoch(std::uint64_t epoch) {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->key.epoch == epoch) {
+        ++it;
+        continue;
+      }
+      shard->bytes -= it->bytes;
+      shard->index.erase(it->key);
+      it = shard->lru.erase(it);
+      ++shard->evictions;
+    }
+  }
+}
+
+MemoCache::Stats MemoCache::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    out.evictions += shard->evictions;
+    out.entries += shard->lru.size();
+    out.bytes += shard->bytes;
+  }
+  return out;
+}
+
+}  // namespace scpm

@@ -1,0 +1,414 @@
+#include "server/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "core/engine.h"
+
+namespace scpm {
+
+namespace {
+
+/// Writes the whole buffer, retrying partial writes; SIGPIPE suppressed
+/// so a client hanging up mid-response just fails the send.
+bool SendAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ScpmServer::ScpmServer(const AttributedGraph* graph, ServerOptions options)
+    : graph_(graph),
+      options_(options),
+      pool_(std::make_unique<ThreadPool>(
+          std::max<std::size_t>(1, options.threads))),
+      // The per-run "2x threads" intra-search slot rule, applied once to
+      // the shared pool: concurrent queries borrow decomposition slots
+      // from one server-wide pot instead of oversubscribing per query.
+      intra_budget_(2 * std::max<std::size_t>(1, options.threads)) {
+  if (options_.memo.max_bytes > 0) {
+    memo_ = std::make_unique<MemoCache>(options_.memo);
+    memo_->BeginEpoch(epoch_);
+  }
+}
+
+ScpmServer::~ScpmServer() { Shutdown(); }
+
+void ScpmServer::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_ || stopping_) return;
+  started_ = true;
+  const std::size_t drivers = std::max<std::size_t>(1, options_.max_concurrent);
+  drivers_.reserve(drivers);
+  for (std::size_t i = 0; i < drivers; ++i) {
+    drivers_.emplace_back([this] { DriverLoop(); });
+  }
+}
+
+void ScpmServer::Shutdown() {
+  std::vector<std::thread> drivers;
+  std::vector<std::shared_ptr<QuerySession>> to_cancel;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    drivers.swap(drivers_);
+    for (const auto& [id, session] : sessions_) {
+      if (!session->terminal()) to_cancel.push_back(session);
+    }
+  }
+  queue_cv_.notify_all();
+  // Cancel queued sessions (their driver pickup becomes a no-op) and cut
+  // running ones at their next wave boundary.
+  for (const std::shared_ptr<QuerySession>& session : to_cancel) {
+    session->Cancel();
+  }
+  for (std::thread& t : drivers) t.join();
+  // Wake a blocking Serve() accept loop, if one is running. A pipe write
+  // is the only portably reliable wakeup — shutdown() on a listening
+  // AF_UNIX socket does not interrupt accept() everywhere.
+  const int wake = serve_wake_fd_.load();
+  if (wake >= 0) {
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t n = ::write(wake, &byte, 1);
+  }
+}
+
+Result<std::shared_ptr<QuerySession>> ScpmServer::Submit(QuerySpec spec) {
+  std::shared_ptr<QuerySession> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      ++rejected_;
+      return Status::Internal("server is shutting down");
+    }
+    if (queue_.size() >= options_.queue_depth) {
+      ++rejected_;
+      return Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(queue_.size()) + "/" +
+          std::to_string(options_.queue_depth) + " queued)");
+    }
+    session = std::make_shared<QuerySession>(next_id_++, std::move(spec));
+    sessions_.emplace(session->id(), session);
+    queue_.push_back(session);
+    ++submitted_;
+  }
+  queue_cv_.notify_one();
+  return session;
+}
+
+std::shared_ptr<QuerySession> ScpmServer::Find(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+Result<QueryState> ScpmServer::Cancel(std::uint64_t id) {
+  std::shared_ptr<QuerySession> session = Find(id);
+  if (session == nullptr) {
+    return Status::NotFound("no query with id " + std::to_string(id));
+  }
+  return session->Cancel();
+}
+
+ExpectationModel* ScpmServer::NullModelFor(const ScpmOptions& query_options) {
+  if (query_options.min_delta <= 0.0) return nullptr;
+  const std::pair<double, std::uint32_t> key(
+      query_options.quasi_clique.gamma, query_options.quasi_clique.min_size);
+  std::lock_guard<std::mutex> lock(null_models_mutex_);
+  auto it = null_models_.find(key);
+  if (it == null_models_.end()) {
+    it = null_models_
+             .emplace(key, std::make_unique<MaxExpectationModel>(
+                               graph_->graph(), query_options.quasi_clique))
+             .first;
+  }
+  return it->second.get();
+}
+
+void ScpmServer::DriverLoop() {
+  while (true) {
+    std::shared_ptr<QuerySession> session;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_, nothing left to drain
+      session = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    RunSession(session);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+    }
+  }
+}
+
+void ScpmServer::RunSession(const std::shared_ptr<QuerySession>& session) {
+  ExpectationModel* null_model = NullModelFor(session->spec().options);
+  if (memo_ == nullptr) {
+    session->Execute(*graph_, null_model, pool_.get(), &intra_budget_,
+                     nullptr);
+    return;
+  }
+  // Bind the cross-query memo to this query's (epoch, output-relevant
+  // options): queries with different thresholds never share entries,
+  // queries differing only in perf knobs do.
+  MemoCache::BoundView memo = memo_->Bind(
+      epoch_, ScpmEngine::OptionsFingerprint(session->spec().options,
+                                             null_model != nullptr));
+  session->Execute(*graph_, null_model, pool_.get(), &intra_budget_, &memo);
+}
+
+JsonValue ScpmServer::Stats() const {
+  JsonValue out = JsonValue::MakeObject();
+  std::uint64_t by_state[5] = {0, 0, 0, 0, 0};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.Set("submitted", JsonValue(submitted_));
+    out.Set("rejected", JsonValue(rejected_));
+    out.Set("queued", JsonValue(std::uint64_t{queue_.size()}));
+    out.Set("running", JsonValue(std::uint64_t{running_}));
+    for (const auto& [id, session] : sessions_) {
+      ++by_state[static_cast<int>(session->state())];
+    }
+  }
+  JsonValue states = JsonValue::MakeObject();
+  for (int s = 0; s < 5; ++s) {
+    states.Set(QueryStateName(static_cast<QueryState>(s)),
+               JsonValue(by_state[s]));
+  }
+  out.Set("sessions", std::move(states));
+  out.Set("threads", JsonValue(std::uint64_t{pool_->num_threads()}));
+  out.Set("max_concurrent", JsonValue(std::uint64_t{options_.max_concurrent}));
+  out.Set("queue_depth", JsonValue(std::uint64_t{options_.queue_depth}));
+  out.Set("epoch", JsonValue(epoch_));
+
+  JsonValue memo = JsonValue::MakeObject();
+  memo.Set("enabled", JsonValue(memo_ != nullptr));
+  if (memo_ != nullptr) {
+    const MemoCache::Stats stats = memo_->stats();
+    memo.Set("hits", JsonValue(stats.hits));
+    memo.Set("misses", JsonValue(stats.misses));
+    const std::uint64_t lookups = stats.hits + stats.misses;
+    memo.Set("hit_rate", JsonValue(lookups == 0 ? 0.0
+                                                : static_cast<double>(
+                                                      stats.hits) /
+                                                      static_cast<double>(
+                                                          lookups)));
+    memo.Set("insertions", JsonValue(stats.insertions));
+    memo.Set("evictions", JsonValue(stats.evictions));
+    memo.Set("entries", JsonValue(stats.entries));
+    memo.Set("bytes", JsonValue(stats.bytes));
+    memo.Set("max_bytes", JsonValue(std::uint64_t{options_.memo.max_bytes}));
+  }
+  out.Set("memo", std::move(memo));
+  return out;
+}
+
+JsonValue ScpmServer::ErrorResponse(const Status& status) const {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("ok", JsonValue(false));
+  out.Set("error", JsonValue(status.ToString()));
+  out.Set("code", JsonValue(StatusCodeToString(status.code())));
+  return out;
+}
+
+std::string ScpmServer::HandleRequest(const std::string& line) {
+  Result<JsonValue> parsed = JsonValue::Parse(line);
+  if (!parsed.ok()) return ErrorResponse(parsed.status()).Dump();
+  const JsonValue& request = *parsed;
+  if (!request.is_object()) {
+    return ErrorResponse(Status::InvalidArgument("request must be an object"))
+        .Dump();
+  }
+  const std::string op = request.StringOr("op", "");
+
+  if (op == "submit") {
+    const JsonValue* query = request.Find("query");
+    Result<QuerySpec> spec = ParseQuerySpec(
+        query != nullptr ? *query : JsonValue::MakeObject());
+    if (!spec.ok()) return ErrorResponse(spec.status()).Dump();
+    Result<std::shared_ptr<QuerySession>> session =
+        Submit(std::move(spec).value());
+    if (!session.ok()) return ErrorResponse(session.status()).Dump();
+    JsonValue out = JsonValue::MakeObject();
+    out.Set("ok", JsonValue(true));
+    out.Set("id", JsonValue((*session)->id()));
+    if (request.BoolOr("wait", false)) {
+      (*session)->WaitTerminal();
+      out.Set("query", (*session)->Describe(graph_));
+    } else {
+      out.Set("state", JsonValue(QueryStateName((*session)->state())));
+    }
+    return out.Dump();
+  }
+
+  if (op == "status" || op == "cancel") {
+    const JsonValue* id_value = request.Find("id");
+    if (id_value == nullptr || !id_value->is_number()) {
+      return ErrorResponse(
+                 Status::InvalidArgument("op \"" + op + "\" requires \"id\""))
+          .Dump();
+    }
+    const std::uint64_t id =
+        static_cast<std::uint64_t>(id_value->AsNumber());
+    std::shared_ptr<QuerySession> session = Find(id);
+    if (session == nullptr) {
+      return ErrorResponse(
+                 Status::NotFound("no query with id " + std::to_string(id)))
+          .Dump();
+    }
+    JsonValue out = JsonValue::MakeObject();
+    out.Set("ok", JsonValue(true));
+    if (op == "cancel") {
+      const QueryState observed = session->Cancel();
+      out.Set("id", JsonValue(id));
+      out.Set("was", JsonValue(QueryStateName(observed)));
+      out.Set("state", JsonValue(QueryStateName(session->state())));
+    } else {
+      out.Set("query", session->Describe(graph_));
+    }
+    return out.Dump();
+  }
+
+  if (op == "stats") {
+    JsonValue out = Stats();
+    out.Set("ok", JsonValue(true));
+    return out.Dump();
+  }
+
+  if (op == "shutdown") {
+    Shutdown();
+    JsonValue out = JsonValue::MakeObject();
+    out.Set("ok", JsonValue(true));
+    out.Set("state", JsonValue("stopped"));
+    return out.Dump();
+  }
+
+  return ErrorResponse(Status::InvalidArgument(
+                           op.empty() ? "request is missing \"op\""
+                                      : "unknown op: " + op))
+      .Dump();
+}
+
+Status ScpmServer::Serve(const std::string& path) {
+  if (path.size() + 1 > sizeof(sockaddr_un::sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status =
+        Status::IoError("bind " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 16) < 0) {
+    const Status status =
+        Status::IoError("listen " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  int wake_pipe[2];
+  if (::pipe(wake_pipe) < 0) {
+    const Status status =
+        Status::IoError(std::string("pipe: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  serve_wake_fd_.store(wake_pipe[1]);
+  {
+    // Shutdown() may already have run (e.g. before Serve was called):
+    // don't block in poll for a wakeup that already happened.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      const char byte = 0;
+      [[maybe_unused]] const ssize_t n = ::write(wake_pipe[1], &byte, 1);
+    }
+  }
+
+  // Live client fds, shared with the connection threads: a thread erases
+  // (and closes) its own fd under the mutex when done; shutdown shuts
+  // the remaining ones read-side so blocked recv()s return. SHUT_RD
+  // (not RDWR) lets an in-flight response — the shutdown ack itself —
+  // still reach the client.
+  std::mutex clients_mutex;
+  std::vector<int> clients;
+  std::vector<std::thread> connections;
+  while (true) {
+    pollfd fds[2] = {{fd, POLLIN, 0}, {wake_pipe[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // Shutdown() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(clients_mutex);
+      clients.push_back(client);
+    }
+    connections.emplace_back([this, client, &clients_mutex, &clients] {
+      std::string buffer;
+      char chunk[4096];
+      while (true) {
+        const ssize_t n = ::recv(client, chunk, sizeof(chunk), 0);
+        if (n <= 0) break;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t newline;
+        while ((newline = buffer.find('\n')) != std::string::npos) {
+          const std::string line = buffer.substr(0, newline);
+          buffer.erase(0, newline + 1);
+          if (line.empty()) continue;
+          if (!SendAll(client, HandleRequest(line) + "\n")) break;
+        }
+      }
+      std::lock_guard<std::mutex> lock(clients_mutex);
+      clients.erase(std::find(clients.begin(), clients.end(), client));
+      ::close(client);
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(clients_mutex);
+    for (const int client : clients) ::shutdown(client, SHUT_RD);
+  }
+  for (std::thread& t : connections) t.join();
+  serve_wake_fd_.store(-1);
+  ::close(wake_pipe[0]);
+  ::close(wake_pipe[1]);
+  ::close(fd);
+  ::unlink(path.c_str());
+  return Status::OK();
+}
+
+}  // namespace scpm

@@ -1,0 +1,153 @@
+// Long-lived SCPM query server.
+//
+// ScpmServer loads an attributed graph once and multiplexes many
+// concurrent mining queries over one shared work-stealing pool:
+//
+//   submit --> [bounded admission queue] --> driver threads --> engine
+//                     |                         (max_concurrent)
+//                     +-- full? typed kResourceExhausted reject
+//
+// Each admitted query is a QuerySession (server/session.h) with its own
+// options, budget, sink, and CancelToken. Drivers run sessions through
+// ScpmEngine with the server's shared ThreadPool (placement only — output
+// stays byte-identical to a direct ScpmMiner::Mine) and a cross-query
+// MemoCache view bound to (graph epoch, options fingerprint), so a
+// repeated query replays memoized evaluations instead of re-searching.
+// Null models are built lazily per (gamma, min_size) and shared across
+// queries (they are internally synchronized).
+//
+// The wire protocol is newline-delimited JSON over a Unix domain socket
+// (docs/SERVER.md): ops submit / status / cancel / stats / shutdown.
+// HandleRequest() is the socket-free core of that protocol — tests and
+// embedders call it directly.
+
+#ifndef SCPM_SERVER_SERVER_H_
+#define SCPM_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "nullmodel/expectation.h"
+#include "server/json.h"
+#include "server/memo.h"
+#include "server/session.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace scpm {
+
+struct ServerOptions {
+  /// Worker threads of the shared pool (every query's evaluation and
+  /// intra-search tasks run here).
+  std::size_t threads = 4;
+  /// Driver threads = queries mining at once. Admitted queries beyond
+  /// this wait in the queue.
+  std::size_t max_concurrent = 2;
+  /// Waiting (admitted, not yet running) queries. A submit past this
+  /// depth is rejected with StatusCode::kResourceExhausted.
+  std::size_t queue_depth = 16;
+  /// Cross-query evaluation memo; max_bytes 0 disables it entirely.
+  MemoCacheOptions memo;
+};
+
+class ScpmServer {
+ public:
+  /// The graph is borrowed and must outlive the server.
+  ScpmServer(const AttributedGraph* graph, ServerOptions options);
+  ~ScpmServer();
+  ScpmServer(const ScpmServer&) = delete;
+  ScpmServer& operator=(const ScpmServer&) = delete;
+
+  /// Launches the driver threads. Submit works before Start — sessions
+  /// just wait in the queue — which is also how tests fill the admission
+  /// queue deterministically.
+  void Start();
+
+  /// Stops admission, cancels every queued and running query, and joins
+  /// the drivers. Idempotent; implied by the destructor.
+  void Shutdown();
+
+  /// Admission control: enqueues a session or rejects it. Rejection is
+  /// typed — StatusCode::kResourceExhausted when the queue is at
+  /// queue_depth, kInternal after Shutdown.
+  Result<std::shared_ptr<QuerySession>> Submit(QuerySpec spec);
+
+  /// Session registry lookup (sessions stay queryable after finishing).
+  std::shared_ptr<QuerySession> Find(std::uint64_t id) const;
+
+  /// Cancels a query; returns its state as observed by the cancel.
+  Result<QueryState> Cancel(std::uint64_t id);
+
+  /// Server-wide aggregates: admission counters, per-state session
+  /// counts, memo hit/miss/size, pool shape, epoch.
+  JsonValue Stats() const;
+
+  /// Executes one protocol request (one JSON line, no trailing newline)
+  /// and returns the response JSON (no trailing newline). Never throws;
+  /// malformed input yields an {"ok":false,...} response.
+  std::string HandleRequest(const std::string& line);
+
+  /// Serves the newline-delimited JSON protocol on a Unix domain socket
+  /// until a shutdown request (or Shutdown()) arrives. Blocking; one
+  /// thread per accepted connection. An existing socket file at `path`
+  /// is replaced.
+  Status Serve(const std::string& path);
+
+  const AttributedGraph* graph() const { return graph_; }
+  std::uint64_t epoch() const { return epoch_; }
+  const MemoCache* memo() const { return memo_.get(); }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  void DriverLoop();
+  void RunSession(const std::shared_ptr<QuerySession>& session);
+  /// Lazily builds / returns the shared null model for a query's
+  /// quasi-clique parameters (nullptr when min_delta == 0).
+  ExpectationModel* NullModelFor(const ScpmOptions& query_options);
+  JsonValue ErrorResponse(const Status& status) const;
+
+  const AttributedGraph* graph_;
+  const ServerOptions options_;
+  std::uint64_t epoch_ = 1;
+
+  std::unique_ptr<ThreadPool> pool_;
+  /// Server-wide intra-search slot pool shared by all concurrent
+  /// queries (the per-run 2x rule, applied once to the shared pool).
+  ParallelismBudget intra_budget_;
+  std::unique_ptr<MemoCache> memo_;  // nullptr when memo.max_bytes == 0
+
+  mutable std::mutex mutex_;  // queue + registry + lifecycle
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<QuerySession>> queue_;
+  std::map<std::uint64_t, std::shared_ptr<QuerySession>> sessions_;
+  std::vector<std::thread> drivers_;
+  bool started_ = false;
+  bool stopping_ = false;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::size_t running_ = 0;
+
+  std::mutex null_models_mutex_;
+  std::map<std::pair<double, std::uint32_t>,
+           std::unique_ptr<MaxExpectationModel>>
+      null_models_;
+
+  /// Serve() lifecycle: write end of the self-pipe that Shutdown() uses
+  /// to wake the poll/accept loop.
+  std::atomic<int> serve_wake_fd_{-1};
+};
+
+}  // namespace scpm
+
+#endif  // SCPM_SERVER_SERVER_H_

@@ -1,0 +1,404 @@
+#include "server/session.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/statistics.h"
+#include "graph/attributed_graph.h"
+#include "util/simd_ops.h"
+
+namespace scpm {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point since,
+               std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - since).count();
+}
+
+JsonValue IdArray(const std::vector<AttributeId>& ids) {
+  JsonValue out = JsonValue::MakeArray();
+  for (AttributeId a : ids) {
+    out.MutableArray()->push_back(JsonValue(std::uint64_t{a}));
+  }
+  return out;
+}
+
+JsonValue VertexArray(const VertexSet& vertices) {
+  JsonValue out = JsonValue::MakeArray();
+  for (VertexId v : vertices) {
+    out.MutableArray()->push_back(
+        JsonValue(static_cast<std::uint64_t>(v)));
+  }
+  return out;
+}
+
+JsonValue PatternToJson(const StructuralCorrelationPattern& pattern) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("attributes", IdArray(pattern.attributes));
+  out.Set("vertices", VertexArray(pattern.vertices));
+  out.Set("min_degree_ratio", JsonValue(pattern.min_degree_ratio));
+  out.Set("edge_density", JsonValue(pattern.edge_density));
+  return out;
+}
+
+JsonValue StatsToJson(const AttributeSetStats& stats,
+                      const AttributedGraph* graph) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("attributes", IdArray(stats.attributes));
+  if (graph != nullptr) {
+    JsonValue names = JsonValue::MakeArray();
+    for (AttributeId a : stats.attributes) {
+      names.MutableArray()->push_back(JsonValue(graph->AttributeName(a)));
+    }
+    out.Set("names", std::move(names));
+  }
+  out.Set("support", JsonValue(std::uint64_t{stats.support}));
+  out.Set("covered", JsonValue(std::uint64_t{stats.covered}));
+  out.Set("epsilon", JsonValue(stats.epsilon));
+  out.Set("expected_epsilon", JsonValue(stats.expected_epsilon));
+  out.Set("delta", JsonValue(stats.delta));
+  return out;
+}
+
+}  // namespace
+
+const char* QueryStateName(QueryState state) {
+  switch (state) {
+    case QueryState::kQueued:
+      return "queued";
+    case QueryState::kRunning:
+      return "running";
+    case QueryState::kDone:
+      return "done";
+    case QueryState::kCancelled:
+      return "cancelled";
+    case QueryState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+JsonValue CountersToJson(const ScpmCounters& counters) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("attribute_sets_evaluated",
+          JsonValue(counters.attribute_sets_evaluated));
+  out.Set("attribute_sets_reported",
+          JsonValue(counters.attribute_sets_reported));
+  out.Set("attribute_sets_extended",
+          JsonValue(counters.attribute_sets_extended));
+  out.Set("coverage_candidates", JsonValue(counters.coverage_candidates));
+  out.Set("evaluation_batches", JsonValue(counters.evaluation_batches));
+  out.Set("intra_search_evaluations",
+          JsonValue(counters.intra_search_evaluations));
+  out.Set("intra_branch_tasks", JsonValue(counters.intra_branch_tasks));
+  out.Set("bitmap_intersections", JsonValue(counters.bitmap_intersections));
+  out.Set("galloping_intersections",
+          JsonValue(counters.galloping_intersections));
+  out.Set("chunked_intersections", JsonValue(counters.chunked_intersections));
+  out.Set("dense_conversions", JsonValue(counters.dense_conversions));
+  out.Set("chunked_conversions", JsonValue(counters.chunked_conversions));
+  out.Set("simd_dispatch", JsonValue(SimdDispatchName()));
+  return out;
+}
+
+Result<QuerySpec> ParseQuerySpec(const JsonValue& query) {
+  if (!query.is_object()) {
+    return Status::InvalidArgument("query must be a JSON object");
+  }
+  QuerySpec spec;
+  // Table 1 / CLI defaults are NOT assumed here: an empty query object
+  // mines with the library defaults of ScpmOptions, exactly like a
+  // default-constructed ScpmMiner.
+  for (const auto& [key, value] : query.AsObject()) {
+    // Type discipline up front: a wrong-typed member must not silently
+    // decay to 0 / "" / false and mine something else than intended.
+    const bool string_key =
+        key == "scope" || key == "order" || key == "sink" || key == "out";
+    const bool bool_key = key == "collect_patterns" || key == "hybrid";
+    if (string_key && !value.is_string()) {
+      return Status::InvalidArgument("query member " + key +
+                                     " must be a string");
+    }
+    if (bool_key && !value.is_bool()) {
+      return Status::InvalidArgument("query member " + key +
+                                     " must be a boolean");
+    }
+    if (!string_key && !bool_key && !value.is_number()) {
+      return Status::InvalidArgument("query member " + key +
+                                     " must be a number");
+    }
+    const auto number = [&v = value]() { return v.AsNumber(); };
+    if (key == "gamma") {
+      spec.options.quasi_clique.gamma = number();
+    } else if (key == "min_size") {
+      spec.options.quasi_clique.min_size =
+          static_cast<std::uint32_t>(number());
+    } else if (key == "sigma_min") {
+      spec.options.min_support = static_cast<std::size_t>(number());
+    } else if (key == "eps_min") {
+      spec.options.min_epsilon = number();
+    } else if (key == "delta_min") {
+      spec.options.min_delta = number();
+    } else if (key == "top_k") {
+      spec.options.top_k = static_cast<std::size_t>(number());
+    } else if (key == "scope") {
+      const std::string& scope = value.AsString();
+      if (scope == "maximal") {
+        spec.options.pattern_scope = PatternScope::kAllMaximal;
+      } else if (scope == "topk") {
+        spec.options.pattern_scope = PatternScope::kTopK;
+      } else {
+        return Status::InvalidArgument("unknown scope: " + scope);
+      }
+    } else if (key == "order") {
+      const std::string& order = value.AsString();
+      if (order == "bfs") {
+        spec.options.search_order = SearchOrder::kBfs;
+      } else if (order == "dfs") {
+        spec.options.search_order = SearchOrder::kDfs;
+      } else {
+        return Status::InvalidArgument("unknown order: " + order);
+      }
+    } else if (key == "max_set_size") {
+      spec.options.max_attribute_set_size =
+          static_cast<std::size_t>(number());
+    } else if (key == "min_report_size") {
+      spec.options.min_report_size = static_cast<std::size_t>(number());
+    } else if (key == "collect_patterns") {
+      spec.options.collect_patterns = value.AsBool();
+    } else if (key == "batch_grain") {
+      spec.options.eval_batch_grain = static_cast<std::size_t>(number());
+    } else if (key == "intra_min") {
+      spec.options.intra_search_min_universe =
+          static_cast<std::size_t>(number());
+    } else if (key == "intra_depth") {
+      spec.options.intra_search_spawn_depth =
+          static_cast<std::uint32_t>(number());
+    } else if (key == "hybrid") {
+      spec.options.use_hybrid_sets = value.AsBool();
+    } else if (key == "deadline_ms") {
+      spec.budget.deadline_ms = static_cast<std::uint64_t>(number());
+    } else if (key == "max_evals") {
+      spec.budget.max_evaluations = static_cast<std::uint64_t>(number());
+    } else if (key == "max_patterns") {
+      spec.budget.max_patterns = static_cast<std::uint64_t>(number());
+    } else if (key == "sink") {
+      const std::string& sink = value.AsString();
+      if (sink == "accumulate") {
+        spec.sink = QuerySpec::Sink::kAccumulate;
+      } else if (sink == "jsonl") {
+        spec.sink = QuerySpec::Sink::kJsonl;
+      } else if (sink == "topk") {
+        spec.sink = QuerySpec::Sink::kTopK;
+      } else {
+        return Status::InvalidArgument("unknown sink: " + sink);
+      }
+    } else if (key == "out") {
+      spec.jsonl_path = value.AsString();
+    } else if (key == "sink_k") {
+      spec.sink_k = static_cast<std::size_t>(number());
+    } else if (key == "max_rows") {
+      spec.max_rows = static_cast<std::size_t>(number());
+    } else {
+      return Status::InvalidArgument("unknown query member: " + key);
+    }
+  }
+  if (spec.sink == QuerySpec::Sink::kJsonl && spec.jsonl_path.empty()) {
+    return Status::InvalidArgument("sink \"jsonl\" requires \"out\"");
+  }
+  SCPM_RETURN_IF_ERROR(spec.options.Validate());
+  return spec;
+}
+
+QuerySession::QuerySession(std::uint64_t id, QuerySpec spec)
+    : id_(id),
+      spec_(std::move(spec)),
+      submitted_(std::chrono::steady_clock::now()) {}
+
+QueryState QuerySession::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+bool QuerySession::terminal() const {
+  const QueryState s = state();
+  return s == QueryState::kDone || s == QueryState::kCancelled ||
+         s == QueryState::kFailed;
+}
+
+bool QuerySession::MarkRunning() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != QueryState::kQueued) return false;
+  state_ = QueryState::kRunning;
+  queue_wait_ms_ = MsSince(submitted_, std::chrono::steady_clock::now());
+  return true;
+}
+
+void QuerySession::Finish(QueryState state, Result<MiningRun> outcome) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_ = state;
+    wall_ms_ = MsSince(submitted_, std::chrono::steady_clock::now()) -
+               queue_wait_ms_;
+    if (outcome.ok()) {
+      run_ = std::move(outcome).value();
+      if (state == QueryState::kCancelled) {
+        error_ = Status::Cancelled("query cancelled");
+      }
+    } else {
+      error_ = outcome.status();
+    }
+  }
+  terminal_cv_.notify_all();
+}
+
+void QuerySession::Execute(const AttributedGraph& graph,
+                           ExpectationModel* null_model, ThreadPool* pool,
+                           ParallelismBudget* intra_budget, EvalMemo* memo) {
+  if (!MarkRunning()) return;  // cancelled while queued
+
+  ScpmEngine engine(spec_.options, null_model);
+  engine.set_budget(spec_.budget);
+  engine.set_shared_pool(pool, intra_budget);
+  engine.set_eval_memo(memo);
+  engine.set_cancel_token(&token_);
+
+  AccumulatingSink accumulate;
+  std::unique_ptr<JsonlSink> jsonl;
+  std::unique_ptr<TopKPatternSink> topk;
+  PatternSink* sink = &accumulate;
+  if (spec_.sink == QuerySpec::Sink::kJsonl) {
+    Result<std::unique_ptr<JsonlSink>> opened =
+        JsonlSink::Create(spec_.jsonl_path, &graph);
+    if (!opened.ok()) {
+      Finish(QueryState::kFailed, opened.status());
+      return;
+    }
+    jsonl = std::move(opened).value();
+    sink = jsonl.get();
+  } else if (spec_.sink == QuerySpec::Sink::kTopK) {
+    topk = std::make_unique<TopKPatternSink>(spec_.sink_k);
+    sink = topk.get();
+  }
+
+  Result<MiningRun> run = engine.Run(graph, sink);
+
+  // Explicit cancellation beats every other verdict: a Cancel() racing
+  // the last wave may see the run finish "exhausted", and an engine that
+  // observed the latched token surfaces a plain budget-style cut — both
+  // report kCancelled here because the client asked for it.
+  bool cancelled;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancelled = cancel_requested_;
+  }
+  if (run.ok()) {
+    if (spec_.sink == QuerySpec::Sink::kAccumulate) {
+      result_ = accumulate.TakeResult();
+      result_.counters = run->counters;
+      if (result_.attribute_sets.size() > spec_.max_rows) {
+        result_.attribute_sets.resize(spec_.max_rows);
+      }
+    } else if (spec_.sink == QuerySpec::Sink::kJsonl) {
+      jsonl_lines_ = jsonl->lines_written();
+    } else {
+      top_patterns_ = topk->best();
+      topk_sets_seen_ = topk->sets_seen();
+    }
+    Finish(cancelled ? QueryState::kCancelled : QueryState::kDone,
+           std::move(run));
+    return;
+  }
+  Finish(run.status().code() == StatusCode::kCancelled || cancelled
+             ? QueryState::kCancelled
+             : QueryState::kFailed,
+         std::move(run));
+}
+
+QueryState QuerySession::Cancel() {
+  token_.RequestCancel();
+  std::unique_lock<std::mutex> lock(mutex_);
+  cancel_requested_ = true;
+  const QueryState observed = state_;
+  if (state_ == QueryState::kQueued) {
+    state_ = QueryState::kCancelled;
+    error_ = Status::Cancelled("query cancelled while queued");
+    wall_ms_ = 0.0;
+    queue_wait_ms_ = MsSince(submitted_, std::chrono::steady_clock::now());
+    lock.unlock();
+    terminal_cv_.notify_all();
+  }
+  return observed;
+}
+
+void QuerySession::WaitTerminal() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  terminal_cv_.wait(lock, [this] {
+    return state_ == QueryState::kDone || state_ == QueryState::kCancelled ||
+           state_ == QueryState::kFailed;
+  });
+}
+
+double QuerySession::queue_wait_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_wait_ms_;
+}
+
+double QuerySession::wall_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wall_ms_;
+}
+
+JsonValue QuerySession::Describe(const AttributedGraph* graph) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("id", JsonValue(id_));
+  out.Set("state", JsonValue(QueryStateName(state_)));
+  out.Set("queue_wait_ms", JsonValue(queue_wait_ms_));
+  out.Set("wall_ms", JsonValue(wall_ms_));
+  const bool terminal = state_ == QueryState::kDone ||
+                        state_ == QueryState::kCancelled ||
+                        state_ == QueryState::kFailed;
+  if (!terminal) return out;
+
+  if (!error_.ok()) out.Set("error", JsonValue(error_.ToString()));
+  if (state_ == QueryState::kFailed) return out;
+
+  out.Set("exhausted", JsonValue(run_.exhausted));
+  out.Set("emitted", JsonValue(run_.emitted));
+  out.Set("patterns_emitted", JsonValue(run_.patterns_emitted));
+  out.Set("memo_hits", JsonValue(run_.memo_hits));
+  out.Set("memo_misses", JsonValue(run_.memo_misses));
+  out.Set("counters", CountersToJson(run_.counters));
+
+  JsonValue result = JsonValue::MakeObject();
+  if (spec_.sink == QuerySpec::Sink::kAccumulate) {
+    JsonValue rows = JsonValue::MakeArray();
+    for (const AttributeSetStats& stats : result_.attribute_sets) {
+      rows.MutableArray()->push_back(StatsToJson(stats, graph));
+    }
+    JsonValue patterns = JsonValue::MakeArray();
+    for (const StructuralCorrelationPattern& p : result_.patterns) {
+      patterns.MutableArray()->push_back(PatternToJson(p));
+    }
+    result.Set("attribute_sets", std::move(rows));
+    result.Set("patterns", std::move(patterns));
+    result.Set("rows_returned",
+               JsonValue(std::uint64_t{result_.attribute_sets.size()}));
+  } else if (spec_.sink == QuerySpec::Sink::kJsonl) {
+    result.Set("out", JsonValue(spec_.jsonl_path));
+    result.Set("lines", JsonValue(jsonl_lines_));
+  } else {
+    JsonValue patterns = JsonValue::MakeArray();
+    for (const StructuralCorrelationPattern& p : top_patterns_) {
+      patterns.MutableArray()->push_back(PatternToJson(p));
+    }
+    result.Set("patterns", std::move(patterns));
+    result.Set("sets_seen", JsonValue(topk_sets_seen_));
+  }
+  out.Set("result", std::move(result));
+  return out;
+}
+
+}  // namespace scpm

@@ -1,0 +1,151 @@
+// One admitted query of the SCPM query server.
+//
+// A QuerySession carries everything a single query owns: its parsed
+// QuerySpec (options + budget + sink choice), its CancelToken, its state
+// machine (queued -> running -> done | cancelled | failed), its timings
+// (queue wait, wall time), and its outcome (the MiningRun and the
+// sink-dependent result payload). The server owns admission and driver
+// threads; the session owns running one engine and describing itself as
+// response JSON.
+//
+// Determinism contract: Execute() configures a ScpmEngine exactly like
+// ScpmMiner::Mine does — same options, same null-model rule — plus the
+// server's shared pool (placement only) and memo view (replay only), so
+// an accumulate query's rows and patterns are byte-identical to a direct
+// Mine() call with the same options, memo hot or cold, any thread count.
+//
+// Thread safety: Cancel() and Describe() may race Execute() and each
+// other; state, timings, and results are published under one mutex at
+// the terminal transition.
+
+#ifndef SCPM_SERVER_SESSION_H_
+#define SCPM_SERVER_SESSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/scpm.h"
+#include "core/sink.h"
+#include "server/json.h"
+#include "util/cancel.h"
+#include "util/result.h"
+
+namespace scpm {
+
+class ParallelismBudget;
+class ThreadPool;
+
+/// Session lifecycle. Terminal states: kDone, kCancelled, kFailed.
+enum class QueryState { kQueued, kRunning, kDone, kCancelled, kFailed };
+
+/// Wire name of a state ("queued", "running", ...).
+const char* QueryStateName(QueryState state);
+
+/// Everything a submit request chooses. Wire field names mirror the CLI
+/// flags (docs/SERVER.md has the full table).
+struct QuerySpec {
+  enum class Sink { kAccumulate, kJsonl, kTopK };
+
+  ScpmOptions options;
+  EngineBudget budget;
+  Sink sink = Sink::kAccumulate;
+  /// Server-side JSONL destination (required when sink == kJsonl).
+  std::string jsonl_path;
+  /// Patterns kept by the top-k sink.
+  std::size_t sink_k = 10;
+  /// Attribute-set rows embedded in an accumulate response (the full
+  /// result is always mined; this caps only the response payload).
+  std::size_t max_rows = 10000;
+};
+
+/// Decodes the "query" object of a submit request. Unknown members are
+/// an error (they are silent typos otherwise); absent members keep the
+/// defaults above. simd / chunked are process-global toggles, not
+/// per-query options, and are deliberately not accepted here.
+Result<QuerySpec> ParseQuerySpec(const JsonValue& query);
+
+class QuerySession {
+ public:
+  QuerySession(std::uint64_t id, QuerySpec spec);
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  const QuerySpec& spec() const { return spec_; }
+
+  QueryState state() const;
+  bool terminal() const;
+
+  /// Runs the query to a terminal state on the calling (driver) thread.
+  /// No-op when the session was cancelled while queued. `null_model`,
+  /// `pool`, `intra_budget`, and `memo` are borrowed for the duration of
+  /// the call; any of them may be nullptr.
+  void Execute(const AttributedGraph& graph, ExpectationModel* null_model,
+               ThreadPool* pool, ParallelismBudget* intra_budget,
+               EvalMemo* memo);
+
+  /// Requests cancellation: a queued session becomes kCancelled
+  /// immediately; a running one has its token latched and reaches
+  /// kCancelled at the engine's next wave boundary; a terminal one is
+  /// untouched. Returns the state observed at the call.
+  QueryState Cancel();
+
+  /// Blocks until the session is terminal.
+  void WaitTerminal() const;
+
+  /// Response JSON for status/submit-wait replies: id, state, timings,
+  /// memo + engine counters, and the sink-dependent result payload (in
+  /// terminal states). `graph` supplies attribute names; may be nullptr.
+  JsonValue Describe(const AttributedGraph* graph) const;
+
+  // Terminal-state accessors for in-process callers (tests, smoke
+  // drivers). Valid only once terminal() is true.
+  const Status& error() const { return error_; }
+  const MiningRun& run() const { return run_; }
+  /// Accumulate sink only: the assembled result, counters included.
+  const ScpmResult& result() const { return result_; }
+  /// Top-k sink only.
+  const std::vector<StructuralCorrelationPattern>& top_patterns() const {
+    return top_patterns_;
+  }
+  double queue_wait_ms() const;
+  double wall_ms() const;
+
+ private:
+  bool MarkRunning();
+  void Finish(QueryState state, Result<MiningRun> outcome);
+
+  const std::uint64_t id_;
+  const QuerySpec spec_;
+  CancelToken token_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable terminal_cv_;
+  QueryState state_ = QueryState::kQueued;
+  bool cancel_requested_ = false;
+  std::chrono::steady_clock::time_point submitted_;
+  double queue_wait_ms_ = 0.0;
+  double wall_ms_ = 0.0;
+
+  // Outcome, published under mutex_ at the terminal transition.
+  Status error_;
+  MiningRun run_;
+  ScpmResult result_;                                    // accumulate
+  std::vector<StructuralCorrelationPattern> top_patterns_;  // topk
+  std::uint64_t topk_sets_seen_ = 0;                     // topk
+  std::uint64_t jsonl_lines_ = 0;                        // jsonl
+};
+
+/// Engine counters as a JSON object (sorted keys; field names match
+/// ScpmCountersJson / docs/SERVER.md).
+JsonValue CountersToJson(const ScpmCounters& counters);
+
+}  // namespace scpm
+
+#endif  // SCPM_SERVER_SESSION_H_

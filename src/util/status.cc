@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "unimplemented";
     case StatusCode::kCancelled:
       return "cancelled";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
   }
   return "unknown";
 }

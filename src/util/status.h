@@ -27,6 +27,10 @@ enum class StatusCode {
   /// stopped the operation before completion. Callers that cut work on
   /// purpose check for this code and recover instead of propagating.
   kCancelled = 8,
+  /// A bounded resource (the query admission queue, a budgeted pool) is
+  /// full; the request was rejected without side effects and may be
+  /// retried once load drains.
+  kResourceExhausted = 9,
 };
 
 /// Returns a stable human-readable name ("ok", "invalid-argument", ...).
@@ -69,6 +73,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
