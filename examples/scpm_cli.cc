@@ -59,12 +59,11 @@
 
 #include "core/engine.h"
 #include "core/report.h"
+#include "core/request.h"
 #include "core/scpm.h"
-#include "core/sink.h"
 #include "core/statistics.h"
 #include "graph/io.h"
 #include "nullmodel/expectation.h"
-#include "util/hybrid_set.h"
 #include "util/simd_ops.h"
 #include "util/timer.h"
 
@@ -155,15 +154,17 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
-  scpm::ScpmOptions options;
+  // The CLI is just one more front door onto core/request.h: every flag
+  // lands in this MiningRequest and ExecuteRequest() does the mining.
+  scpm::MiningRequest request;
+  scpm::ScpmOptions& options = request.options;
   options.quasi_clique.gamma = 0.5;
   options.quasi_clique.min_size = 5;
   options.min_support = 10;
   options.min_epsilon = 0.1;
   options.top_k = 5;
-  scpm::EngineBudget budget;
+  scpm::EngineBudget& budget = request.budget;
   std::size_t top_n = 10;
-  std::string sink_kind = "accumulate";
   std::string out_path;
   std::string checkpoint_path;
   std::string resume_path;
@@ -216,14 +217,17 @@ int main(int argc, char** argv) {
     } else if (flag == "--hybrid") {
       options.use_hybrid_sets = std::atoi(value) != 0;
     } else if (flag == "--simd") {
-      scpm::SetSimdDispatch(std::atoi(value) != 0);
+      request.simd = std::atoi(value) != 0;
     } else if (flag == "--chunked") {
-      scpm::HybridVertexSet::SetChunkedEnabled(std::atoi(value) != 0);
+      request.chunked = std::atoi(value) != 0;
     } else if (flag == "--top-n") {
       top_n = static_cast<std::size_t>(std::atoll(value));
     } else if (flag == "--sink") {
-      sink_kind = value;
-      if (sink_kind != "accumulate" && sink_kind != "jsonl") {
+      if (std::strcmp(value, "accumulate") == 0) {
+        request.sink = scpm::MiningRequest::Sink::kAccumulate;
+      } else if (std::strcmp(value, "jsonl") == 0) {
+        request.sink = scpm::MiningRequest::Sink::kJsonl;
+      } else {
         std::cerr << "unknown --sink: " << value << "\n";
         Usage();
         return 2;
@@ -250,8 +254,21 @@ int main(int argc, char** argv) {
   // With --sink jsonl and no --out, stdout IS the JSONL stream; every
   // informational line moves to stderr so consumers can pipe the output
   // straight into a JSON parser.
-  const bool jsonl_on_stdout = sink_kind == "jsonl" && out_path.empty();
+  const bool jsonl = request.sink == scpm::MiningRequest::Sink::kJsonl;
+  const bool jsonl_on_stdout = jsonl && out_path.empty();
   std::ostream& info = jsonl_on_stdout ? std::cerr : std::cout;
+  if (jsonl_on_stdout) {
+    request.jsonl_stream = &std::cout;
+  } else {
+    request.jsonl_path = out_path;
+  }
+  request.ApplyProcessToggles();
+  scpm::Status valid = request.Validate();
+  if (!valid.ok()) {
+    std::cerr << "invalid request: " << valid << "\n";
+    Usage();
+    return 2;
+  }
 
   scpm::Result<scpm::AttributedGraph> graph =
       scpm::LoadAttributedGraph(argv[1], argv[2]);
@@ -267,69 +284,59 @@ int main(int argc, char** argv) {
   // --delta-min threshold it only adds columns (and its per-support
   // tables cost real memory on large graphs), so it is built exactly
   // when the docs above say it is: --delta-min > 0.
-  scpm::Graph topology = graph->graph();
   std::unique_ptr<scpm::MaxExpectationModel> null_model;
   if (options.min_delta > 0.0) {
     null_model = std::make_unique<scpm::MaxExpectationModel>(
-        topology, options.quasi_clique);
+        graph->graph(), options.quasi_clique);
   }
-  scpm::ScpmEngine engine(options, null_model.get());
-  engine.set_budget(budget);
 
-  scpm::AccumulatingSink accumulating;
-  std::unique_ptr<scpm::JsonlSink> jsonl;
-  scpm::PatternSink* sink = &accumulating;
-  if (sink_kind == "jsonl") {
-    if (out_path.empty()) {
-      jsonl = std::make_unique<scpm::JsonlSink>(&std::cout, &*graph);
-    } else {
-      scpm::Result<std::unique_ptr<scpm::JsonlSink>> opened =
-          scpm::JsonlSink::Create(out_path, &*graph);
-      if (!opened.ok()) {
-        std::cerr << "sink failed: " << opened.status() << "\n";
-        return 1;
-      }
-      jsonl = std::move(opened).value();
+  scpm::EngineCheckpoint checkpoint;
+  bool resuming = false;
+  if (!resume_path.empty()) {
+    std::ifstream in(resume_path);
+    if (!in.is_open()) {
+      std::cerr << "mining failed: cannot open checkpoint: " << resume_path
+                << "\n";
+      return 1;
     }
-    sink = jsonl.get();
+    scpm::Result<scpm::EngineCheckpoint> loaded =
+        scpm::EngineCheckpoint::Load(in);
+    if (!loaded.ok()) {
+      std::cerr << "mining failed: " << loaded.status() << "\n";
+      return 1;
+    }
+    checkpoint = std::move(loaded).value();
+    resuming = true;
   }
 
   scpm::WallTimer timer;
-  scpm::Result<scpm::MiningRun> run = [&]() -> scpm::Result<scpm::MiningRun> {
-    if (resume_path.empty()) return engine.Run(*graph, sink);
-    std::ifstream in(resume_path);
-    if (!in.is_open()) {
-      return scpm::Status::IoError("cannot open checkpoint: " + resume_path);
-    }
-    scpm::Result<scpm::EngineCheckpoint> checkpoint =
-        scpm::EngineCheckpoint::Load(in);
-    if (!checkpoint.ok()) return checkpoint.status();
-    return engine.Resume(*graph, *checkpoint, sink);
-  }();
-  if (!run.ok()) {
-    std::cerr << "mining failed: " << run.status() << "\n";
+  scpm::Result<scpm::MiningResponse> response = scpm::ExecuteRequest(
+      *graph, request, null_model.get(), resuming ? &checkpoint : nullptr);
+  if (!response.ok()) {
+    std::cerr << "mining failed: " << response.status() << "\n";
     return 1;
   }
+  const scpm::MiningRun& run = response->run;
 
   // The dispatch path and representation histogram ride on the counters
   // line so bench JSON rows scraped from it are attributable to a kernel
   // variant.
-  info << "mined " << run->emitted << " attribute sets / "
-       << run->patterns_emitted << " patterns in " << timer.ElapsedSeconds()
-       << " s (" << (run->exhausted ? "exhausted" : "budget cut") << ")\n"
-       << "counters: " << scpm::FormatScpmCounters(run->counters)
+  info << "mined " << run.emitted << " attribute sets / "
+       << run.patterns_emitted << " patterns in " << timer.ElapsedSeconds()
+       << " s (" << (run.exhausted ? "exhausted" : "budget cut") << ")\n"
+       << "counters: " << scpm::FormatScpmCounters(run.counters)
        << " simd=" << scpm::SimdDispatchName() << " reprs{dense="
-       << run->counters.dense_conversions
-       << " chunked=" << run->counters.chunked_conversions << "}"
+       << run.counters.dense_conversions
+       << " chunked=" << run.counters.chunked_conversions << "}"
        << "\n\n";
 
-  if (!run->exhausted) {
-    info << "budget cut the run with " << run->frontier_entries
+  if (!run.exhausted) {
+    info << "budget cut the run with " << run.frontier_entries
          << " frontier entries left\n";
     if (!checkpoint_path.empty()) {
       std::ofstream out(checkpoint_path, std::ios::trunc);
       scpm::Status saved = out.is_open()
-                               ? run->checkpoint.Save(out)
+                               ? run.checkpoint.Save(out)
                                : scpm::Status::IoError("cannot open " +
                                                        checkpoint_path);
       if (!saved.ok()) {
@@ -341,13 +348,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (sink == &accumulating) {
-    scpm::ScpmResult result = accumulating.TakeResult();
-    result.counters = run->counters;
-    scpm::PrintTopAttributeSets(std::cout, *graph, result.attribute_sets,
-                                top_n);
+  if (request.sink == scpm::MiningRequest::Sink::kAccumulate) {
+    scpm::PrintTopAttributeSets(std::cout, *graph,
+                                response->result.attribute_sets, top_n);
     std::cout << "\n";
-    scpm::PrintPatternTable(std::cout, *graph, result);
+    scpm::PrintPatternTable(std::cout, *graph, response->result);
   }
-  return run->exhausted ? 0 : 3;
+  return run.exhausted ? 0 : 3;
 }

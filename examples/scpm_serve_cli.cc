@@ -2,14 +2,16 @@
 //
 // Loads an attributed graph once, then serves concurrent mining queries
 // through the newline-delimited JSON protocol documented in
-// docs/SERVER.md (ops: submit / status / cancel / stats / shutdown).
-// Run `scpm_serve_cli --help` for the flag reference; see
+// docs/SERVER.md (ops: submit / status / cancel / stats / reload /
+// shutdown). Run `scpm_serve_cli --help` for the flag reference; see
 // examples/server_client.py for a minimal client.
 
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "graph/io.h"
 #include "server/server.h"
@@ -21,7 +23,8 @@ namespace {
 void Usage() {
   std::cerr << "usage: scpm_serve_cli <edges.txt> <attrs.txt> --socket PATH "
                "[--threads T] [--max-concurrent C] [--queue-depth Q] "
-               "[--memo-mb MB] [--memo-shards S] [--simd 0|1] "
+               "[--memo-mb MB] [--memo-shards S] [--slice-ms MS] "
+               "[--slice-evals N] [--default-deadline-ms MS] [--simd 0|1] "
                "[--chunked 0|1]\n"
                "run scpm_serve_cli --help for the full flag reference\n";
 }
@@ -39,8 +42,8 @@ void Help() {
       "\n"
       "The server loads the graph once, then accepts newline-delimited\n"
       "JSON requests (docs/SERVER.md): submit / status / cancel / stats /\n"
-      "shutdown. Per-query mining options travel in the submit request,\n"
-      "not on this command line.\n"
+      "reload / shutdown. Per-query mining options travel in the submit\n"
+      "request, not on this command line.\n"
       "\n"
       "Options (defaults in parentheses):\n"
       "  --socket PATH      Unix socket path to listen on (required)\n"
@@ -53,6 +56,13 @@ void Help() {
       "  --memo-mb MB       cross-query evaluation memo budget in MiB;\n"
       "                     0 disables the memo (64)\n"
       "  --memo-shards S    memo mutex stripes (16)\n"
+      "  --slice-ms MS      preemption: wall-clock budget per driver\n"
+      "                     slice; a cut query re-queues round-robin;\n"
+      "                     0 = run-to-completion (0)\n"
+      "  --slice-evals N    preemption: evaluations per driver slice;\n"
+      "                     0 = unbounded (0)\n"
+      "  --default-deadline-ms MS  wall-clock budget applied to queries\n"
+      "                     that specify no deadline_ms; 0 = none (0)\n"
       "  --simd B           process-wide SIMD word-kernel dispatch; 0\n"
       "                     pins the scalar path (1)\n"
       "  --chunked B        process-wide chunked mid-density sets (1)\n"
@@ -99,6 +109,13 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(value)) << 20;
     } else if (flag == "--memo-shards") {
       options.memo.num_shards = static_cast<std::size_t>(std::atoll(value));
+    } else if (flag == "--slice-ms") {
+      options.slice_ms = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (flag == "--slice-evals") {
+      options.slice_evals = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (flag == "--default-deadline-ms") {
+      options.default_deadline_ms =
+          static_cast<std::uint64_t>(std::atoll(value));
     } else if (flag == "--simd") {
       scpm::SetSimdDispatch(std::atoi(value) != 0);
     } else if (flag == "--chunked") {
@@ -115,22 +132,29 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  scpm::Result<scpm::AttributedGraph> graph =
+  scpm::Result<scpm::AttributedGraph> loaded =
       scpm::LoadAttributedGraph(argv[1], argv[2]);
-  if (!graph.ok()) {
-    std::cerr << "load failed: " << graph.status() << "\n";
+  if (!loaded.ok()) {
+    std::cerr << "load failed: " << loaded.status() << "\n";
     return 1;
   }
+  auto graph = std::make_shared<const scpm::AttributedGraph>(
+      std::move(loaded).value());
   std::cerr << "loaded " << graph->NumVertices() << " vertices, "
             << graph->graph().NumEdges() << " edges, "
             << graph->NumAttributes() << " attributes\n";
 
-  scpm::ScpmServer server(&*graph, options);
+  scpm::ScpmServer server(std::move(graph), options);
+  // A wire "reload" with no paths re-reads the files this server was
+  // started from.
+  server.set_reload_paths(argv[1], argv[2]);
   server.Start();
   std::cerr << "serving on " << socket_path << " (threads="
             << options.threads << " max_concurrent=" << options.max_concurrent
             << " queue_depth=" << options.queue_depth << " memo="
-            << (options.memo.max_bytes >> 20) << "MiB)\n";
+            << (options.memo.max_bytes >> 20) << "MiB slice_ms="
+            << options.slice_ms << " slice_evals=" << options.slice_evals
+            << ")\n";
   scpm::Status served = server.Serve(socket_path);
   if (!served.ok()) {
     std::cerr << "serve failed: " << served << "\n";

@@ -141,15 +141,10 @@ struct CounterBundle {
   void MergeFrom(const CounterBundle& other) {
     memo_hits += other.memo_hits;
     memo_misses += other.memo_misses;
-    counters.attribute_sets_evaluated +=
-        other.counters.attribute_sets_evaluated;
-    counters.attribute_sets_reported += other.counters.attribute_sets_reported;
-    counters.attribute_sets_extended += other.counters.attribute_sets_extended;
-    counters.coverage_candidates += other.counters.coverage_candidates;
-    counters.evaluation_batches += other.counters.evaluation_batches;
-    counters.intra_search_evaluations +=
-        other.counters.intra_search_evaluations;
-    counters.intra_branch_tasks += other.counters.intra_branch_tasks;
+    // Kernel counters ride in set_ops within a run (folded into
+    // counters at TakeRun), so other.counters' kernel fields are zero
+    // here and the field-wise merge is exact.
+    counters.MergeFrom(other.counters);
     set_ops.MergeFrom(other.set_ops);
   }
 };
@@ -207,7 +202,7 @@ class EngineRunner {
                ExpectationModel* null_model, PatternSink* sink,
                const std::function<void(const EngineProgress&)>& progress,
                ThreadPool* shared_pool, ParallelismBudget* shared_intra_budget,
-               EvalMemo* memo, CancelToken* cancel)
+               EvalMemo* memo, CancelToken* cancel, bool hot_checkpoints)
       : graph_(graph),
         options_(options),
         budget_(budget),
@@ -216,6 +211,7 @@ class EngineRunner {
         sink_(sink),
         progress_(progress),
         memo_(memo),
+        hot_checkpoints_(hot_checkpoints),
         // Slot count caps the intra-search branch tasks outstanding at
         // once across ALL evaluations: a huge-G(S) evaluation that grabs
         // slots is borrowing parallelism its sibling evaluations would
@@ -305,21 +301,30 @@ class EngineRunner {
         if (dr.attr >= graph_.NumAttributes()) {
           return Status::InvalidArgument("checkpoint root attr out of range");
         }
-        if (!valid_covered(dr.covered)) {
-          return Status::InvalidArgument(
-              "checkpoint root covered set malformed");
-        }
         RootSlot rs;
         rs.index = dr.index;
         rs.attr = dr.attr;
         rs.done = true;
         rs.slot.node.items = {dr.attr};
-        rs.slot.node.tidset =
-            HybridVertexSet::View(&graph_.VerticesWith(dr.attr), SetUniverse());
-        rs.slot.node.tidset.Normalize(stats);
         rs.slot.extendable = true;
-        rs.slot.covered = std::make_shared<const HybridVertexSet>(
-            HybridVertexSet::FromVector(dr.covered, SetUniverse(), stats));
+        if (dr.hot_covered != nullptr) {
+          // Hot path: adopt the live sets verbatim. They were produced
+          // by this process, so no re-validation, no re-normalization,
+          // no conversion counting — summed counters across segments
+          // stay equal to an uncut run's.
+          rs.slot.node.tidset = dr.hot_tidset;
+          rs.slot.covered = dr.hot_covered;
+        } else {
+          if (!valid_covered(dr.covered)) {
+            return Status::InvalidArgument(
+                "checkpoint root covered set malformed");
+          }
+          rs.slot.node.tidset = HybridVertexSet::View(
+              &graph_.VerticesWith(dr.attr), SetUniverse());
+          rs.slot.node.tidset.Normalize(stats);
+          rs.slot.covered = std::make_shared<const HybridVertexSet>(
+              HybridVertexSet::FromVector(dr.covered, SetUniverse(), stats));
+        }
         singles_.push_back(std::move(rs));
       }
       for (const EngineCheckpoint::PendingRootBatch& batch : cp.root_batches) {
@@ -358,16 +363,22 @@ class EngineRunner {
                 "checkpoint member attr out of range");
           }
         }
-        if (!valid_covered(m.covered)) {
-          return Status::InvalidArgument(
-              "checkpoint member covered set malformed");
-        }
         Node node;
         node.items = m.items;
-        node.tidset = RecomputeTidset(m.items, stats);
-        cache_.Insert(m.items, std::make_shared<const HybridVertexSet>(
-                                   HybridVertexSet::FromVector(
-                                       m.covered, SetUniverse(), stats)));
+        if (m.hot_covered != nullptr) {
+          // Hot path: see the roots-phase comment above.
+          node.tidset = m.hot_tidset;
+          cache_.Insert(m.items, m.hot_covered);
+        } else {
+          if (!valid_covered(m.covered)) {
+            return Status::InvalidArgument(
+                "checkpoint member covered set malformed");
+          }
+          node.tidset = RecomputeTidset(m.items, stats);
+          cache_.Insert(m.items, std::make_shared<const HybridVertexSet>(
+                                     HybridVertexSet::FromVector(
+                                         m.covered, SetUniverse(), stats)));
+        }
         cls->siblings.push_back(std::move(node));
       }
       classes.push_back(std::move(cls));
@@ -1006,7 +1017,12 @@ class EngineRunner {
         EngineCheckpoint::DoneRoot dr;
         dr.index = rs.index;
         dr.attr = rs.attr;
-        dr.covered = rs.slot.covered->ToVector();
+        if (hot_checkpoints_) {
+          dr.hot_covered = rs.slot.covered;
+          dr.hot_tidset = rs.slot.node.tidset;
+        } else {
+          dr.covered = rs.slot.covered->ToVector();
+        }
         cp.done_roots.push_back(std::move(dr));
       }
       for (const FrontierEntry& entry : frontier_) {
@@ -1032,7 +1048,12 @@ class EngineRunner {
           CoveredSetCache::Entry covered = cache_.Lookup(node.items);
           SCPM_CHECK(covered != nullptr)
               << "class member covered set missing at checkpoint";
-          member.covered = covered->ToVector();
+          if (hot_checkpoints_) {
+            member.hot_covered = std::move(covered);
+            member.hot_tidset = node.tidset;
+          } else {
+            member.covered = covered->ToVector();
+          }
           pc.members.push_back(std::move(member));
         }
         cp.classes.push_back(std::move(pc));
@@ -1053,6 +1074,7 @@ class EngineRunner {
   PatternSink* sink_;
   const std::function<void(const EngineProgress&)>& progress_;
   EvalMemo* memo_;
+  const bool hot_checkpoints_;
 
   // Shared by every worker's miner; must outlive owned_pool_ (declared
   // later, destroyed first) because draining tasks may still release
@@ -1133,7 +1155,7 @@ Result<MiningRun> ScpmEngine::Run(const AttributedGraph& graph,
   }
   EngineRunner runner(graph, options_, budget_, frontier_wave_, null_model_,
                       sink, progress_, shared_pool_, shared_intra_budget_,
-                      memo_, cancel_);
+                      memo_, cancel_, hot_checkpoints_);
   runner.SeedFresh();
   SCPM_RETURN_IF_ERROR(runner.Drive());
   return runner.TakeRun();
@@ -1148,7 +1170,7 @@ Result<MiningRun> ScpmEngine::Resume(const AttributedGraph& graph,
   }
   EngineRunner runner(graph, options_, budget_, frontier_wave_, null_model_,
                       sink, progress_, shared_pool_, shared_intra_budget_,
-                      memo_, cancel_);
+                      memo_, cancel_, hot_checkpoints_);
   SCPM_RETURN_IF_ERROR(runner.SeedFromCheckpoint(checkpoint));
   SCPM_RETURN_IF_ERROR(runner.Drive());
   return runner.TakeRun();
@@ -1161,6 +1183,15 @@ namespace {
 void WriteVertexSet(std::ostream& os, const VertexSet& v) {
   os << v.size();
   for (VertexId x : v) os << ' ' << x;
+}
+
+// Hot checkpoints carry live hybrid sets and leave the cold vector
+// empty; serialization materializes the cold form so a saved file is
+// identical either way.
+VertexSet ColdCovered(const VertexSet& cold,
+                      const std::shared_ptr<const HybridVertexSet>& hot) {
+  if (hot != nullptr && cold.empty()) return hot->ToVector();
+  return cold;
 }
 
 bool ReadCount(std::istream& is, std::uint64_t limit, std::uint64_t* out) {
@@ -1200,7 +1231,7 @@ Status EngineCheckpoint::Save(std::ostream& os) const {
   os << "done-roots " << done_roots.size() << "\n";
   for (const DoneRoot& dr : done_roots) {
     os << "root " << dr.index << ' ' << dr.attr << ' ';
-    WriteVertexSet(os, dr.covered);
+    WriteVertexSet(os, ColdCovered(dr.covered, dr.hot_covered));
     os << "\n";
   }
   os << "root-batches " << root_batches.size() << "\n";
@@ -1220,7 +1251,7 @@ Status EngineCheckpoint::Save(std::ostream& os) const {
       os << "member " << m.items.size();
       for (AttributeId a : m.items) os << ' ' << a;
       os << ' ';
-      WriteVertexSet(os, m.covered);
+      WriteVertexSet(os, ColdCovered(m.covered, m.hot_covered));
       os << "\n";
     }
   }

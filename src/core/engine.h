@@ -52,6 +52,7 @@
 #include "graph/attributed_graph.h"
 #include "graph/types.h"
 #include "util/cancel.h"
+#include "util/hybrid_set.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -130,6 +131,15 @@ class EngineCheckpoint {
   struct Member {
     AttributeSet items;
     VertexSet covered;  // K_S, for the children's Theorem-3 pruning
+    // In-memory fast path (hot checkpoints): the live sets carried
+    // across same-process segments so resume skips re-validation,
+    // re-normalization, and tidset recomputation — required for sliced
+    // runs to keep byte-identical work counters, not just identical
+    // output. Never serialized; Save() falls back to the cold form.
+    // hot_tidset may borrow graph-owned storage, so a hot checkpoint
+    // only resumes against the same live graph object.
+    std::shared_ptr<const HybridVertexSet> hot_covered;
+    HybridVertexSet hot_tidset;
   };
   /// An equivalence class with at least one unexpanded member.
   struct PendingClass {
@@ -153,6 +163,9 @@ class EngineCheckpoint {
     std::uint32_t index = 0;
     AttributeId attr = 0;
     VertexSet covered;
+    // Hot fast path; see Member.
+    std::shared_ptr<const HybridVertexSet> hot_covered;
+    HybridVertexSet hot_tidset;
   };
 
   bool empty() const {
@@ -264,6 +277,17 @@ class ScpmEngine {
   /// never SetDeadline. One token serves one run at a time.
   void set_cancel_token(CancelToken* token) { cancel_ = token; }
 
+  /// Hot checkpoints: a budget-cut run's EngineCheckpoint additionally
+  /// carries the live covered/tidset hybrid sets (Member::hot_covered
+  /// etc.), and Resume() seeds from them directly instead of rebuilding
+  /// from the cold vectors. This skips the resume-side validation,
+  /// normalization, and tidset recomputation entirely, so a run chopped
+  /// into N same-process segments reports byte-identical summed work
+  /// counters to an uncut run. Hot checkpoints are memory-only: they
+  /// must resume in the same process against the same graph object
+  /// (Save() materializes the cold form for anything else).
+  void set_hot_checkpoints(bool on) { hot_checkpoints_ = on; }
+
   /// Walks the whole lattice (or up to the budget), emitting every
   /// reported attribute set into `sink`.
   Result<MiningRun> Run(const AttributedGraph& graph, PatternSink* sink);
@@ -292,6 +316,7 @@ class ScpmEngine {
   ParallelismBudget* shared_intra_budget_ = nullptr;
   EvalMemo* memo_ = nullptr;
   CancelToken* cancel_ = nullptr;
+  bool hot_checkpoints_ = false;
 };
 
 }  // namespace scpm

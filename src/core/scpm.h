@@ -148,6 +148,23 @@ struct ScpmCounters {
   std::uint64_t chunked_intersections = 0;
   std::uint64_t dense_conversions = 0;
   std::uint64_t chunked_conversions = 0;
+
+  /// Field-wise accumulation — used by sliced runs to sum per-segment
+  /// counters into a cumulative total.
+  void MergeFrom(const ScpmCounters& other) {
+    attribute_sets_evaluated += other.attribute_sets_evaluated;
+    attribute_sets_reported += other.attribute_sets_reported;
+    attribute_sets_extended += other.attribute_sets_extended;
+    coverage_candidates += other.coverage_candidates;
+    evaluation_batches += other.evaluation_batches;
+    intra_search_evaluations += other.intra_search_evaluations;
+    intra_branch_tasks += other.intra_branch_tasks;
+    bitmap_intersections += other.bitmap_intersections;
+    galloping_intersections += other.galloping_intersections;
+    chunked_intersections += other.chunked_intersections;
+    dense_conversions += other.dense_conversions;
+    chunked_conversions += other.chunked_conversions;
+  }
 };
 
 /// Complete mining output.
@@ -168,6 +185,9 @@ struct ScpmResult {
 /// and the complete result materialized. Callers that want streaming
 /// output, budgets/deadlines, or checkpoint/resume use the engine
 /// directly.
+struct MiningRequest;   // core/request.h
+struct MiningResponse;  // core/request.h
+
 class ScpmMiner {
  public:
   explicit ScpmMiner(ScpmOptions options,
@@ -176,7 +196,16 @@ class ScpmMiner {
 
   const ScpmOptions& options() const { return options_; }
 
+  /// Thin legacy entry point: accumulate everything, no budget. Prefer
+  /// the MiningRequest overload, which is the one front door shared
+  /// with the CLI and the wire protocol.
   Result<ScpmResult> Mine(const AttributedGraph& graph);
+
+  /// Unified front door (core/request.h): the request's options,
+  /// budget, and sink selection are authoritative; the null model bound
+  /// at construction is passed through. Defined in request.cc.
+  Result<MiningResponse> Mine(const AttributedGraph& graph,
+                              const MiningRequest& request);
 
  private:
   ScpmOptions options_;

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "core/engine.h"
+#include "graph/io.h"
 
 namespace scpm {
 
@@ -34,20 +35,27 @@ bool SendAll(int fd, const std::string& data) {
 
 }  // namespace
 
-ScpmServer::ScpmServer(const AttributedGraph* graph, ServerOptions options)
-    : graph_(graph),
-      options_(options),
+ScpmServer::ScpmServer(std::shared_ptr<const AttributedGraph> graph,
+                       ServerOptions options)
+    : options_(options),
+      slice_policy_{options.slice_ms, options.slice_evals},
       pool_(std::make_unique<ThreadPool>(
           std::max<std::size_t>(1, options.threads))),
       // The per-run "2x threads" intra-search slot rule, applied once to
       // the shared pool: concurrent queries borrow decomposition slots
       // from one server-wide pot instead of oversubscribing per query.
-      intra_budget_(2 * std::max<std::size_t>(1, options.threads)) {
+      intra_budget_(2 * std::max<std::size_t>(1, options.threads)),
+      graph_(std::move(graph)) {
   if (options_.memo.max_bytes > 0) {
     memo_ = std::make_unique<MemoCache>(options_.memo);
     memo_->BeginEpoch(epoch_);
   }
 }
+
+ScpmServer::ScpmServer(const AttributedGraph* graph, ServerOptions options)
+    : ScpmServer(std::shared_ptr<const AttributedGraph>(graph,
+                                                        [](const auto*) {}),
+                 options) {}
 
 ScpmServer::~ScpmServer() { Shutdown(); }
 
@@ -75,8 +83,10 @@ void ScpmServer::Shutdown() {
     }
   }
   queue_cv_.notify_all();
-  // Cancel queued sessions (their driver pickup becomes a no-op) and cut
-  // running ones at their next wave boundary.
+  // Cancel queued sessions (their next driver pickup terminalizes them)
+  // and cut running ones at their next wave boundary. Drivers drain the
+  // queue before exiting, so every preempted session reaches a terminal
+  // state.
   for (const std::shared_ptr<QuerySession>& session : to_cancel) {
     session->Cancel();
   }
@@ -99,15 +109,17 @@ Result<std::shared_ptr<QuerySession>> ScpmServer::Submit(QuerySpec spec) {
       ++rejected_;
       return Status::Internal("server is shutting down");
     }
-    if (queue_.size() >= options_.queue_depth) {
+    if (queued_fresh_ >= options_.queue_depth) {
       ++rejected_;
       return Status::ResourceExhausted(
-          "admission queue full (" + std::to_string(queue_.size()) + "/" +
+          "admission queue full (" + std::to_string(queued_fresh_) + "/" +
           std::to_string(options_.queue_depth) + " queued)");
     }
     session = std::make_shared<QuerySession>(next_id_++, std::move(spec));
+    session->ApplyDefaultDeadline(options_.default_deadline_ms);
     sessions_.emplace(session->id(), session);
-    queue_.push_back(session);
+    queue_.push_back(QueueItem{session, /*fresh=*/true});
+    ++queued_fresh_;
     ++submitted_;
   }
   queue_cv_.notify_one();
@@ -128,54 +140,132 @@ Result<QueryState> ScpmServer::Cancel(std::uint64_t id) {
   return session->Cancel();
 }
 
-ExpectationModel* ScpmServer::NullModelFor(const ScpmOptions& query_options) {
+std::shared_ptr<const AttributedGraph> ScpmServer::graph() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return graph_;
+}
+
+std::uint64_t ScpmServer::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+Status ScpmServer::Reload(std::shared_ptr<const AttributedGraph> graph,
+                          ReloadPolicy policy) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("reload graph must not be null");
+  }
+  std::vector<std::shared_ptr<QuerySession>> to_cancel;
+  std::uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return Status::Internal("server is shutting down");
+    graph_ = std::move(graph);
+    epoch = ++epoch_;
+    ++reloads_;
+    if (policy == ReloadPolicy::kCancelRunning) {
+      // Sessions pinned to an older epoch — running a slice right now
+      // or preempted in the queue. Never-run sessions stay: they bind
+      // to the new graph at their first pickup. (Binds happen under
+      // this mutex, so a session is either pinned old here or will pin
+      // new.)
+      for (const auto& [id, session] : sessions_) {
+        if (!session->terminal() && session->bound() &&
+            session->pinned_epoch() < epoch) {
+          to_cancel.push_back(session);
+        }
+      }
+    }
+  }
+  // Epoch-keyed caches: the memo purges eagerly (stale entries are
+  // unreachable the moment the epoch bumped); null models for old
+  // epochs drop from the server cache (in-flight sessions hold their
+  // own shared_ptr).
+  if (memo_ != nullptr) memo_->BeginEpoch(epoch);
+  {
+    std::lock_guard<std::mutex> lock(null_models_mutex_);
+    for (auto it = null_models_.begin(); it != null_models_.end();) {
+      it = std::get<0>(it->first) != epoch ? null_models_.erase(it)
+                                           : std::next(it);
+    }
+  }
+  for (const std::shared_ptr<QuerySession>& session : to_cancel) {
+    session->Cancel();
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<ExpectationModel> ScpmServer::NullModelFor(
+    const ScpmOptions& query_options, std::uint64_t epoch,
+    const AttributedGraph& graph) {
   if (query_options.min_delta <= 0.0) return nullptr;
-  const std::pair<double, std::uint32_t> key(
-      query_options.quasi_clique.gamma, query_options.quasi_clique.min_size);
+  const std::tuple<std::uint64_t, double, std::uint32_t> key(
+      epoch, query_options.quasi_clique.gamma,
+      query_options.quasi_clique.min_size);
   std::lock_guard<std::mutex> lock(null_models_mutex_);
   auto it = null_models_.find(key);
   if (it == null_models_.end()) {
     it = null_models_
-             .emplace(key, std::make_unique<MaxExpectationModel>(
-                               graph_->graph(), query_options.quasi_clique))
+             .emplace(key, std::make_shared<MaxExpectationModel>(
+                               graph.graph(), query_options.quasi_clique))
              .first;
   }
-  return it->second.get();
+  return it->second;
 }
 
 void ScpmServer::DriverLoop() {
   while (true) {
-    std::shared_ptr<QuerySession> session;
+    QueueItem item;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_, nothing left to drain
-      session = std::move(queue_.front());
+      item = std::move(queue_.front());
       queue_.pop_front();
+      if (item.fresh) --queued_fresh_;
       ++running_;
+      // Pin the session's graph epoch under the same mutex that Reload
+      // swaps under, closing the race between binding and the reload
+      // cancel sweep.
+      if (!item.session->bound()) item.session->Bind(graph_, epoch_);
     }
-    RunSession(session);
+    const bool terminal = RunSlice(item.session);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --running_;
+      if (!terminal) {
+        // Round-robin: a preempted session goes to the back, behind
+        // every waiting query.
+        queue_.push_back(QueueItem{item.session, /*fresh=*/false});
+        ++preemptions_;
+      }
     }
+    if (!terminal) queue_cv_.notify_one();
   }
 }
 
-void ScpmServer::RunSession(const std::shared_ptr<QuerySession>& session) {
-  ExpectationModel* null_model = NullModelFor(session->spec().options);
+bool ScpmServer::RunSlice(const std::shared_ptr<QuerySession>& session) {
+  // The session pins graph + epoch + null model for its whole life, so
+  // a concurrent reload never changes what this query computes.
+  const std::shared_ptr<const AttributedGraph> graph = session->pinned_graph();
+  const std::uint64_t epoch = session->pinned_epoch();
+  if (session->needs_null_model()) {
+    session->set_null_model(
+        NullModelFor(session->spec().options, epoch, *graph));
+  }
   if (memo_ == nullptr) {
-    session->Execute(*graph_, null_model, pool_.get(), &intra_budget_,
-                     nullptr);
-    return;
+    return session->ExecuteSlice(pool_.get(), &intra_budget_, nullptr,
+                                 slice_policy_);
   }
   // Bind the cross-query memo to this query's (epoch, output-relevant
   // options): queries with different thresholds never share entries,
   // queries differing only in perf knobs do.
   MemoCache::BoundView memo = memo_->Bind(
-      epoch_, ScpmEngine::OptionsFingerprint(session->spec().options,
-                                             null_model != nullptr));
-  session->Execute(*graph_, null_model, pool_.get(), &intra_budget_, &memo);
+      epoch,
+      ScpmEngine::OptionsFingerprint(session->spec().options,
+                                     session->spec().options.min_delta > 0.0));
+  return session->ExecuteSlice(pool_.get(), &intra_budget_, &memo,
+                               slice_policy_);
 }
 
 JsonValue ScpmServer::Stats() const {
@@ -185,8 +275,19 @@ JsonValue ScpmServer::Stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
     out.Set("submitted", JsonValue(submitted_));
     out.Set("rejected", JsonValue(rejected_));
-    out.Set("queued", JsonValue(std::uint64_t{queue_.size()}));
+    out.Set("queued", JsonValue(std::uint64_t{queued_fresh_}));
+    out.Set("preempted_queued",
+            JsonValue(std::uint64_t{queue_.size() - queued_fresh_}));
+    out.Set("preemptions", JsonValue(preemptions_));
     out.Set("running", JsonValue(std::uint64_t{running_}));
+    out.Set("epoch", JsonValue(epoch_));
+    out.Set("reloads", JsonValue(reloads_));
+    JsonValue graph = JsonValue::MakeObject();
+    graph.Set("vertices",
+              JsonValue(static_cast<std::uint64_t>(graph_->NumVertices())));
+    graph.Set("edges", JsonValue(graph_->graph().NumEdges()));
+    graph.Set("attributes", JsonValue(graph_->NumAttributes()));
+    out.Set("graph", std::move(graph));
     for (const auto& [id, session] : sessions_) {
       ++by_state[static_cast<int>(session->state())];
     }
@@ -197,10 +298,13 @@ JsonValue ScpmServer::Stats() const {
                JsonValue(by_state[s]));
   }
   out.Set("sessions", std::move(states));
+  out.Set("protocol_version", JsonValue(kProtocolVersion));
   out.Set("threads", JsonValue(std::uint64_t{pool_->num_threads()}));
   out.Set("max_concurrent", JsonValue(std::uint64_t{options_.max_concurrent}));
   out.Set("queue_depth", JsonValue(std::uint64_t{options_.queue_depth}));
-  out.Set("epoch", JsonValue(epoch_));
+  out.Set("slice_ms", JsonValue(options_.slice_ms));
+  out.Set("slice_evals", JsonValue(options_.slice_evals));
+  out.Set("default_deadline_ms", JsonValue(options_.default_deadline_ms));
 
   JsonValue memo = JsonValue::MakeObject();
   memo.Set("enabled", JsonValue(memo_ != nullptr));
@@ -209,11 +313,11 @@ JsonValue ScpmServer::Stats() const {
     memo.Set("hits", JsonValue(stats.hits));
     memo.Set("misses", JsonValue(stats.misses));
     const std::uint64_t lookups = stats.hits + stats.misses;
-    memo.Set("hit_rate", JsonValue(lookups == 0 ? 0.0
-                                                : static_cast<double>(
-                                                      stats.hits) /
-                                                      static_cast<double>(
-                                                          lookups)));
+    memo.Set("hit_rate",
+             JsonValue(lookups == 0
+                           ? 0.0
+                           : static_cast<double>(stats.hits) /
+                                 static_cast<double>(lookups)));
     memo.Set("insertions", JsonValue(stats.insertions));
     memo.Set("evictions", JsonValue(stats.evictions));
     memo.Set("entries", JsonValue(stats.entries));
@@ -232,6 +336,60 @@ JsonValue ScpmServer::ErrorResponse(const Status& status) const {
   return out;
 }
 
+JsonValue ScpmServer::HandleReload(const JsonValue& request) {
+  const JsonValue* edges = request.Find("edges");
+  const JsonValue* attrs = request.Find("attrs");
+  const JsonValue* policy_value = request.Find("policy");
+  if ((edges != nullptr && !edges->is_string()) ||
+      (attrs != nullptr && !attrs->is_string())) {
+    return ErrorResponse(
+        Status::InvalidArgument("reload \"edges\"/\"attrs\" must be strings"));
+  }
+  if (policy_value != nullptr && !policy_value->is_string()) {
+    return ErrorResponse(
+        Status::InvalidArgument("reload \"policy\" must be a string"));
+  }
+  const std::string edges_path =
+      edges != nullptr ? edges->AsString() : reload_edges_path_;
+  const std::string attrs_path =
+      attrs != nullptr ? attrs->AsString() : reload_attrs_path_;
+  if (edges_path.empty() || attrs_path.empty()) {
+    return ErrorResponse(Status::InvalidArgument(
+        "reload requires \"edges\" and \"attrs\" (no server default paths)"));
+  }
+  ReloadPolicy policy = ReloadPolicy::kFinishOnOldGraph;
+  if (policy_value != nullptr) {
+    const std::string& name = policy_value->AsString();
+    if (name == "cancel") {
+      policy = ReloadPolicy::kCancelRunning;
+    } else if (name != "finish") {
+      return ErrorResponse(
+          Status::InvalidArgument("unknown reload policy: " + name));
+    }
+  }
+  // The load happens outside the server mutex — only the pointer swap
+  // is a barrier; queries keep draining while the files parse.
+  Result<AttributedGraph> loaded = LoadAttributedGraph(edges_path, attrs_path);
+  if (!loaded.ok()) return ErrorResponse(loaded.status());
+  auto graph =
+      std::make_shared<const AttributedGraph>(std::move(loaded).value());
+  const Status status = Reload(graph, policy);
+  if (!status.ok()) return ErrorResponse(status);
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("ok", JsonValue(true));
+  out.Set("epoch", JsonValue(epoch()));
+  out.Set("policy", JsonValue(policy == ReloadPolicy::kCancelRunning
+                                  ? "cancel"
+                                  : "finish"));
+  JsonValue shape = JsonValue::MakeObject();
+  shape.Set("vertices",
+            JsonValue(static_cast<std::uint64_t>(graph->NumVertices())));
+  shape.Set("edges", JsonValue(graph->graph().NumEdges()));
+  shape.Set("attributes", JsonValue(graph->NumAttributes()));
+  out.Set("graph", std::move(shape));
+  return out;
+}
+
 std::string ScpmServer::HandleRequest(const std::string& line) {
   Result<JsonValue> parsed = JsonValue::Parse(line);
   if (!parsed.ok()) return ErrorResponse(parsed.status()).Dump();
@@ -240,12 +398,24 @@ std::string ScpmServer::HandleRequest(const std::string& line) {
     return ErrorResponse(Status::InvalidArgument("request must be an object"))
         .Dump();
   }
+  // Protocol versioning: absent "v" means version 1 (the pre-versioning
+  // wire format is version 1); any other version is a typed reject so
+  // future clients fail loudly instead of being half-understood.
+  const JsonValue* version = request.Find("v");
+  if (version != nullptr &&
+      (!version->is_number() ||
+       version->AsNumber() != static_cast<double>(kProtocolVersion))) {
+    return ErrorResponse(Status::InvalidArgument(
+                             "unsupported protocol version (server speaks v" +
+                             std::to_string(kProtocolVersion) + ")"))
+        .Dump();
+  }
   const std::string op = request.StringOr("op", "");
 
   if (op == "submit") {
     const JsonValue* query = request.Find("query");
-    Result<QuerySpec> spec = ParseQuerySpec(
-        query != nullptr ? *query : JsonValue::MakeObject());
+    Result<QuerySpec> spec =
+        ParseQuerySpec(query != nullptr ? *query : JsonValue::MakeObject());
     if (!spec.ok()) return ErrorResponse(spec.status()).Dump();
     Result<std::shared_ptr<QuerySession>> session =
         Submit(std::move(spec).value());
@@ -255,7 +425,7 @@ std::string ScpmServer::HandleRequest(const std::string& line) {
     out.Set("id", JsonValue((*session)->id()));
     if (request.BoolOr("wait", false)) {
       (*session)->WaitTerminal();
-      out.Set("query", (*session)->Describe(graph_));
+      out.Set("query", (*session)->Describe(graph().get()));
     } else {
       out.Set("state", JsonValue(QueryStateName((*session)->state())));
     }
@@ -269,8 +439,7 @@ std::string ScpmServer::HandleRequest(const std::string& line) {
                  Status::InvalidArgument("op \"" + op + "\" requires \"id\""))
           .Dump();
     }
-    const std::uint64_t id =
-        static_cast<std::uint64_t>(id_value->AsNumber());
+    const std::uint64_t id = static_cast<std::uint64_t>(id_value->AsNumber());
     std::shared_ptr<QuerySession> session = Find(id);
     if (session == nullptr) {
       return ErrorResponse(
@@ -285,10 +454,12 @@ std::string ScpmServer::HandleRequest(const std::string& line) {
       out.Set("was", JsonValue(QueryStateName(observed)));
       out.Set("state", JsonValue(QueryStateName(session->state())));
     } else {
-      out.Set("query", session->Describe(graph_));
+      out.Set("query", session->Describe(graph().get()));
     }
     return out.Dump();
   }
+
+  if (op == "reload") return HandleReload(request).Dump();
 
   if (op == "stats") {
     JsonValue out = Stats();
@@ -322,8 +493,7 @@ Status ScpmServer::Serve(const std::string& path) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
     const Status status =
         Status::IoError("bind " + path + ": " + std::strerror(errno));
     ::close(fd);

@@ -7,19 +7,34 @@
 //                     |                         (max_concurrent)
 //                     +-- full? typed kResourceExhausted reject
 //
-// Each admitted query is a QuerySession (server/session.h) with its own
-// options, budget, sink, and CancelToken. Drivers run sessions through
-// ScpmEngine with the server's shared ThreadPool (placement only — output
-// stays byte-identical to a direct ScpmMiner::Mine) and a cross-query
-// MemoCache view bound to (graph epoch, options fingerprint), so a
-// repeated query replays memoized evaluations instead of re-searching.
-// Null models are built lazily per (gamma, min_size) and shared across
-// queries (they are internally synchronized).
+// Each admitted query is a QuerySession (server/session.h) around one
+// core MiningRequest. Drivers run sessions through ScpmEngine with the
+// server's shared ThreadPool (placement only — output stays
+// byte-identical to a direct ScpmMiner::Mine) and a cross-query
+// MemoCache view bound to (graph epoch, options fingerprint).
 //
-// The wire protocol is newline-delimited JSON over a Unix domain socket
-// (docs/SERVER.md): ops submit / status / cancel / stats / shutdown.
-// HandleRequest() is the socket-free core of that protocol — tests and
-// embedders call it directly.
+// Preemptive scheduling: with a slice policy configured (slice_ms /
+// slice_evals), drivers run each query as a chain of budgeted engine
+// segments through the checkpoint/resume machinery — a session whose
+// slice is cut goes to the BACK of the run queue (round-robin), so a
+// cheap query admitted behind a multi-second one completes within a
+// couple of slices instead of waiting it out. Slicing never changes
+// what a query returns: rows, patterns, and summed work counters stay
+// byte-identical to an unpreempted run (memo aside, which replays
+// work across queries by design).
+//
+// Live reload: Reload() swaps the graph under the server mutex, bumps
+// the epoch, eagerly purges the memo, and prunes stale null models.
+// In-flight queries keep mining the graph they pinned at first
+// schedule (shared_ptr) or are cancelled, by policy. New queries see
+// the new graph immediately; the memo re-warms under the new epoch.
+//
+// The wire protocol is newline-delimited JSON over a Unix domain
+// socket (docs/SERVER.md): ops submit / status / cancel / stats /
+// reload / shutdown, optionally versioned with "v": 1 (the only
+// version; anything else is a typed kInvalidArgument). HandleRequest()
+// is the socket-free core of that protocol — tests and embedders call
+// it directly.
 
 #ifndef SCPM_SERVER_SERVER_H_
 #define SCPM_SERVER_SERVER_H_
@@ -33,6 +48,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -46,6 +62,11 @@
 
 namespace scpm {
 
+/// The one protocol version this server speaks. Requests may carry
+/// "v": <n>; absent means 1, anything other than 1 is rejected with
+/// kInvalidArgument, and stats reports protocol_version.
+inline constexpr std::uint64_t kProtocolVersion = 1;
+
 struct ServerOptions {
   /// Worker threads of the shared pool (every query's evaluation and
   /// intra-search tasks run here).
@@ -53,16 +74,35 @@ struct ServerOptions {
   /// Driver threads = queries mining at once. Admitted queries beyond
   /// this wait in the queue.
   std::size_t max_concurrent = 2;
-  /// Waiting (admitted, not yet running) queries. A submit past this
-  /// depth is rejected with StatusCode::kResourceExhausted.
+  /// Waiting fresh (never-run) queries. A submit past this depth is
+  /// rejected with StatusCode::kResourceExhausted. Preempted sessions
+  /// re-queueing do not count against admission.
   std::size_t queue_depth = 16;
   /// Cross-query evaluation memo; max_bytes 0 disables it entirely.
   MemoCacheOptions memo;
+  /// Preemption slice policy: per-slice wall clock / evaluation budget
+  /// granted to a session each time a driver picks it up. Both 0 =
+  /// run-to-completion (no preemption).
+  std::uint64_t slice_ms = 0;
+  std::uint64_t slice_evals = 0;
+  /// Wall-clock budget applied to queries that specify no deadline_ms
+  /// of their own; 0 = none.
+  std::uint64_t default_deadline_ms = 0;
+};
+
+/// What happens to queries pinned to the old graph at Reload().
+enum class ReloadPolicy {
+  kFinishOnOldGraph,  // they keep mining the graph they started on
+  kCancelRunning,     // they are cancelled at their next wave boundary
 };
 
 class ScpmServer {
  public:
-  /// The graph is borrowed and must outlive the server.
+  /// The server shares ownership of the graph; Reload() swaps it.
+  ScpmServer(std::shared_ptr<const AttributedGraph> graph,
+             ServerOptions options);
+  /// Deprecated borrowing constructor (the graph must outlive the
+  /// server and every session); kept so existing call sites compile.
   ScpmServer(const AttributedGraph* graph, ServerOptions options);
   ~ScpmServer();
   ScpmServer(const ScpmServer&) = delete;
@@ -78,8 +118,9 @@ class ScpmServer {
   void Shutdown();
 
   /// Admission control: enqueues a session or rejects it. Rejection is
-  /// typed — StatusCode::kResourceExhausted when the queue is at
-  /// queue_depth, kInternal after Shutdown.
+  /// typed — StatusCode::kResourceExhausted when the fresh-query queue
+  /// is at queue_depth, kInternal after Shutdown. The server default
+  /// deadline is applied here when the spec carries none.
   Result<std::shared_ptr<QuerySession>> Submit(QuerySpec spec);
 
   /// Session registry lookup (sessions stay queryable after finishing).
@@ -88,8 +129,23 @@ class ScpmServer {
   /// Cancels a query; returns its state as observed by the cancel.
   Result<QueryState> Cancel(std::uint64_t id);
 
+  /// Swaps the served graph under the server mutex, bumps the epoch,
+  /// purges the memo (eager BeginEpoch) and stale null models, and
+  /// applies `policy` to queries pinned to an older epoch. Queued
+  /// sessions that never ran bind to the new graph.
+  Status Reload(std::shared_ptr<const AttributedGraph> graph,
+                ReloadPolicy policy);
+
+  /// Default graph files for the wire "reload" op when the request
+  /// names none (the CLI passes its argv paths). Set before Serve().
+  void set_reload_paths(std::string edges_path, std::string attrs_path) {
+    reload_edges_path_ = std::move(edges_path);
+    reload_attrs_path_ = std::move(attrs_path);
+  }
+
   /// Server-wide aggregates: admission counters, per-state session
-  /// counts, memo hit/miss/size, pool shape, epoch.
+  /// counts, memo hit/miss/size, pool shape, epoch, slice policy,
+  /// protocol version.
   JsonValue Stats() const;
 
   /// Executes one protocol request (one JSON line, no trailing newline)
@@ -103,22 +159,32 @@ class ScpmServer {
   /// is replaced.
   Status Serve(const std::string& path);
 
-  const AttributedGraph* graph() const { return graph_; }
-  std::uint64_t epoch() const { return epoch_; }
+  /// Snapshot of the currently served graph (epoch-dependent).
+  std::shared_ptr<const AttributedGraph> graph() const;
+  std::uint64_t epoch() const;
   const MemoCache* memo() const { return memo_.get(); }
   const ServerOptions& options() const { return options_; }
 
  private:
-  void DriverLoop();
-  void RunSession(const std::shared_ptr<QuerySession>& session);
-  /// Lazily builds / returns the shared null model for a query's
-  /// quasi-clique parameters (nullptr when min_delta == 0).
-  ExpectationModel* NullModelFor(const ScpmOptions& query_options);
-  JsonValue ErrorResponse(const Status& status) const;
+  struct QueueItem {
+    std::shared_ptr<QuerySession> session;
+    bool fresh = true;  // counts against queue_depth; preempted don't
+  };
 
-  const AttributedGraph* graph_;
+  void DriverLoop();
+  /// One driver pickup: bind pins if first time, run one slice, report
+  /// whether the session must be re-enqueued.
+  bool RunSlice(const std::shared_ptr<QuerySession>& session);
+  /// Lazily builds / returns the shared null model for (epoch, quasi-
+  /// clique params); nullptr when min_delta == 0.
+  std::shared_ptr<ExpectationModel> NullModelFor(
+      const ScpmOptions& query_options, std::uint64_t epoch,
+      const AttributedGraph& graph);
+  JsonValue ErrorResponse(const Status& status) const;
+  JsonValue HandleReload(const JsonValue& request);
+
   const ServerOptions options_;
-  std::uint64_t epoch_ = 1;
+  const SlicePolicy slice_policy_;
 
   std::unique_ptr<ThreadPool> pool_;
   /// Server-wide intra-search slot pool shared by all concurrent
@@ -126,9 +192,17 @@ class ScpmServer {
   ParallelismBudget intra_budget_;
   std::unique_ptr<MemoCache> memo_;  // nullptr when memo.max_bytes == 0
 
-  mutable std::mutex mutex_;  // queue + registry + lifecycle
+  std::string reload_edges_path_;  // set before Serve, then read-only
+  std::string reload_attrs_path_;
+
+  mutable std::mutex mutex_;  // graph/epoch + queue + registry + lifecycle
   std::condition_variable queue_cv_;
-  std::deque<std::shared_ptr<QuerySession>> queue_;
+  std::shared_ptr<const AttributedGraph> graph_;
+  std::uint64_t epoch_ = 1;
+  std::uint64_t reloads_ = 0;
+  std::deque<QueueItem> queue_;
+  std::size_t queued_fresh_ = 0;
+  std::uint64_t preemptions_ = 0;
   std::map<std::uint64_t, std::shared_ptr<QuerySession>> sessions_;
   std::vector<std::thread> drivers_;
   bool started_ = false;
@@ -139,8 +213,8 @@ class ScpmServer {
   std::size_t running_ = 0;
 
   std::mutex null_models_mutex_;
-  std::map<std::pair<double, std::uint32_t>,
-           std::unique_ptr<MaxExpectationModel>>
+  std::map<std::tuple<std::uint64_t, double, std::uint32_t>,
+           std::shared_ptr<MaxExpectationModel>>
       null_models_;
 
   /// Serve() lifecycle: write end of the self-pipe that Shutdown() uses

@@ -1,5 +1,6 @@
 #include "server/session.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -27,8 +28,7 @@ JsonValue IdArray(const std::vector<AttributeId>& ids) {
 JsonValue VertexArray(const VertexSet& vertices) {
   JsonValue out = JsonValue::MakeArray();
   for (VertexId v : vertices) {
-    out.MutableArray()->push_back(
-        JsonValue(static_cast<std::uint64_t>(v)));
+    out.MutableArray()->push_back(JsonValue(static_cast<std::uint64_t>(v)));
   }
   return out;
 }
@@ -59,6 +59,13 @@ JsonValue StatsToJson(const AttributeSetStats& stats,
   out.Set("expected_epsilon", JsonValue(stats.expected_epsilon));
   out.Set("delta", JsonValue(stats.delta));
   return out;
+}
+
+/// min of two limits where 0 means "unlimited".
+std::uint64_t CombineLimit(std::uint64_t a, std::uint64_t b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  return std::min(a, b);
 }
 
 }  // namespace
@@ -115,7 +122,8 @@ Result<QuerySpec> ParseQuerySpec(const JsonValue& query) {
     // decay to 0 / "" / false and mine something else than intended.
     const bool string_key =
         key == "scope" || key == "order" || key == "sink" || key == "out";
-    const bool bool_key = key == "collect_patterns" || key == "hybrid";
+    const bool bool_key = key == "collect_patterns" || key == "hybrid" ||
+                          key == "simd" || key == "chunked";
     if (string_key && !value.is_string()) {
       return Status::InvalidArgument("query member " + key +
                                      " must be a string");
@@ -161,8 +169,7 @@ Result<QuerySpec> ParseQuerySpec(const JsonValue& query) {
         return Status::InvalidArgument("unknown order: " + order);
       }
     } else if (key == "max_set_size") {
-      spec.options.max_attribute_set_size =
-          static_cast<std::size_t>(number());
+      spec.options.max_attribute_set_size = static_cast<std::size_t>(number());
     } else if (key == "min_report_size") {
       spec.options.min_report_size = static_cast<std::size_t>(number());
     } else if (key == "collect_patterns") {
@@ -177,6 +184,13 @@ Result<QuerySpec> ParseQuerySpec(const JsonValue& query) {
           static_cast<std::uint32_t>(number());
     } else if (key == "hybrid") {
       spec.options.use_hybrid_sets = value.AsBool();
+    } else if (key == "simd" || key == "chunked") {
+      // MiningRequest can carry these, but they flip process-global
+      // kernel dispatch — one query must not change how every other
+      // concurrent query executes.
+      return Status::InvalidArgument(
+          "query member " + key +
+          " is process-global; set it on the server command line");
     } else if (key == "deadline_ms") {
       spec.budget.deadline_ms = static_cast<std::uint64_t>(number());
     } else if (key == "max_evals") {
@@ -207,14 +221,17 @@ Result<QuerySpec> ParseQuerySpec(const JsonValue& query) {
   if (spec.sink == QuerySpec::Sink::kJsonl && spec.jsonl_path.empty()) {
     return Status::InvalidArgument("sink \"jsonl\" requires \"out\"");
   }
-  SCPM_RETURN_IF_ERROR(spec.options.Validate());
+  SCPM_RETURN_IF_ERROR(spec.Validate());
   return spec;
 }
 
 QuerySession::QuerySession(std::uint64_t id, QuerySpec spec)
     : id_(id),
       spec_(std::move(spec)),
-      submitted_(std::chrono::steady_clock::now()) {}
+      submitted_(std::chrono::steady_clock::now()) {
+  // cum_ is a sum of segments, none of which has run yet.
+  cum_.exhausted = false;
+}
 
 QueryState QuerySession::state() const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -227,99 +244,262 @@ bool QuerySession::terminal() const {
          s == QueryState::kFailed;
 }
 
-bool QuerySession::MarkRunning() {
+void QuerySession::ApplyDefaultDeadline(std::uint64_t deadline_ms) {
+  if (spec_.budget.deadline_ms == 0) spec_.budget.deadline_ms = deadline_ms;
+}
+
+void QuerySession::Bind(std::shared_ptr<const AttributedGraph> graph,
+                        std::uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (state_ != QueryState::kQueued) return false;
-  state_ = QueryState::kRunning;
-  queue_wait_ms_ = MsSince(submitted_, std::chrono::steady_clock::now());
+  graph_ = std::move(graph);
+  epoch_ = epoch;
+}
+
+bool QuerySession::bound() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return graph_ != nullptr;
+}
+
+std::uint64_t QuerySession::pinned_epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+std::shared_ptr<const AttributedGraph> QuerySession::pinned_graph() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return graph_;
+}
+
+bool QuerySession::QueryBudgetSpent() const {
+  if (spec_.budget.max_evaluations != 0 &&
+      cum_.counters.attribute_sets_evaluated >= spec_.budget.max_evaluations) {
+    return true;
+  }
+  if (spec_.budget.max_patterns != 0 &&
+      cum_.patterns_emitted >= spec_.budget.max_patterns) {
+    return true;
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_at_) {
+    return true;
+  }
+  return false;
+}
+
+bool QuerySession::RemainingBudget(const SlicePolicy& policy,
+                                   EngineBudget* out) const {
+  EngineBudget b;  // all unlimited
+  if (spec_.budget.max_evaluations != 0) {
+    const std::uint64_t done = cum_.counters.attribute_sets_evaluated;
+    if (done >= spec_.budget.max_evaluations) return false;
+    b.max_evaluations = spec_.budget.max_evaluations - done;
+  }
+  b.max_evaluations = CombineLimit(b.max_evaluations, policy.slice_evals);
+  if (spec_.budget.max_patterns != 0) {
+    if (cum_.patterns_emitted >= spec_.budget.max_patterns) return false;
+    b.max_patterns = spec_.budget.max_patterns - cum_.patterns_emitted;
+  }
+  std::uint64_t remaining_ms = 0;
+  if (has_deadline_) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline_at_) return false;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline_at_ - now)
+                          .count();
+    // A sub-millisecond remainder must not truncate to 0 (= unlimited).
+    remaining_ms = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::max<long long>(0, left)));
+  }
+  b.deadline_ms = CombineLimit(remaining_ms, policy.slice_ms);
+  *out = b;
   return true;
 }
 
-void QuerySession::Finish(QueryState state, Result<MiningRun> outcome) {
+void QuerySession::Terminalize(QueryState state, Status error) {
+  // Harvest outside the lock: sinks are driver-owned and this is the
+  // last driver touch.
+  MiningResponse harvested;
+  bool have_payload = false;
+  if (state != QueryState::kFailed && sinks_ != nullptr) {
+    harvested.run = cum_;
+    sinks_->Harvest(spec_, &harvested);
+    if (harvested.result.attribute_sets.size() > spec_.max_rows) {
+      harvested.result.attribute_sets.resize(spec_.max_rows);
+    }
+    have_payload = true;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     state_ = state;
     wall_ms_ = MsSince(submitted_, std::chrono::steady_clock::now()) -
                queue_wait_ms_;
-    if (outcome.ok()) {
-      run_ = std::move(outcome).value();
-      if (state == QueryState::kCancelled) {
-        error_ = Status::Cancelled("query cancelled");
-      }
-    } else {
-      error_ = outcome.status();
+    run_ = std::move(cum_);
+    if (have_payload) {
+      result_ = std::move(harvested.result);
+      top_patterns_ = std::move(harvested.top_patterns);
+      topk_sets_seen_ = harvested.top_sets_seen;
+      jsonl_lines_ = harvested.jsonl_lines;
+    }
+    if (!error.ok()) {
+      error_ = std::move(error);
+    } else if (state == QueryState::kCancelled) {
+      error_ = Status::Cancelled("query cancelled");
     }
   }
   terminal_cv_.notify_all();
 }
 
-void QuerySession::Execute(const AttributedGraph& graph,
-                           ExpectationModel* null_model, ThreadPool* pool,
-                           ParallelismBudget* intra_budget, EvalMemo* memo) {
-  if (!MarkRunning()) return;  // cancelled while queued
-
-  ScpmEngine engine(spec_.options, null_model);
-  engine.set_budget(spec_.budget);
-  engine.set_shared_pool(pool, intra_budget);
-  engine.set_eval_memo(memo);
-  engine.set_cancel_token(&token_);
-
-  AccumulatingSink accumulate;
-  std::unique_ptr<JsonlSink> jsonl;
-  std::unique_ptr<TopKPatternSink> topk;
-  PatternSink* sink = &accumulate;
-  if (spec_.sink == QuerySpec::Sink::kJsonl) {
-    Result<std::unique_ptr<JsonlSink>> opened =
-        JsonlSink::Create(spec_.jsonl_path, &graph);
-    if (!opened.ok()) {
-      Finish(QueryState::kFailed, opened.status());
-      return;
-    }
-    jsonl = std::move(opened).value();
-    sink = jsonl.get();
-  } else if (spec_.sink == QuerySpec::Sink::kTopK) {
-    topk = std::make_unique<TopKPatternSink>(spec_.sink_k);
-    sink = topk.get();
-  }
-
-  Result<MiningRun> run = engine.Run(graph, sink);
-
-  // Explicit cancellation beats every other verdict: a Cancel() racing
-  // the last wave may see the run finish "exhausted", and an engine that
-  // observed the latched token surfaces a plain budget-style cut — both
-  // report kCancelled here because the client asked for it.
+bool QuerySession::ExecuteSlice(ThreadPool* pool,
+                                ParallelismBudget* intra_budget, EvalMemo* memo,
+                                const SlicePolicy& policy) {
   bool cancelled;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ != QueryState::kQueued && state_ != QueryState::kRunning) {
+      return true;  // already terminal (cancelled while queued)
+    }
+    if (state_ == QueryState::kQueued) {
+      state_ = QueryState::kRunning;
+      queue_wait_ms_ = MsSince(submitted_, std::chrono::steady_clock::now());
+    }
     cancelled = cancel_requested_;
   }
-  if (run.ok()) {
-    if (spec_.sink == QuerySpec::Sink::kAccumulate) {
-      result_ = accumulate.TakeResult();
-      result_.counters = run->counters;
-      if (result_.attribute_sets.size() > spec_.max_rows) {
-        result_.attribute_sets.resize(spec_.max_rows);
-      }
-    } else if (spec_.sink == QuerySpec::Sink::kJsonl) {
-      jsonl_lines_ = jsonl->lines_written();
-    } else {
-      top_patterns_ = topk->best();
-      topk_sets_seen_ = topk->sets_seen();
-    }
-    Finish(cancelled ? QueryState::kCancelled : QueryState::kDone,
-           std::move(run));
-    return;
+  if (cancelled) {
+    // Cancelled between slices: harvest whatever earlier segments
+    // streamed and stop without running another segment.
+    Terminalize(QueryState::kCancelled, Status());
+    return true;
   }
-  Finish(run.status().code() == StatusCode::kCancelled || cancelled
-             ? QueryState::kCancelled
-             : QueryState::kFailed,
-         std::move(run));
+
+  if (sinks_ == nullptr) {  // first slice
+    Result<std::unique_ptr<RequestSinks>> created =
+        RequestSinks::Create(spec_, graph_.get());
+    if (!created.ok()) {
+      Terminalize(QueryState::kFailed, created.status());
+      return true;
+    }
+    sinks_ = std::move(created).value();
+    if (spec_.budget.deadline_ms != 0) {
+      // The query deadline is absolute from the first slice: time a
+      // preempted query spends re-queued counts against it.
+      has_deadline_ = true;
+      deadline_at_ = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(spec_.budget.deadline_ms);
+    }
+  }
+
+  // A stalled session (previous segment completed no frontier entry —
+  // its one in-flight entry needs longer than the slice) gets a
+  // geometrically escalated slice; otherwise an entry slower than the
+  // slice is discarded and retried identically forever.
+  SlicePolicy effective = policy;
+  if (stall_factor_ > 1) {
+    if (effective.slice_ms != 0) effective.slice_ms *= stall_factor_;
+    if (effective.slice_evals != 0) effective.slice_evals *= stall_factor_;
+  }
+
+  EngineBudget slice_budget;
+  if (!RemainingBudget(effective, &slice_budget)) {
+    // The query's own budget is spent: a budget cut, exactly like a
+    // direct Mine that ran out — done, not exhausted.
+    if (has_checkpoint_) cum_.checkpoint = checkpoint_;
+    Terminalize(QueryState::kDone, Status());
+    return true;
+  }
+
+  ScpmEngine engine(spec_.options, null_model_.get());
+  engine.set_budget(slice_budget);
+  engine.set_shared_pool(pool, intra_budget);
+  engine.set_eval_memo(memo);
+  engine.set_hot_checkpoints(true);
+  // A CancelToken latches forever (a slice deadline would otherwise
+  // poison every later segment), so each slice runs on a fresh
+  // stack-local token registered for external Cancel().
+  CancelToken slice_token;
+  engine.set_cancel_token(&slice_token);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cancel_requested_) {
+      cancelled = true;
+    } else {
+      live_token_ = &slice_token;
+    }
+  }
+  if (cancelled) {
+    Terminalize(QueryState::kCancelled, Status());
+    return true;
+  }
+
+  const bool resumed = has_checkpoint_;
+  const std::uint64_t prev_frontier = cum_.frontier_entries;
+  Result<MiningRun> segment =
+      resumed ? engine.Resume(*graph_, checkpoint_, sinks_->sink())
+              : engine.Run(*graph_, sinks_->sink());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_token_ = nullptr;
+    cancelled = cancel_requested_;
+    ++slices_;
+  }
+
+  if (!segment.ok()) {
+    const bool as_cancel =
+        cancelled || segment.status().code() == StatusCode::kCancelled;
+    Terminalize(as_cancel ? QueryState::kCancelled : QueryState::kFailed,
+                segment.status());
+    return true;
+  }
+
+  // Every completed entry leaves a trace (evaluations, an evaluation
+  // batch, an emission, or a frontier-size change); a first segment
+  // always progresses (it at least forms the root classes).
+  const bool progress =
+      !resumed || segment->exhausted || segment->emitted > 0 ||
+      segment->counters.attribute_sets_evaluated > 0 ||
+      segment->counters.evaluation_batches > 0 ||
+      segment->frontier_entries != prev_frontier;
+  if (progress) {
+    stall_factor_ = 1;
+  } else if (stall_factor_ < (std::uint64_t{1} << 20)) {
+    stall_factor_ *= 2;
+  }
+
+  cum_.counters.MergeFrom(segment->counters);
+  cum_.emitted += segment->emitted;
+  cum_.patterns_emitted += segment->patterns_emitted;
+  cum_.memo_hits += segment->memo_hits;
+  cum_.memo_misses += segment->memo_misses;
+  cum_.exhausted = segment->exhausted;
+  cum_.frontier_entries = segment->frontier_entries;
+  if (segment->exhausted) {
+    has_checkpoint_ = false;
+  } else {
+    checkpoint_ = std::move(segment->checkpoint);
+    has_checkpoint_ = true;
+  }
+
+  // Explicit cancellation beats every other verdict: a Cancel() racing
+  // the last wave may see the segment finish "exhausted", but the
+  // client asked for cancellation and gets it reported.
+  if (cancelled) {
+    Terminalize(QueryState::kCancelled, Status());
+    return true;
+  }
+  if (cum_.exhausted) {
+    Terminalize(QueryState::kDone, Status());
+    return true;
+  }
+  if (QueryBudgetSpent()) {
+    cum_.checkpoint = checkpoint_;
+    Terminalize(QueryState::kDone, Status());
+    return true;
+  }
+  return false;  // preempted by the slice policy: re-enqueue
 }
 
 QueryState QuerySession::Cancel() {
-  token_.RequestCancel();
   std::unique_lock<std::mutex> lock(mutex_);
   cancel_requested_ = true;
+  if (live_token_ != nullptr) live_token_->RequestCancel();
   const QueryState observed = state_;
   if (state_ == QueryState::kQueued) {
     state_ = QueryState::kCancelled;
@@ -350,13 +530,23 @@ double QuerySession::wall_ms() const {
   return wall_ms_;
 }
 
+std::uint64_t QuerySession::slices() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slices_;
+}
+
 JsonValue QuerySession::Describe(const AttributedGraph* graph) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  // The pinned graph names attributes even after a reload swapped the
+  // server's current graph.
+  if (graph_ != nullptr) graph = graph_.get();
   JsonValue out = JsonValue::MakeObject();
   out.Set("id", JsonValue(id_));
   out.Set("state", JsonValue(QueryStateName(state_)));
   out.Set("queue_wait_ms", JsonValue(queue_wait_ms_));
   out.Set("wall_ms", JsonValue(wall_ms_));
+  out.Set("slices", JsonValue(slices_));
+  if (graph_ != nullptr) out.Set("epoch", JsonValue(epoch_));
   const bool terminal = state_ == QueryState::kDone ||
                         state_ == QueryState::kCancelled ||
                         state_ == QueryState::kFailed;

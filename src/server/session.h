@@ -1,22 +1,36 @@
 // One admitted query of the SCPM query server.
 //
 // A QuerySession carries everything a single query owns: its parsed
-// QuerySpec (options + budget + sink choice), its CancelToken, its state
-// machine (queued -> running -> done | cancelled | failed), its timings
-// (queue wait, wall time), and its outcome (the MiningRun and the
-// sink-dependent result payload). The server owns admission and driver
-// threads; the session owns running one engine and describing itself as
-// response JSON.
+// QuerySpec (a core MiningRequest plus response-shaping extras), its
+// state machine (queued -> running -> done | cancelled | failed), its
+// timings, its execution pins (graph shared_ptr, epoch, null model) and
+// its outcome (the cumulative MiningRun and the sink-dependent result
+// payload). The server owns admission and driver threads; the session
+// owns running engine *segments* and describing itself as response
+// JSON.
 //
-// Determinism contract: Execute() configures a ScpmEngine exactly like
-// ScpmMiner::Mine does — same options, same null-model rule — plus the
-// server's shared pool (placement only) and memo view (replay only), so
-// an accumulate query's rows and patterns are byte-identical to a direct
-// Mine() call with the same options, memo hot or cold, any thread count.
+// Preemption model: the server drives a query as a chain of budgeted
+// segments. Each ExecuteSlice() call runs ScpmEngine::Run/Resume with
+// a per-slice budget derived from the slice policy and the remaining
+// query budget, keeps the hot EngineCheckpoint in memory on a cut, and
+// returns whether the session reached a terminal state; the server
+// re-enqueues non-terminal sessions round-robin. The request's sinks
+// live in the session across slices, so streaming output survives
+// suspension with no duplicate or lost finalized sets.
 //
-// Thread safety: Cancel() and Describe() may race Execute() and each
-// other; state, timings, and results are published under one mutex at
-// the terminal transition.
+// Determinism contract: because Resume() reproduces the exact uncut
+// union and hot checkpoints skip the cold-resume set rebuilding, a
+// query sliced into N segments reports rows, patterns, AND summed work
+// counters byte-identical to a direct ScpmMiner::Mine with the same
+// options — for any slice size and thread count (memo detached; a memo
+// adds cross-segment replay that legitimately shrinks work counters).
+//
+// Thread safety: Cancel() and Describe() may race ExecuteSlice() and
+// each other; state, pins, timings, and results are published under
+// one mutex. The execution-progress fields (sinks, checkpoint,
+// cumulative run) are owned by whichever driver thread holds the
+// session between queue pop and re-enqueue — the server's queue mutex
+// sequences that handoff.
 
 #ifndef SCPM_SERVER_SESSION_H_
 #define SCPM_SERVER_SESSION_H_
@@ -30,6 +44,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/request.h"
 #include "core/scpm.h"
 #include "core/sink.h"
 #include "server/json.h"
@@ -47,28 +62,29 @@ enum class QueryState { kQueued, kRunning, kDone, kCancelled, kFailed };
 /// Wire name of a state ("queued", "running", ...).
 const char* QueryStateName(QueryState state);
 
-/// Everything a submit request chooses. Wire field names mirror the CLI
-/// flags (docs/SERVER.md has the full table).
-struct QuerySpec {
-  enum class Sink { kAccumulate, kJsonl, kTopK };
-
-  ScpmOptions options;
-  EngineBudget budget;
-  Sink sink = Sink::kAccumulate;
-  /// Server-side JSONL destination (required when sink == kJsonl).
-  std::string jsonl_path;
-  /// Patterns kept by the top-k sink.
-  std::size_t sink_k = 10;
+/// Everything a submit request chooses: the unified core MiningRequest
+/// (options + budget + sink selection) plus wire-only response shaping.
+/// Wire field names mirror the CLI flags (docs/SERVER.md has the full
+/// table).
+struct QuerySpec : MiningRequest {
   /// Attribute-set rows embedded in an accumulate response (the full
   /// result is always mined; this caps only the response payload).
   std::size_t max_rows = 10000;
 };
 
-/// Decodes the "query" object of a submit request. Unknown members are
-/// an error (they are silent typos otherwise); absent members keep the
-/// defaults above. simd / chunked are process-global toggles, not
-/// per-query options, and are deliberately not accepted here.
+/// Decodes the "query" object of a submit request into a QuerySpec — a
+/// thin JSON -> MiningRequest binder. Unknown members are an error
+/// (they are silent typos otherwise); absent members keep the defaults
+/// above. simd / chunked are process-global toggles, not per-query
+/// options, and are rejected here with a pointed message.
 Result<QuerySpec> ParseQuerySpec(const JsonValue& query);
+
+/// Per-slice budget the server grants each ExecuteSlice call. Both
+/// zero means "run to the query's own budget" (no preemption).
+struct SlicePolicy {
+  std::uint64_t slice_ms = 0;     // wall-clock per slice; 0 = unbounded
+  std::uint64_t slice_evals = 0;  // evaluations per slice; 0 = unbounded
+};
 
 class QuerySession {
  public:
@@ -82,26 +98,62 @@ class QuerySession {
   QueryState state() const;
   bool terminal() const;
 
-  /// Runs the query to a terminal state on the calling (driver) thread.
-  /// No-op when the session was cancelled while queued. `null_model`,
-  /// `pool`, `intra_budget`, and `memo` are borrowed for the duration of
-  /// the call; any of them may be nullptr.
-  void Execute(const AttributedGraph& graph, ExpectationModel* null_model,
-               ThreadPool* pool, ParallelismBudget* intra_budget,
-               EvalMemo* memo);
+  /// Applies the server's default wall-clock budget when the query did
+  /// not choose one. Call before the session is queued.
+  void ApplyDefaultDeadline(std::uint64_t deadline_ms);
+
+  /// Pins the graph epoch this query executes against. Called once by
+  /// the driver that first pops the session (under the server's mutex,
+  /// so a concurrent reload either re-points the session before the
+  /// bind or observes the bind and applies its cancel policy). The
+  /// shared_ptr keeps the old graph alive across reloads until the
+  /// query finishes on it.
+  void Bind(std::shared_ptr<const AttributedGraph> graph, std::uint64_t epoch);
+  bool bound() const;
+  std::uint64_t pinned_epoch() const;
+  std::shared_ptr<const AttributedGraph> pinned_graph() const;
+
+  /// Driver-only: the null model for the pinned graph, attached once
+  /// after Bind (built outside the server mutex; shared_ptr so a
+  /// reload pruning the server's model cache never invalidates it).
+  void set_null_model(std::shared_ptr<ExpectationModel> model) {
+    null_model_ = std::move(model);
+  }
+  bool needs_null_model() const {
+    return spec_.options.min_delta > 0 && null_model_ == nullptr;
+  }
+
+  /// Runs one budgeted engine segment on the calling (driver) thread
+  /// against the pinned graph and returns true when the session is
+  /// terminal (done / cancelled / failed) — false means "preempted,
+  /// re-enqueue me". `pool`, `intra_budget`, and `memo` are borrowed
+  /// for the duration of the call; any may be nullptr. Requires
+  /// Bind() first.
+  ///
+  /// Progress guarantee: a wall-clock slice discards in-flight frontier
+  /// entries whole (the byte-identity mechanism), so an entry slower
+  /// than the slice would otherwise be retried identically forever.
+  /// When a segment completes no entry, the next slice's budget is
+  /// doubled (and doubled again, geometrically) until one does, then
+  /// the policy budget is restored — every query makes forward
+  /// progress at any slice size.
+  bool ExecuteSlice(ThreadPool* pool, ParallelismBudget* intra_budget,
+                    EvalMemo* memo, const SlicePolicy& policy);
 
   /// Requests cancellation: a queued session becomes kCancelled
-  /// immediately; a running one has its token latched and reaches
-  /// kCancelled at the engine's next wave boundary; a terminal one is
-  /// untouched. Returns the state observed at the call.
+  /// immediately; a running one has its current slice's token latched
+  /// (or, when between slices, is reaped at its next slice) and
+  /// reaches kCancelled with the partial results harvested; a terminal
+  /// one is untouched. Returns the state observed at the call.
   QueryState Cancel();
 
   /// Blocks until the session is terminal.
   void WaitTerminal() const;
 
   /// Response JSON for status/submit-wait replies: id, state, timings,
-  /// memo + engine counters, and the sink-dependent result payload (in
-  /// terminal states). `graph` supplies attribute names; may be nullptr.
+  /// slice count, memo + engine counters, and the sink-dependent
+  /// result payload (in terminal states). `graph` supplies attribute
+  /// names when the session never bound one; the pinned graph wins.
   JsonValue Describe(const AttributedGraph* graph) const;
 
   // Terminal-state accessors for in-process callers (tests, smoke
@@ -116,30 +168,59 @@ class QuerySession {
   }
   double queue_wait_ms() const;
   double wall_ms() const;
+  /// Engine segments run so far.
+  std::uint64_t slices() const;
 
  private:
-  bool MarkRunning();
-  void Finish(QueryState state, Result<MiningRun> outcome);
+  /// Remaining-budget slice bounds; false when the query budget is
+  /// already spent (caller terminalizes as a budget-cut kDone).
+  bool RemainingBudget(const SlicePolicy& policy, EngineBudget* out) const;
+  bool QueryBudgetSpent() const;
+  /// Publishes the terminal state: harvests the sinks (except on
+  /// kFailed), moves the cumulative run into place, notifies waiters.
+  void Terminalize(QueryState state, Status error);
 
   const std::uint64_t id_;
-  const QuerySpec spec_;
-  CancelToken token_;
+  QuerySpec spec_;  // deadline default applied before queueing
 
   mutable std::mutex mutex_;
   mutable std::condition_variable terminal_cv_;
   QueryState state_ = QueryState::kQueued;
   bool cancel_requested_ = false;
+  /// The running slice's stack-local token (a CancelToken latches
+  /// forever, so every slice gets a fresh one; Cancel() latches
+  /// whichever is current).
+  CancelToken* live_token_ = nullptr;
+  std::uint64_t slices_ = 0;
+  // Execution pins, written by Bind under mutex_.
+  std::shared_ptr<const AttributedGraph> graph_;
+  std::uint64_t epoch_ = 0;
   std::chrono::steady_clock::time_point submitted_;
   double queue_wait_ms_ = 0.0;
   double wall_ms_ = 0.0;
 
+  // Driver-only execution progress: owned by the driver thread holding
+  // the session; handoff between drivers is sequenced by the server's
+  // queue mutex.
+  std::shared_ptr<ExpectationModel> null_model_;
+  std::unique_ptr<RequestSinks> sinks_;
+  MiningRun cum_;  // cumulative across segments
+  EngineCheckpoint checkpoint_;
+  bool has_checkpoint_ = false;
+  /// Zero-progress escalation: multiplies the slice policy's budgets
+  /// after a segment that completed no frontier entry; reset to 1 the
+  /// moment a segment makes progress.
+  std::uint64_t stall_factor_ = 1;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_at_;
+
   // Outcome, published under mutex_ at the terminal transition.
   Status error_;
   MiningRun run_;
-  ScpmResult result_;                                    // accumulate
+  ScpmResult result_;                                       // accumulate
   std::vector<StructuralCorrelationPattern> top_patterns_;  // topk
-  std::uint64_t topk_sets_seen_ = 0;                     // topk
-  std::uint64_t jsonl_lines_ = 0;                        // jsonl
+  std::uint64_t topk_sets_seen_ = 0;                        // topk
+  std::uint64_t jsonl_lines_ = 0;                           // jsonl
 };
 
 /// Engine counters as a JSON object (sorted keys; field names match
