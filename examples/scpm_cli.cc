@@ -50,6 +50,7 @@
 // written if --checkpoint was given), 1 = runtime error, 2 = usage error.
 // Unknown flags and flags missing their value are usage errors.
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -78,7 +79,7 @@ void Usage() {
                "[--simd 0|1] [--chunked 0|1] [--top-n N] "
                "[--sink accumulate|jsonl] [--out FILE] [--deadline-ms MS] "
                "[--max-evals N] [--max-patterns N] [--checkpoint FILE] "
-               "[--resume FILE]\n"
+               "[--checkpoint-interval-ms MS] [--resume FILE]\n"
                "run scpm_cli --help for the full flag reference\n";
 }
 
@@ -131,6 +132,10 @@ void Help() {
       "                     frontier boundary; 0 = none (0)\n"
       "  --max-patterns N   emitted-pattern budget, same discipline (0)\n"
       "  --checkpoint FILE  write the frontier checkpoint on a budget cut\n"
+      "  --checkpoint-interval-ms MS  also rewrite --checkpoint this often\n"
+      "                     while mining (atomic tmp+rename replace, so a\n"
+      "                     crash leaves the previous snapshot); 0 = only\n"
+      "                     on a budget cut (0)\n"
       "  --resume FILE      continue from a previous run's checkpoint\n"
       "\n"
       "Other:\n"
@@ -167,6 +172,7 @@ int main(int argc, char** argv) {
   std::size_t top_n = 10;
   std::string out_path;
   std::string checkpoint_path;
+  std::uint64_t checkpoint_interval_ms = 0;
   std::string resume_path;
 
   for (int i = 3; i < argc; i += 2) {
@@ -242,6 +248,8 @@ int main(int argc, char** argv) {
       budget.max_patterns = static_cast<std::uint64_t>(std::atoll(value));
     } else if (flag == "--checkpoint") {
       checkpoint_path = value;
+    } else if (flag == "--checkpoint-interval-ms") {
+      checkpoint_interval_ms = static_cast<std::uint64_t>(std::atoll(value));
     } else if (flag == "--resume") {
       resume_path = value;
     } else {
@@ -261,6 +269,29 @@ int main(int argc, char** argv) {
     request.jsonl_stream = &std::cout;
   } else {
     request.jsonl_path = out_path;
+  }
+  if (checkpoint_interval_ms != 0) {
+    if (checkpoint_path.empty()) {
+      std::cerr << "--checkpoint-interval-ms requires --checkpoint\n";
+      Usage();
+      return 2;
+    }
+    // Periodic durability: between waves, replace the checkpoint file
+    // atomically (write-to-temp + rename) so a kill at any moment
+    // leaves either the previous or the new complete snapshot.
+    request.checkpoint_interval_ms = checkpoint_interval_ms;
+    request.on_checkpoint = [&checkpoint_path](
+                                const scpm::EngineCheckpoint& cp,
+                                const scpm::EngineProgress&) {
+      const std::string tmp = checkpoint_path + ".tmp";
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out.is_open() || !cp.Save(out).ok()) return;
+      out.close();
+      if (!out.good() ||
+          std::rename(tmp.c_str(), checkpoint_path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+      }
+    };
   }
   request.ApplyProcessToggles();
   scpm::Status valid = request.Validate();

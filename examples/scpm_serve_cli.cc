@@ -6,11 +6,16 @@
 // shutdown). Run `scpm_serve_cli --help` for the flag reference; see
 // examples/server_client.py for a minimal client.
 
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "graph/io.h"
@@ -24,9 +29,21 @@ void Usage() {
   std::cerr << "usage: scpm_serve_cli <edges.txt> <attrs.txt> --socket PATH "
                "[--threads T] [--max-concurrent C] [--queue-depth Q] "
                "[--memo-mb MB] [--memo-shards S] [--slice-ms MS] "
-               "[--slice-evals N] [--default-deadline-ms MS] [--simd 0|1] "
-               "[--chunked 0|1]\n"
+               "[--slice-evals N] [--default-deadline-ms MS] "
+               "[--state-dir PATH] [--checkpoint-interval-ms MS] "
+               "[--simd 0|1] [--chunked 0|1]\n"
                "run scpm_serve_cli --help for the full flag reference\n";
+}
+
+/// SIGTERM/SIGINT self-pipe: the handler only writes a byte; a waiter
+/// thread does the actual (mutex-taking) drain.
+int g_signal_pipe[2] = {-1, -1};
+volatile std::sig_atomic_t g_signaled = 0;
+
+void OnSignal(int) {
+  g_signaled = 1;
+  const char byte = 0;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
 }
 
 // Contract with scripts/check_docs.py: the "--flag" lines below must
@@ -63,13 +80,23 @@ void Help() {
       "                     0 = unbounded (0)\n"
       "  --default-deadline-ms MS  wall-clock budget applied to queries\n"
       "                     that specify no deadline_ms; 0 = none (0)\n"
+      "  --state-dir PATH   durable state directory: queries journal on\n"
+      "                     admit, snapshot periodically, and are resumed\n"
+      "                     by the next server started on the same\n"
+      "                     directory after a crash (off)\n"
+      "  --checkpoint-interval-ms MS  how often a running query's\n"
+      "                     snapshot is persisted under --state-dir (1000)\n"
       "  --simd B           process-wide SIMD word-kernel dispatch; 0\n"
       "                     pins the scalar path (1)\n"
       "  --chunked B        process-wide chunked mid-density sets (1)\n"
       "  --help             print this reference and exit 0\n"
       "\n"
-      "Exit codes: 0 = clean shutdown (shutdown op received), 1 = runtime\n"
-      "error, 2 = usage error.\n";
+      "SIGTERM/SIGINT drain cleanly: admissions stop, running queries are\n"
+      "suspended and (with --state-dir) their snapshots persisted, then\n"
+      "the server exits 0.\n"
+      "\n"
+      "Exit codes: 0 = clean shutdown (shutdown op received or signal\n"
+      "drain), 1 = runtime error, 2 = usage error.\n";
 }
 
 }  // namespace
@@ -116,6 +143,11 @@ int main(int argc, char** argv) {
     } else if (flag == "--default-deadline-ms") {
       options.default_deadline_ms =
           static_cast<std::uint64_t>(std::atoll(value));
+    } else if (flag == "--state-dir") {
+      options.state_dir = value;
+    } else if (flag == "--checkpoint-interval-ms") {
+      options.checkpoint_interval_ms =
+          static_cast<std::uint64_t>(std::atoll(value));
     } else if (flag == "--simd") {
       scpm::SetSimdDispatch(std::atoi(value) != 0);
     } else if (flag == "--chunked") {
@@ -148,7 +180,42 @@ int main(int argc, char** argv) {
   // A wire "reload" with no paths re-reads the files this server was
   // started from.
   server.set_reload_paths(argv[1], argv[2]);
+  // Crash recovery before the drivers start: replay the journal, resume
+  // what the previous process left behind.
+  const scpm::Status recovered = server.Recover();
+  if (!recovered.ok()) {
+    std::cerr << "recovery failed: " << recovered << "\n";
+    return 1;
+  }
+  for (const std::string& warning : server.recovery_warnings()) {
+    std::cerr << "recovery: " << warning << "\n";
+  }
+  if (server.recovered_queries() > 0) {
+    std::cerr << "recovered " << server.recovered_queries()
+              << " interrupted queries\n";
+  }
   server.Start();
+
+  // SIGTERM/SIGINT = clean drain, not an abort: the handler pokes the
+  // self-pipe, the drainer thread stops admissions, suspends running
+  // queries, persists their snapshots, and wakes Serve().
+  std::thread drainer;
+  if (::pipe(g_signal_pipe) == 0) {
+    struct sigaction action{};
+    action.sa_handler = OnSignal;
+    ::sigemptyset(&action.sa_mask);
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+    drainer = std::thread([&server] {
+      char byte;
+      while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+      }
+      if (g_signaled != 0) {
+        std::cerr << "signal received: draining\n";
+        server.Drain();
+      }
+    });
+  }
   std::cerr << "serving on " << socket_path << " (threads="
             << options.threads << " max_concurrent=" << options.max_concurrent
             << " queue_depth=" << options.queue_depth << " memo="
@@ -156,10 +223,17 @@ int main(int argc, char** argv) {
             << options.slice_ms << " slice_evals=" << options.slice_evals
             << ")\n";
   scpm::Status served = server.Serve(socket_path);
+  if (drainer.joinable()) {
+    // Release the drainer if no signal arrived (clean shutdown op);
+    // Drain() after Shutdown() is a no-op.
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+    drainer.join();
+  }
   if (!served.ok()) {
     std::cerr << "serve failed: " << served << "\n";
     return 1;
   }
-  std::cerr << "shut down cleanly\n";
+  std::cerr << (g_signaled != 0 ? "drained cleanly\n" : "shut down cleanly\n");
   return 0;
 }

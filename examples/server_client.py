@@ -14,9 +14,20 @@ client implementation for it.
 """
 
 import json
+import random
 import socket
 import sys
 import threading
+import time
+
+# Admission retry policy: the server's bounded queue rejects overload
+# with code "resource-exhausted", which means "try again once load
+# drains" — so back off exponentially (with jitter, or every rejected
+# client retries in lockstep) up to a bounded number of attempts. Any
+# other error (including "server is draining") is final.
+MAX_ATTEMPTS = 6
+BACKOFF_BASE_S = 0.05
+BACKOFF_CAP_S = 2.0
 
 QUERIES = [
     {"gamma": 0.6, "min_size": 4, "sigma_min": 3, "eps_min": 0.5,
@@ -40,8 +51,23 @@ def request(sock_path, payload):
     return json.loads(buf)
 
 
+def submit_with_retry(sock_path, payload):
+    """Submits, retrying resource-exhausted rejects with jittered
+    exponential backoff; returns the last response after at most
+    MAX_ATTEMPTS tries."""
+    for attempt in range(MAX_ATTEMPTS):
+        response = request(sock_path, payload)
+        if response.get("ok") or response.get("code") != "resource-exhausted":
+            return response
+        if attempt == MAX_ATTEMPTS - 1:
+            break
+        delay = min(BACKOFF_CAP_S, BACKOFF_BASE_S * (2 ** attempt))
+        time.sleep(random.uniform(0, delay))
+    return response
+
+
 def run_query(sock_path, spec, slot, results):
-    results[slot] = request(
+    results[slot] = submit_with_retry(
         sock_path, {"op": "submit", "wait": True, "query": spec})
 
 

@@ -197,12 +197,16 @@ struct EntryCtx {
 /// the wave loop.
 class EngineRunner {
  public:
-  EngineRunner(const AttributedGraph& graph, const ScpmOptions& options,
-               const EngineBudget& budget, std::size_t wave,
-               ExpectationModel* null_model, PatternSink* sink,
-               const std::function<void(const EngineProgress&)>& progress,
-               ThreadPool* shared_pool, ParallelismBudget* shared_intra_budget,
-               EvalMemo* memo, CancelToken* cancel, bool hot_checkpoints)
+  EngineRunner(
+      const AttributedGraph& graph, const ScpmOptions& options,
+      const EngineBudget& budget, std::size_t wave,
+      ExpectationModel* null_model, PatternSink* sink,
+      const std::function<void(const EngineProgress&)>& progress,
+      std::uint64_t checkpoint_interval_ms,
+      const std::function<void(const EngineCheckpoint&, const EngineProgress&)>&
+          checkpoint_observer,
+      ThreadPool* shared_pool, ParallelismBudget* shared_intra_budget,
+      EvalMemo* memo, CancelToken* cancel, bool hot_checkpoints)
       : graph_(graph),
         options_(options),
         budget_(budget),
@@ -210,6 +214,8 @@ class EngineRunner {
         null_model_(null_model),
         sink_(sink),
         progress_(progress),
+        checkpoint_interval_ms_(checkpoint_interval_ms),
+        checkpoint_observer_(checkpoint_observer),
         memo_(memo),
         hot_checkpoints_(hot_checkpoints),
         // Slot count caps the intra-search branch tasks outstanding at
@@ -405,6 +411,7 @@ class EngineRunner {
                   std::chrono::milliseconds(budget_.deadline_ms);
       token_.SetDeadline(deadline_);
     }
+    auto last_snapshot = std::chrono::steady_clock::now();
     while (true) {
       if (has_error_.load()) return FirstError();
       if (frontier_.empty()) {
@@ -421,12 +428,26 @@ class EngineRunner {
         return Status::OK();
       }
       RunWave();
-      if (progress_) {
+      if (progress_ || checkpoint_observer_) {
         EngineProgress p;
         p.evaluations = total_.counters.attribute_sets_evaluated;
         p.emitted = emitted_;
+        p.patterns_emitted = patterns_emitted_;
         p.frontier_entries = frontier_.size();
-        progress_(p);
+        if (progress_) progress_(p);
+        // Periodic durability snapshot: a cold checkpoint copy handed
+        // out between waves, when the workers are parked and the
+        // frontier is entry-consistent. Skipped when the walk just
+        // finished — TakeRun() reports exhaustion instead.
+        if (checkpoint_observer_ && checkpoint_interval_ms_ != 0 &&
+            !(frontier_.empty() && !phase_roots_)) {
+          const auto now = std::chrono::steady_clock::now();
+          if (now - last_snapshot >=
+              std::chrono::milliseconds(checkpoint_interval_ms_)) {
+            checkpoint_observer_(BuildCheckpoint(/*hot=*/false), p);
+            last_snapshot = std::chrono::steady_clock::now();
+          }
+        }
       }
     }
   }
@@ -447,7 +468,7 @@ class EngineRunner {
     run.emitted = emitted_;
     run.patterns_emitted = patterns_emitted_;
     run.frontier_entries = frontier_.size();
-    if (!exhausted_) run.checkpoint = BuildCheckpoint();
+    if (!exhausted_) run.checkpoint = BuildCheckpoint(hot_checkpoints_);
     return run;
   }
 
@@ -1002,7 +1023,7 @@ class EngineRunner {
     return t;
   }
 
-  EngineCheckpoint BuildCheckpoint() {
+  EngineCheckpoint BuildCheckpoint(bool hot) {
     EngineCheckpoint cp;
     cp.num_vertices = graph_.NumVertices();
     cp.num_attributes = graph_.NumAttributes();
@@ -1017,7 +1038,7 @@ class EngineRunner {
         EngineCheckpoint::DoneRoot dr;
         dr.index = rs.index;
         dr.attr = rs.attr;
-        if (hot_checkpoints_) {
+        if (hot) {
           dr.hot_covered = rs.slot.covered;
           dr.hot_tidset = rs.slot.node.tidset;
         } else {
@@ -1048,7 +1069,7 @@ class EngineRunner {
           CoveredSetCache::Entry covered = cache_.Lookup(node.items);
           SCPM_CHECK(covered != nullptr)
               << "class member covered set missing at checkpoint";
-          if (hot_checkpoints_) {
+          if (hot) {
             member.hot_covered = std::move(covered);
             member.hot_tidset = node.tidset;
           } else {
@@ -1073,6 +1094,9 @@ class EngineRunner {
   ExpectationModel* null_model_;
   PatternSink* sink_;
   const std::function<void(const EngineProgress&)>& progress_;
+  const std::uint64_t checkpoint_interval_ms_;
+  const std::function<void(const EngineCheckpoint&, const EngineProgress&)>&
+      checkpoint_observer_;
   EvalMemo* memo_;
   const bool hot_checkpoints_;
 
@@ -1154,7 +1178,8 @@ Result<MiningRun> ScpmEngine::Run(const AttributedGraph& graph,
     return Status::InvalidArgument("sink must not be null");
   }
   EngineRunner runner(graph, options_, budget_, frontier_wave_, null_model_,
-                      sink, progress_, shared_pool_, shared_intra_budget_,
+                      sink, progress_, checkpoint_interval_ms_,
+                      checkpoint_observer_, shared_pool_, shared_intra_budget_,
                       memo_, cancel_, hot_checkpoints_);
   runner.SeedFresh();
   SCPM_RETURN_IF_ERROR(runner.Drive());
@@ -1169,7 +1194,8 @@ Result<MiningRun> ScpmEngine::Resume(const AttributedGraph& graph,
     return Status::InvalidArgument("sink must not be null");
   }
   EngineRunner runner(graph, options_, budget_, frontier_wave_, null_model_,
-                      sink, progress_, shared_pool_, shared_intra_budget_,
+                      sink, progress_, checkpoint_interval_ms_,
+                      checkpoint_observer_, shared_pool_, shared_intra_budget_,
                       memo_, cancel_, hot_checkpoints_);
   SCPM_RETURN_IF_ERROR(runner.SeedFromCheckpoint(checkpoint));
   SCPM_RETURN_IF_ERROR(runner.Drive());

@@ -218,6 +218,7 @@ struct MiningRun {
 struct EngineProgress {
   std::uint64_t evaluations = 0;
   std::uint64_t emitted = 0;
+  std::uint64_t patterns_emitted = 0;
   std::size_t frontier_entries = 0;
 };
 
@@ -247,6 +248,24 @@ class ScpmEngine {
   /// Observer invoked at every wave boundary (from the driving thread).
   void set_progress(std::function<void(const EngineProgress&)> progress) {
     progress_ = std::move(progress);
+  }
+
+  /// Periodic durability observer: at the first wave boundary at least
+  /// `interval_ms` after the previous snapshot (and after Run/Resume
+  /// entry), the observer receives a cold — serializable — checkpoint
+  /// of the remaining frontier plus the segment's progress so far, then
+  /// the run continues. The snapshot is a copy; hot checkpoints never
+  /// leak into it, so it may outlive the run and the process. The
+  /// observer runs on the driving thread between waves (workers are
+  /// parked), so it may do I/O without racing the engine. interval_ms
+  /// == 0 or a null observer disables periodic snapshots; neither
+  /// affects what is mined or the budget-cut checkpoint in MiningRun.
+  void set_checkpoint_observer(
+      std::uint64_t interval_ms,
+      std::function<void(const EngineCheckpoint&, const EngineProgress&)>
+          observer) {
+    checkpoint_interval_ms_ = interval_ms;
+    checkpoint_observer_ = std::move(observer);
   }
 
   /// Runs waves on a caller-owned pool instead of building one per
@@ -312,6 +331,9 @@ class ScpmEngine {
   EngineBudget budget_;
   std::size_t frontier_wave_ = 16;
   std::function<void(const EngineProgress&)> progress_;
+  std::uint64_t checkpoint_interval_ms_ = 0;
+  std::function<void(const EngineCheckpoint&, const EngineProgress&)>
+      checkpoint_observer_;
   ThreadPool* shared_pool_ = nullptr;
   ParallelismBudget* shared_intra_budget_ = nullptr;
   EvalMemo* memo_ = nullptr;

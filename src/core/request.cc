@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/fault.h"
 #include "util/hybrid_set.h"
 #include "util/simd_ops.h"
 
@@ -16,6 +17,10 @@ Status MiningRequest::Validate() const {
   if (sink == Sink::kTopK && sink_k == 0) {
     return Status::InvalidArgument("sink_k must be >= 1");
   }
+  if (checkpoint_interval_ms != 0 && on_checkpoint == nullptr) {
+    return Status::InvalidArgument(
+        "checkpoint_interval_ms requires an on_checkpoint callback");
+  }
   return Status::OK();
 }
 
@@ -26,6 +31,9 @@ void MiningRequest::ApplyProcessToggles() const {
 
 Result<std::unique_ptr<RequestSinks>> RequestSinks::Create(
     const MiningRequest& request, const AttributedGraph* graph) {
+  if (FaultInjector::Instance().ShouldFail(fault::kAlloc)) {
+    return Status::ResourceExhausted("injected fault: sink allocation");
+  }
   auto sinks = std::unique_ptr<RequestSinks>(new RequestSinks());
   switch (request.sink) {
     case MiningRequest::Sink::kAccumulate:
@@ -36,8 +44,8 @@ Result<std::unique_ptr<RequestSinks>> RequestSinks::Create(
         sinks->jsonl_ =
             std::make_unique<JsonlSink>(request.jsonl_stream, graph);
       } else {
-        Result<std::unique_ptr<JsonlSink>> opened =
-            JsonlSink::Create(request.jsonl_path, graph);
+        Result<std::unique_ptr<JsonlSink>> opened = JsonlSink::Create(
+            request.jsonl_path, graph, request.jsonl_append);
         SCPM_RETURN_IF_ERROR(opened.status());
         sinks->jsonl_ = std::move(opened).value();
       }
@@ -79,6 +87,10 @@ Result<MiningResponse> ExecuteRequest(const AttributedGraph& graph,
 
   ScpmEngine engine(request.options, null_model);
   engine.set_budget(request.budget);
+  if (request.checkpoint_interval_ms != 0) {
+    engine.set_checkpoint_observer(request.checkpoint_interval_ms,
+                                   request.on_checkpoint);
+  }
   Result<MiningRun> run =
       resume != nullptr ? engine.Resume(graph, *resume, (*sinks)->sink())
                         : engine.Run(graph, (*sinks)->sink());

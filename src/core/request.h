@@ -46,6 +46,10 @@ struct MiningRequest {
   /// streams to stdout); with neither, kJsonl is invalid.
   std::string jsonl_path;
   std::ostream* jsonl_stream = nullptr;
+  /// Recovery plumbing, never wire-settable: open jsonl_path appending
+  /// instead of truncating, so a resumed run extends the lines its
+  /// earlier segments already made durable.
+  bool jsonl_append = false;
   /// kTopK: patterns retained.
   std::size_t sink_k = 10;
 
@@ -56,6 +60,15 @@ struct MiningRequest {
   /// unset (the wire binder rejects them).
   std::optional<bool> simd;
   std::optional<bool> chunked;
+
+  /// Periodic durability: with both set, the engine hands `on_checkpoint`
+  /// a cold (serializable) snapshot of the remaining frontier at wave
+  /// boundaries at least `checkpoint_interval_ms` apart, while the run
+  /// continues. This is the auto-checkpoint hook the CLI and the query
+  /// server build crash recovery on; it never changes what is mined.
+  std::uint64_t checkpoint_interval_ms = 0;
+  std::function<void(const EngineCheckpoint&, const EngineProgress&)>
+      on_checkpoint;
 
   /// The one validation gate for every front door: options.Validate()
   /// plus the request-level rules (jsonl needs a destination, sink_k
@@ -97,6 +110,12 @@ class RequestSinks {
   /// Harvests the sink payload into `response` (whose `run` the caller
   /// has already filled). Call once, after the final segment.
   void Harvest(const MiningRequest& request, MiningResponse* response);
+
+  /// Lines the jsonl sink has written so far (0 for other sinks); the
+  /// server journals this at every durability snapshot.
+  std::uint64_t jsonl_lines() const {
+    return jsonl_ != nullptr ? jsonl_->lines_written() : 0;
+  }
 
  private:
   RequestSinks() = default;

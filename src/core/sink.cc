@@ -75,8 +75,9 @@ ScpmResult AccumulatingSink::TakeResult() {
 }
 
 Result<std::unique_ptr<JsonlSink>> JsonlSink::Create(
-    const std::string& path, const AttributedGraph* graph) {
-  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+    const std::string& path, const AttributedGraph* graph, bool append) {
+  auto file = std::make_unique<std::ofstream>(
+      path, append ? std::ios::app : std::ios::trunc);
   if (!file->is_open()) {
     return Status::IoError("cannot open JSONL output: " + path);
   }

@@ -95,9 +95,12 @@ class JsonlSink : public PatternSink {
   explicit JsonlSink(std::ostream* os, const AttributedGraph* graph = nullptr)
       : os_(os), graph_(graph) {}
 
-  /// Owning variant: opens `path` for truncating write.
+  /// Owning variant: opens `path` for truncating write — or, with
+  /// `append` set, appends after the lines already there (crash
+  /// recovery resumes a cut run into its own output file).
   static Result<std::unique_ptr<JsonlSink>> Create(
-      const std::string& path, const AttributedGraph* graph = nullptr);
+      const std::string& path, const AttributedGraph* graph = nullptr,
+      bool append = false);
 
   Status Emit(const SinkKey& key, AttributeSetOutput output) override;
 

@@ -8,10 +8,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <fstream>
 #include <utility>
 
 #include "core/engine.h"
 #include "graph/io.h"
+#include "util/fault.h"
 
 namespace scpm {
 
@@ -20,6 +22,9 @@ namespace {
 /// Writes the whole buffer, retrying partial writes; SIGPIPE suppressed
 /// so a client hanging up mid-response just fails the send.
 bool SendAll(int fd, const std::string& data) {
+  if (FaultInjector::Instance().ShouldFail(fault::kSocketSend)) {
+    return false;  // simulated client hang-up mid-response
+  }
   std::size_t off = 0;
   while (off < data.size()) {
     const ssize_t n =
@@ -31,6 +36,24 @@ bool SendAll(int fd, const std::string& data) {
     off += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+/// Truncates `path` after its first `lines` newline-terminated lines.
+/// Returns false when the file holds fewer lines than that (the durable
+/// count outran the file — the snapshot can't be resumed against it).
+bool TruncateToLines(const std::string& path, std::uint64_t lines) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return lines == 0;
+  std::uint64_t seen = 0;
+  std::uint64_t offset = 0;
+  char c;
+  while (seen < lines && in.get(c)) {
+    ++offset;
+    if (c == '\n') ++seen;
+  }
+  in.close();
+  if (seen < lines) return false;
+  return ::truncate(path.c_str(), static_cast<off_t>(offset)) == 0;
 }
 
 }  // namespace
@@ -101,13 +124,180 @@ void ScpmServer::Shutdown() {
   }
 }
 
+Status ScpmServer::Recover() {
+  if (options_.state_dir.empty()) return Status::OK();
+  Result<std::unique_ptr<StateStore>> opened =
+      StateStore::Open(options_.state_dir);
+  if (!opened.ok()) return opened.status();
+
+  std::unique_ptr<StateStore> store = std::move(opened).value();
+  const RecoveryScan scan = store->Scan();
+  recovery_warnings_ = scan.warnings;
+
+  std::shared_ptr<const AttributedGraph> graph;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (started_ || stopping_) {
+      return Status::Internal("Recover() must run before Start()");
+    }
+    graph = graph_;
+  }
+  const std::uint64_t vertices =
+      static_cast<std::uint64_t>(graph->NumVertices());
+  const std::uint64_t edges = graph->graph().NumEdges();
+  const std::uint64_t attributes = graph->NumAttributes();
+  // Epoch adoption: same graph shape -> continue the journal's epoch
+  // (checkpoints stay valid); different shape -> everything in the
+  // journal is stale, move past its epoch so the scan's own epoch
+  // filter would discard it even on a later scan.
+  const bool shape_matches = scan.epoch != 0 && scan.vertices == vertices &&
+                             scan.edges == edges &&
+                             scan.attributes == attributes;
+  std::uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (scan.epoch != 0) epoch_ = shape_matches ? scan.epoch : scan.epoch + 1;
+    if (scan.max_id >= next_id_) next_id_ = scan.max_id + 1;
+    epoch = epoch_;
+    store_ = std::move(store);
+  }
+  if (memo_ != nullptr) memo_->BeginEpoch(epoch);
+  (void)store_->AppendServer(epoch, vertices, edges, attributes);
+
+  if (scan.epoch != 0 && !shape_matches) {
+    for (const RecoveredQuery& q : scan.queries) {
+      recovery_warnings_.push_back(
+          "query " + std::to_string(q.id) +
+          " pinned a graph whose shape changed; discarded as stale");
+    }
+    return Status::OK();
+  }
+
+  for (const RecoveredQuery& q : scan.queries) {
+    Result<QuerySpec> parsed = ParseQuerySpec(q.query);
+    if (!parsed.ok()) {
+      recovery_warnings_.push_back("query " + std::to_string(q.id) +
+                                   " has an unparseable journaled spec (" +
+                                   parsed.status().ToString() + "); discarded");
+      continue;
+    }
+    QuerySpec spec = std::move(parsed).value();
+    // Where can the query restart? Resuming mid-walk needs both a valid
+    // snapshot bound to this graph+options AND a sink whose emitted
+    // prefix is durable. Only jsonl qualifies: its lines are on disk,
+    // truncated here to the snapshot's atomically-counted prefix (lines
+    // written after the snapshot re-emit on resume). Accumulate/topk
+    // sinks lose their in-memory state with the process, so they re-run
+    // from scratch — the engine is deterministic, the client still gets
+    // the byte-identical result, just recomputed.
+    bool resume = q.has_checkpoint;
+    if (resume && (q.checkpoint.num_vertices != graph->NumVertices() ||
+                   q.checkpoint.num_edges != edges ||
+                   q.checkpoint.num_attributes != attributes ||
+                   q.checkpoint.options_fingerprint !=
+                       ScpmEngine::OptionsFingerprint(
+                           spec.options, spec.options.min_delta > 0.0))) {
+      recovery_warnings_.push_back(
+          "query " + std::to_string(q.id) +
+          " checkpoint does not bind to the current graph/options; "
+          "re-running from scratch");
+      resume = false;
+    }
+    if (resume && spec.sink != QuerySpec::Sink::kJsonl) resume = false;
+    if (resume && !TruncateToLines(spec.jsonl_path, q.jsonl_lines)) {
+      recovery_warnings_.push_back(
+          "query " + std::to_string(q.id) + " output " + spec.jsonl_path +
+          " is shorter than its snapshot recorded; re-running from scratch");
+      resume = false;
+    }
+
+    auto session = std::make_shared<QuerySession>(q.id, std::move(spec));
+    session->ApplyDefaultDeadline(options_.default_deadline_ms);
+    session->EnableDurability(store_.get(), options_.checkpoint_interval_ms);
+    if (resume) {
+      session->SeedRecovered(q.checkpoint, q.emitted, q.patterns_emitted,
+                             q.jsonl_lines);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      sessions_.emplace(session->id(), session);
+      // fresh=false: recovered queries were admitted before the crash
+      // and bypass the admission queue_depth on the way back in.
+      queue_.push_back(QueueItem{session, /*fresh=*/false});
+      ++recovered_queries_;
+    }
+    queue_cv_.notify_one();
+  }
+  return Status::OK();
+}
+
+void ScpmServer::Drain() {
+  std::vector<std::thread> drivers;
+  std::vector<std::shared_ptr<QuerySession>> live;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || draining_) return;
+    draining_ = true;
+    drivers.swap(drivers_);
+    for (const auto& [id, session] : sessions_) {
+      if (!session->terminal()) live.push_back(session);
+    }
+  }
+  queue_cv_.notify_all();
+  // Suspend in a loop until the drivers are gone: a driver that was
+  // between queue pop and slice start when the first sweep ran only
+  // registers its token afterwards, so one latch pass isn't enough.
+  std::atomic<bool> joined{false};
+  std::thread suspender([&live, &joined] {
+    while (!joined.load()) {
+      for (const std::shared_ptr<QuerySession>& session : live) {
+        session->Suspend();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+  for (std::thread& t : drivers) t.join();
+  joined.store(true);
+  suspender.join();
+  // Single-threaded now: persist every suspended query's latest
+  // snapshot so Recover() on this state_dir resumes instead of
+  // re-running. Best-effort, like all durability writes.
+  if (store_ != nullptr) {
+    for (const std::shared_ptr<QuerySession>& session : live) {
+      if (session->terminal()) {
+        JournalTerminal(*session);
+      } else {
+        session->PersistSnapshot(store_.get());
+      }
+    }
+  }
+  // Wake a blocking Serve() loop the same way Shutdown() does.
+  const int wake = serve_wake_fd_.load();
+  if (wake >= 0) {
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t n = ::write(wake, &byte, 1);
+  }
+}
+
+std::uint64_t ScpmServer::recovered_queries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recovered_queries_;
+}
+
 Result<std::shared_ptr<QuerySession>> ScpmServer::Submit(QuerySpec spec) {
   std::shared_ptr<QuerySession> session;
+  std::uint64_t epoch = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
       ++rejected_;
       return Status::Internal("server is shutting down");
+    }
+    if (draining_) {
+      // Deliberately NOT kResourceExhausted: a drain never un-fills, so
+      // retry loops keyed on that code must not spin against it.
+      ++rejected_;
+      return Status::Internal("server is draining");
     }
     if (queued_fresh_ >= options_.queue_depth) {
       ++rejected_;
@@ -117,10 +307,21 @@ Result<std::shared_ptr<QuerySession>> ScpmServer::Submit(QuerySpec spec) {
     }
     session = std::make_shared<QuerySession>(next_id_++, std::move(spec));
     session->ApplyDefaultDeadline(options_.default_deadline_ms);
+    if (store_ != nullptr) {
+      session->EnableDurability(store_.get(), options_.checkpoint_interval_ms);
+    }
     sessions_.emplace(session->id(), session);
     queue_.push_back(QueueItem{session, /*fresh=*/true});
     ++queued_fresh_;
     ++submitted_;
+    epoch = epoch_;
+  }
+  // Journal the admission outside the lock (fsync per record). Best
+  // effort like every durability write: on failure the query still runs,
+  // it just won't be recovered after a crash.
+  if (store_ != nullptr) {
+    (void)store_->AppendAdmit(session->id(), epoch,
+                              QuerySpecToJson(session->spec()));
   }
   queue_cv_.notify_one();
   return session;
@@ -137,7 +338,20 @@ Result<QueryState> ScpmServer::Cancel(std::uint64_t id) {
   if (session == nullptr) {
     return Status::NotFound("no query with id " + std::to_string(id));
   }
-  return session->Cancel();
+  const QueryState observed = session->Cancel();
+  // Cancelled-while-queued terminalizes synchronously, with no driver
+  // pickup guaranteed to follow (drain!) — journal the terminal here.
+  // Running sessions terminalize on their driver, which journals then;
+  // a duplicate record (driver still pops the queued session) is
+  // harmless, the scan keeps terminal state idempotent.
+  if (observed == QueryState::kQueued) JournalTerminal(*session);
+  return observed;
+}
+
+void ScpmServer::JournalTerminal(const QuerySession& session) {
+  if (store_ == nullptr) return;
+  (void)store_->AppendTerminal(session.id(), QueryStateName(session.state()));
+  store_->RemoveCheckpoint(session.id());
 }
 
 std::shared_ptr<const AttributedGraph> ScpmServer::graph() const {
@@ -218,7 +432,14 @@ void ScpmServer::DriverLoop() {
     QueueItem item;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      queue_cv_.wait(lock, [this] {
+        return stopping_ || draining_ || !queue_.empty();
+      });
+      // Draining: exit immediately, leaving the queue as-is — Drain()
+      // persists the suspended sessions once the drivers are gone.
+      // (Shutdown instead drains the queue: every item left is
+      // cancelled and terminalizes on pickup.)
+      if (draining_) return;
       if (queue_.empty()) return;  // stopping_, nothing left to drain
       item = std::move(queue_.front());
       queue_.pop_front();
@@ -230,6 +451,7 @@ void ScpmServer::DriverLoop() {
       if (!item.session->bound()) item.session->Bind(graph_, epoch_);
     }
     const bool terminal = RunSlice(item.session);
+    if (terminal) JournalTerminal(*item.session);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --running_;
@@ -282,6 +504,8 @@ JsonValue ScpmServer::Stats() const {
     out.Set("running", JsonValue(std::uint64_t{running_}));
     out.Set("epoch", JsonValue(epoch_));
     out.Set("reloads", JsonValue(reloads_));
+    out.Set("draining", JsonValue(draining_));
+    out.Set("recovered_queries", JsonValue(recovered_queries_));
     JsonValue graph = JsonValue::MakeObject();
     graph.Set("vertices",
               JsonValue(static_cast<std::uint64_t>(graph_->NumVertices())));
@@ -325,6 +549,24 @@ JsonValue ScpmServer::Stats() const {
     memo.Set("max_bytes", JsonValue(std::uint64_t{options_.memo.max_bytes}));
   }
   out.Set("memo", std::move(memo));
+
+  out.Set("uptime_ms",
+          JsonValue(std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - started_at_)
+                        .count()));
+  JsonValue durability = JsonValue::MakeObject();
+  durability.Set("enabled", JsonValue(store_ != nullptr));
+  if (store_ != nullptr) {
+    const JournalStats js = store_->stats();
+    durability.Set("state_dir", JsonValue(options_.state_dir));
+    durability.Set("checkpoint_interval_ms",
+                   JsonValue(options_.checkpoint_interval_ms));
+    durability.Set("journal_appends", JsonValue(js.appends));
+    durability.Set("journal_fsyncs", JsonValue(js.fsyncs));
+    durability.Set("checkpoint_writes", JsonValue(js.checkpoint_writes));
+    durability.Set("io_errors", JsonValue(js.io_errors));
+  }
+  out.Set("durability", std::move(durability));
   return out;
 }
 
@@ -449,7 +691,9 @@ std::string ScpmServer::HandleRequest(const std::string& line) {
     JsonValue out = JsonValue::MakeObject();
     out.Set("ok", JsonValue(true));
     if (op == "cancel") {
-      const QueryState observed = session->Cancel();
+      // Through the server, not the session: cancel-while-queued must
+      // also journal the terminal record.
+      const QueryState observed = Cancel(id).value();
       out.Set("id", JsonValue(id));
       out.Set("was", JsonValue(QueryStateName(observed)));
       out.Set("state", JsonValue(QueryStateName(session->state())));

@@ -40,6 +40,7 @@
 #define SCPM_SERVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -55,6 +56,7 @@
 #include "graph/attributed_graph.h"
 #include "nullmodel/expectation.h"
 #include "server/json.h"
+#include "server/journal.h"
 #include "server/memo.h"
 #include "server/session.h"
 #include "util/result.h"
@@ -88,6 +90,14 @@ struct ServerOptions {
   /// Wall-clock budget applied to queries that specify no deadline_ms
   /// of their own; 0 = none.
   std::uint64_t default_deadline_ms = 0;
+  /// Durable state directory (journal + per-query checkpoints). Empty =
+  /// no durability; set it and call Recover() before Start() to arm
+  /// auto-checkpointing and crash recovery.
+  std::string state_dir;
+  /// How often a running query's snapshot is persisted, both by the
+  /// engine's between-wave observer and at slice boundaries. Used only
+  /// with state_dir set.
+  std::uint64_t checkpoint_interval_ms = 1000;
 };
 
 /// What happens to queries pinned to the old graph at Reload().
@@ -116,6 +126,37 @@ class ScpmServer {
   /// Stops admission, cancels every queued and running query, and joins
   /// the drivers. Idempotent; implied by the destructor.
   void Shutdown();
+
+  /// Crash recovery + durability arming. With options().state_dir set,
+  /// opens the state store, replays the journal, and re-admits every
+  /// interrupted query of the last epoch — resuming jsonl queries from
+  /// their snapshot (output truncated to the durably counted lines, so
+  /// the final file is byte-identical to an uninterrupted run), and
+  /// re-running accumulate/topk queries from scratch (their sink state
+  /// is in-memory only; the deterministic engine reproduces the same
+  /// result). Stale state — foreign epoch, changed graph shape, torn
+  /// checkpoint, malformed spec — is discarded with a typed warning
+  /// (see recovery_warnings()), never an error. Adopts the journal's
+  /// epoch when the graph still matches, else bumps past it. Call once,
+  /// before Start(); a no-op without a state_dir.
+  Status Recover();
+
+  /// Clean drain for SIGTERM: stops admissions (typed kInternal
+  /// reject), suspends running queries at their next wave boundary,
+  /// joins the drivers, persists every non-terminal query's snapshot,
+  /// and wakes a blocking Serve(). Unlike Shutdown(), nothing is
+  /// cancelled — a later Recover() on the same state_dir resumes the
+  /// suspended queries. Idempotent; Shutdown() after it is a no-op.
+  void Drain();
+
+  /// Human-readable notes from the last Recover() — stale or torn state
+  /// that was discarded. Empty on a clean recovery.
+  const std::vector<std::string>& recovery_warnings() const {
+    return recovery_warnings_;
+  }
+
+  /// Queries Recover() re-admitted (also in Stats()).
+  std::uint64_t recovered_queries() const;
 
   /// Admission control: enqueues a session or rejects it. Rejection is
   /// typed — StatusCode::kResourceExhausted when the fresh-query queue
@@ -183,8 +224,14 @@ class ScpmServer {
   JsonValue ErrorResponse(const Status& status) const;
   JsonValue HandleReload(const JsonValue& request);
 
+  /// Best-effort terminal bookkeeping for one finished query: journal
+  /// record + checkpoint removal. No-op without a state store.
+  void JournalTerminal(const QuerySession& session);
+
   const ServerOptions options_;
   const SlicePolicy slice_policy_;
+  const std::chrono::steady_clock::time_point started_at_ =
+      std::chrono::steady_clock::now();
 
   std::unique_ptr<ThreadPool> pool_;
   /// Server-wide intra-search slot pool shared by all concurrent
@@ -207,10 +254,17 @@ class ScpmServer {
   std::vector<std::thread> drivers_;
   bool started_ = false;
   bool stopping_ = false;
+  bool draining_ = false;
   std::uint64_t next_id_ = 1;
   std::uint64_t submitted_ = 0;
   std::uint64_t rejected_ = 0;
   std::size_t running_ = 0;
+  std::uint64_t recovered_queries_ = 0;
+
+  /// Durable state (journal + checkpoints); nullptr until Recover()
+  /// opens it. The store synchronizes internally.
+  std::unique_ptr<StateStore> store_;
+  std::vector<std::string> recovery_warnings_;  // written by Recover() only
 
   std::mutex null_models_mutex_;
   std::map<std::tuple<std::uint64_t, double, std::uint32_t>,

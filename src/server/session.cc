@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <utility>
 
 #include "core/statistics.h"
 #include "graph/attributed_graph.h"
+#include "server/journal.h"
+#include "util/fault.h"
 #include "util/simd_ops.h"
 
 namespace scpm {
@@ -225,6 +228,59 @@ Result<QuerySpec> ParseQuerySpec(const JsonValue& query) {
   return spec;
 }
 
+JsonValue QuerySpecToJson(const QuerySpec& spec) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("gamma", JsonValue(spec.options.quasi_clique.gamma));
+  out.Set("min_size",
+          JsonValue(std::uint64_t{spec.options.quasi_clique.min_size}));
+  out.Set("sigma_min", JsonValue(std::uint64_t{spec.options.min_support}));
+  out.Set("eps_min", JsonValue(spec.options.min_epsilon));
+  out.Set("delta_min", JsonValue(spec.options.min_delta));
+  out.Set("top_k", JsonValue(std::uint64_t{spec.options.top_k}));
+  out.Set("scope",
+          JsonValue(spec.options.pattern_scope == PatternScope::kTopK
+                        ? "topk"
+                        : "maximal"));
+  out.Set("order", JsonValue(spec.options.search_order == SearchOrder::kDfs
+                                 ? "dfs"
+                                 : "bfs"));
+  // "Unlimited" is spelled by absence: SIZE_MAX does not survive the
+  // JSON double round-trip.
+  if (spec.options.max_attribute_set_size !=
+      std::numeric_limits<std::size_t>::max()) {
+    out.Set("max_set_size",
+            JsonValue(std::uint64_t{spec.options.max_attribute_set_size}));
+  }
+  out.Set("min_report_size",
+          JsonValue(std::uint64_t{spec.options.min_report_size}));
+  out.Set("collect_patterns", JsonValue(spec.options.collect_patterns));
+  out.Set("batch_grain",
+          JsonValue(std::uint64_t{spec.options.eval_batch_grain}));
+  out.Set("intra_min",
+          JsonValue(std::uint64_t{spec.options.intra_search_min_universe}));
+  out.Set("intra_depth",
+          JsonValue(std::uint64_t{spec.options.intra_search_spawn_depth}));
+  out.Set("hybrid", JsonValue(spec.options.use_hybrid_sets));
+  out.Set("deadline_ms", JsonValue(spec.budget.deadline_ms));
+  out.Set("max_evals", JsonValue(spec.budget.max_evaluations));
+  out.Set("max_patterns", JsonValue(spec.budget.max_patterns));
+  switch (spec.sink) {
+    case QuerySpec::Sink::kAccumulate:
+      out.Set("sink", JsonValue("accumulate"));
+      break;
+    case QuerySpec::Sink::kJsonl:
+      out.Set("sink", JsonValue("jsonl"));
+      out.Set("out", JsonValue(spec.jsonl_path));
+      break;
+    case QuerySpec::Sink::kTopK:
+      out.Set("sink", JsonValue("topk"));
+      out.Set("sink_k", JsonValue(std::uint64_t{spec.sink_k}));
+      break;
+  }
+  out.Set("max_rows", JsonValue(std::uint64_t{spec.max_rows}));
+  return out;
+}
+
 QuerySession::QuerySession(std::uint64_t id, QuerySpec spec)
     : id_(id),
       spec_(std::move(spec)),
@@ -246,6 +302,41 @@ bool QuerySession::terminal() const {
 
 void QuerySession::ApplyDefaultDeadline(std::uint64_t deadline_ms) {
   if (spec_.budget.deadline_ms == 0) spec_.budget.deadline_ms = deadline_ms;
+}
+
+void QuerySession::EnableDurability(StateStore* store,
+                                    std::uint64_t interval_ms) {
+  store_ = store;
+  persist_interval_ms_ = interval_ms;
+}
+
+void QuerySession::SeedRecovered(EngineCheckpoint checkpoint,
+                                 std::uint64_t emitted,
+                                 std::uint64_t patterns_emitted,
+                                 std::uint64_t jsonl_lines) {
+  checkpoint_ = std::move(checkpoint);
+  has_checkpoint_ = true;
+  cum_.emitted = emitted;
+  cum_.patterns_emitted = patterns_emitted;
+  jsonl_base_lines_ = jsonl_lines;
+  spec_.jsonl_append = true;
+}
+
+void QuerySession::Suspend() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Latch the slice token WITHOUT cancel_requested_: the engine cuts at
+  // the next wave boundary, the checkpoint is kept, and the query stays
+  // resumable — BudgetHit() treats an externally latched token as a cut.
+  if (live_token_ != nullptr) live_token_->RequestCancel();
+}
+
+void QuerySession::PersistSnapshot(StateStore* store) {
+  if (store == nullptr || !has_checkpoint_) return;
+  const std::uint64_t lines =
+      jsonl_base_lines_ + (sinks_ != nullptr ? sinks_->jsonl_lines() : 0);
+  (void)store->WriteCheckpoint(id_, checkpoint_, cum_.emitted,
+                               cum_.patterns_emitted, lines);
+  (void)store->AppendProgress(id_, cum_.emitted, lines);
 }
 
 void QuerySession::Bind(std::shared_ptr<const AttributedGraph> graph,
@@ -337,7 +428,9 @@ void QuerySession::Terminalize(QueryState state, Status error) {
       result_ = std::move(harvested.result);
       top_patterns_ = std::move(harvested.top_patterns);
       topk_sets_seen_ = harvested.top_sets_seen;
-      jsonl_lines_ = harvested.jsonl_lines;
+      // File-cumulative for recovered queries: the lines the output
+      // file held before the crash plus what this incarnation appended.
+      jsonl_lines_ = harvested.jsonl_lines + jsonl_base_lines_;
     }
     if (!error.ok()) {
       error_ = std::move(error);
@@ -378,6 +471,7 @@ bool QuerySession::ExecuteSlice(ThreadPool* pool,
       return true;
     }
     sinks_ = std::move(created).value();
+    last_persist_ = std::chrono::steady_clock::now();
     if (spec_.budget.deadline_ms != 0) {
       // The query deadline is absolute from the first slice: time a
       // preempted query spends re-queued counts against it.
@@ -411,11 +505,34 @@ bool QuerySession::ExecuteSlice(ThreadPool* pool,
   engine.set_shared_pool(pool, intra_budget);
   engine.set_eval_memo(memo);
   engine.set_hot_checkpoints(true);
+  if (store_ != nullptr && persist_interval_ms_ != 0) {
+    // Periodic durability: the engine hands out cold snapshots between
+    // waves on this (driver) thread, so cum_/sinks_ access is safe.
+    // Counters are cumulative across segments and crashes; write
+    // failures are counted by the store and never fail the query.
+    engine.set_checkpoint_observer(
+        persist_interval_ms_,
+        [this](const EngineCheckpoint& cp, const EngineProgress& p) {
+          const std::uint64_t lines =
+              jsonl_base_lines_ + sinks_->jsonl_lines();
+          (void)store_->WriteCheckpoint(id_, cp, cum_.emitted + p.emitted,
+                                        cum_.patterns_emitted +
+                                            p.patterns_emitted,
+                                        lines);
+          (void)store_->AppendProgress(id_, cum_.emitted + p.emitted, lines);
+          last_persist_ = std::chrono::steady_clock::now();
+        });
+  }
   // A CancelToken latches forever (a slice deadline would otherwise
   // poison every later segment), so each slice runs on a fresh
   // stack-local token registered for external Cancel().
   CancelToken slice_token;
   engine.set_cancel_token(&slice_token);
+  if (FaultInjector::Instance().ShouldFail(fault::kSliceCancel)) {
+    // Simulated mid-slice preemption: the segment cuts at its first
+    // wave boundary and the query is re-enqueued, never cancelled.
+    slice_token.RequestCancel();
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (cancel_requested_) {
@@ -475,6 +592,18 @@ bool QuerySession::ExecuteSlice(ThreadPool* pool,
   } else {
     checkpoint_ = std::move(segment->checkpoint);
     has_checkpoint_ = true;
+  }
+
+  // Slice-end durability: the engine's own observer never fires when
+  // slices are shorter than the interval (each segment restarts its
+  // clock), so the driver also persists here once the interval lapses.
+  if (store_ != nullptr && persist_interval_ms_ != 0 && has_checkpoint_) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_persist_ >=
+        std::chrono::milliseconds(persist_interval_ms_)) {
+      PersistSnapshot(store_);
+      last_persist_ = std::chrono::steady_clock::now();
+    }
   }
 
   // Explicit cancellation beats every other verdict: a Cancel() racing

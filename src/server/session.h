@@ -54,6 +54,7 @@
 namespace scpm {
 
 class ParallelismBudget;
+class StateStore;
 class ThreadPool;
 
 /// Session lifecycle. Terminal states: kDone, kCancelled, kFailed.
@@ -79,6 +80,13 @@ struct QuerySpec : MiningRequest {
 /// options, and are rejected here with a pointed message.
 Result<QuerySpec> ParseQuerySpec(const JsonValue& query);
 
+/// Inverse of ParseQuerySpec: the wire object that re-parses to `spec`.
+/// Every member ParseQuerySpec knows is emitted explicitly (round-trip
+/// does not depend on defaults staying put), except members whose
+/// absence IS the value (max_set_size when unlimited) and sink extras
+/// that don't apply. The server journals this for crash recovery.
+JsonValue QuerySpecToJson(const QuerySpec& spec);
+
 /// Per-slice budget the server grants each ExecuteSlice call. Both
 /// zero means "run to the query's own budget" (no preemption).
 struct SlicePolicy {
@@ -101,6 +109,36 @@ class QuerySession {
   /// Applies the server's default wall-clock budget when the query did
   /// not choose one. Call before the session is queued.
   void ApplyDefaultDeadline(std::uint64_t deadline_ms);
+
+  /// Arms durability: each slice registers the engine's periodic
+  /// checkpoint observer, and the driver additionally persists at slice
+  /// end when `interval_ms` has elapsed since the last snapshot (engine
+  /// observers alone never fire when slices are shorter than the
+  /// interval — each segment restarts the engine's clock). Persistence
+  /// is best-effort: I/O failures are counted by the store and the
+  /// query keeps running. Call before queueing; `store` must outlive
+  /// the session.
+  void EnableDurability(StateStore* store, std::uint64_t interval_ms);
+
+  /// Seeds a crash-recovered session from its persisted snapshot so the
+  /// first slice resumes instead of starting fresh. `jsonl_lines` is
+  /// the durable line count already in the output file (the sink then
+  /// appends, and reported totals stay file-cumulative). Call before
+  /// queueing, only for jsonl-sink queries.
+  void SeedRecovered(EngineCheckpoint checkpoint, std::uint64_t emitted,
+                     std::uint64_t patterns_emitted, std::uint64_t jsonl_lines);
+
+  /// Asks the running slice (if any) to cut at the next wave boundary
+  /// WITHOUT cancelling the query: ExecuteSlice returns false with the
+  /// checkpoint retained, exactly like a slice-budget preemption. The
+  /// drain path uses this to suspend live queries quickly.
+  void Suspend();
+
+  /// Persists the latest snapshot + cumulative counters to `store`
+  /// (best-effort, like every durability write). Driver-side state:
+  /// call only when no slice is running — e.g. at drain, after the
+  /// drivers joined. No-op without a checkpoint.
+  void PersistSnapshot(StateStore* store);
 
   /// Pins the graph epoch this query executes against. Called once by
   /// the driver that first pops the session (under the server's mutex,
@@ -213,6 +251,14 @@ class QuerySession {
   std::uint64_t stall_factor_ = 1;
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_at_;
+  // Durability (driver-only, like the fields above). jsonl_base_lines_
+  // is the durable line count a recovered session's output file already
+  // held; snapshots and reported totals add it so they stay
+  // file-cumulative across crashes.
+  StateStore* store_ = nullptr;
+  std::uint64_t persist_interval_ms_ = 0;
+  std::chrono::steady_clock::time_point last_persist_;
+  std::uint64_t jsonl_base_lines_ = 0;
 
   // Outcome, published under mutex_ at the terminal transition.
   Status error_;

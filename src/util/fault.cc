@@ -1,0 +1,131 @@
+#include "util/fault.h"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace scpm {
+
+namespace {
+
+std::mutex g_mutex;
+
+/// splitmix64: tiny, statistically solid, and stable across platforms —
+/// the whole point is that a seed reproduces the same failure schedule
+/// everywhere.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashName(const char* s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+FaultInjector::FaultInjector() {
+  const char* spec = std::getenv("SCPM_FAULT_SPEC");
+  if (spec != nullptr && *spec != '\0') {
+    Configure(spec);
+    return;
+  }
+  const char* seed = std::getenv("SCPM_FAULT_SEED");
+  if (seed != nullptr && *seed != '\0') {
+    Seed(std::strtoull(seed, nullptr, 10));
+  }
+}
+
+bool FaultInjector::Configure(const std::string& spec) {
+  std::vector<Script> scripts;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string term = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (term.empty()) continue;
+    const std::size_t eq = term.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    Script s;
+    s.point = term.substr(0, eq);
+    char* rest = nullptr;
+    const std::string count = term.substr(eq + 1);
+    s.nth_hit = std::strtoull(count.c_str(), &rest, 10);
+    if (count.empty() || rest == nullptr || *rest != '\0') return false;
+    scripts.push_back(std::move(s));
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  scripts_ = std::move(scripts);
+  seeded_ = false;
+  per_point_hits_.clear();
+  armed_.store(!scripts_.empty(), std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::Seed(std::uint64_t seed, std::uint32_t permille) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  scripts_.clear();
+  seeded_ = true;
+  seed_ = seed;
+  permille_ = permille > 1000 ? 1000 : permille;
+  per_point_hits_.clear();
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  scripts_.clear();
+  seeded_ = false;
+  per_point_hits_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  injected_.store(0, std::memory_order_relaxed);
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFail(const char* point) {
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t* hit_count = nullptr;
+  for (auto& [name, count] : per_point_hits_) {
+    if (name == point) {
+      hit_count = &count;
+      break;
+    }
+  }
+  if (hit_count == nullptr) {
+    per_point_hits_.emplace_back(point, 0);
+    hit_count = &per_point_hits_.back().second;
+  }
+  const std::uint64_t hit = (*hit_count)++;
+  bool fail = false;
+  if (seeded_) {
+    const std::uint64_t draw = Mix(seed_ ^ Mix(HashName(point) + hit));
+    fail = draw % 1000 < permille_;
+  } else {
+    for (Script& s : scripts_) {
+      if (!s.fired && s.point == point && s.nth_hit == hit) {
+        s.fired = true;
+        fail = true;
+        break;
+      }
+    }
+  }
+  if (fail) injected_.fetch_add(1, std::memory_order_relaxed);
+  return fail;
+}
+
+}  // namespace scpm
