@@ -1,0 +1,115 @@
+// Distributed-mining bench: one CiteSeer-like workload mined through
+// the src/dist/ coordinator while sweeping worker count {1, 2, 4} with
+// fault injection off and on (a worker kill + a dropped heartbeat per
+// run). Every cell is checked byte-identical to the single-process
+// reference before its timing is reported, so a determinism break
+// fails the bench, not just the trend gate. With SCPM_BENCH_JSON set
+// the rows feed scripts/bench_trend.py like every other bench.
+
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "core/request.h"
+#include "dist/dist.h"
+#include "util/fault.h"
+#include "util/timer.h"
+
+namespace {
+
+using scpm::bench::JsonReport;
+
+scpm::MiningRequest Request() {
+  scpm::MiningRequest request;
+  request.options.quasi_clique.gamma = 0.5;
+  request.options.quasi_clique.min_size = 5;
+  request.options.min_support = 12;
+  request.options.min_epsilon = 0.02;
+  request.options.top_k = 5;
+  return request;
+}
+
+bool SameRun(const scpm::MiningRun& a, const scpm::MiningRun& b) {
+  return a.emitted == b.emitted && a.patterns_emitted == b.patterns_emitted &&
+         a.counters.attribute_sets_evaluated ==
+             b.counters.attribute_sets_evaluated &&
+         a.counters.coverage_candidates == b.counters.coverage_candidates &&
+         a.counters.bitmap_intersections == b.counters.bitmap_intersections;
+}
+
+}  // namespace
+
+int main() {
+  scpm::bench::Banner(
+      "Distributed mining: worker count x fault toggle",
+      "coordinator + forked workers vs single-process ExecuteRequest");
+  JsonReport json("dist");
+
+  scpm::SyntheticConfig config =
+      scpm::CiteSeerLikeConfig(scpm::bench::Scale(0.5));
+  config.seed = 7;
+  scpm::Result<scpm::SyntheticDataset> dataset =
+      scpm::GenerateSynthetic(config);
+  if (!dataset.ok()) {
+    std::cerr << "generation failed: " << dataset.status() << "\n";
+    return 1;
+  }
+  const scpm::AttributedGraph& graph = dataset->graph;
+  std::cout << "dataset: " << graph.NumVertices() << " vertices, "
+            << graph.graph().NumEdges() << " edges, "
+            << graph.NumAttributes() << " attributes\n";
+
+  scpm::WallTimer timer;
+  scpm::Result<scpm::MiningResponse> reference =
+      scpm::ExecuteRequest(graph, Request());
+  if (!reference.ok()) {
+    std::cerr << "single-process reference failed: " << reference.status()
+              << "\n";
+    return 1;
+  }
+  const double single = timer.ElapsedSeconds();
+  std::cout << "single-process: " << reference->run.emitted
+            << " attribute sets in " << single << " s\n";
+  json.Add("single_process", "workers=0 faults=off", single);
+
+  for (const bool faults : {false, true}) {
+    for (const std::size_t workers : {1, 2, 4}) {
+      // One worker killed on its first lease and one heartbeat
+      // swallowed per run: the retry/backoff path is part of the cost
+      // being tracked.
+      const char* spec = faults ? "worker-kill:0=0,heartbeat-drop:1=1" : "";
+      if (!scpm::FaultInjector::Instance().Configure(spec).ok()) {
+        std::cerr << "fault spec rejected\n";
+        return 1;
+      }
+      scpm::dist::DistOptions dist;
+      dist.workers = workers;
+      dist.lease_ms = 500;
+      dist.backoff_ms = 5;
+      scpm::dist::DistStats stats;
+      timer.Reset();
+      scpm::Result<scpm::MiningResponse> response =
+          scpm::dist::Mine(graph, Request(), dist, nullptr, &stats);
+      const double seconds = timer.ElapsedSeconds();
+      (void)scpm::FaultInjector::Instance().Configure("");
+      if (!response.ok()) {
+        std::cerr << "distributed run failed: " << response.status() << "\n";
+        return 1;
+      }
+      if (!SameRun(response->run, reference->run)) {
+        std::cerr << "determinism break: workers=" << workers
+                  << " faults=" << (faults ? "on" : "off")
+                  << " diverged from single-process output\n";
+        return 1;
+      }
+      const std::string label = "workers=" + std::to_string(workers) +
+                                " faults=" + (faults ? "on" : "off");
+      std::cout << label << ": " << seconds << " s (batches=" << stats.batches
+                << " retries=" << stats.retries
+                << " inline=" << stats.inline_fallbacks << ")\n";
+      json.Add(faults ? "faults_on" : "faults_off", label, seconds,
+               "\"workers\":" + std::to_string(workers));
+    }
+  }
+  return json.Write() ? 0 : 1;
+}

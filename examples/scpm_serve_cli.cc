@@ -31,7 +31,7 @@ void Usage() {
                "[--memo-mb MB] [--memo-shards S] [--slice-ms MS] "
                "[--slice-evals N] [--default-deadline-ms MS] "
                "[--state-dir PATH] [--checkpoint-interval-ms MS] "
-               "[--simd 0|1] [--chunked 0|1]\n"
+               "[--dist-workers W] [--simd 0|1] [--chunked 0|1]\n"
                "run scpm_serve_cli --help for the full flag reference\n";
 }
 
@@ -86,6 +86,10 @@ void Help() {
       "                     directory after a crash (off)\n"
       "  --checkpoint-interval-ms MS  how often a running query's\n"
       "                     snapshot is persisted under --state-dir (1000)\n"
+      "  --dist-workers W   mine budgetless queries as one distributed\n"
+      "                     job across W forked worker processes with\n"
+      "                     leased, fault-tolerant batches (docs/DIST.md);\n"
+      "                     0 = off (0)\n"
       "  --simd B           process-wide SIMD word-kernel dispatch; 0\n"
       "                     pins the scalar path (1)\n"
       "  --chunked B        process-wide chunked mid-density sets (1)\n"
@@ -148,6 +152,8 @@ int main(int argc, char** argv) {
     } else if (flag == "--checkpoint-interval-ms") {
       options.checkpoint_interval_ms =
           static_cast<std::uint64_t>(std::atoll(value));
+    } else if (flag == "--dist-workers") {
+      options.dist_workers = static_cast<std::size_t>(std::atoll(value));
     } else if (flag == "--simd") {
       scpm::SetSimdDispatch(std::atoi(value) != 0);
     } else if (flag == "--chunked") {
@@ -162,6 +168,20 @@ int main(int argc, char** argv) {
     std::cerr << "--socket is required\n";
     Usage();
     return 2;
+  }
+  if (!options.state_dir.empty()) {
+    // Probe the state directory up front: an uncreatable path would
+    // otherwise surface only after the graph loaded and the socket
+    // bound, when clients may already be connecting to a server that
+    // cannot honor its durability contract.
+    scpm::Result<std::unique_ptr<scpm::StateStore>> probe =
+        scpm::StateStore::Open(options.state_dir);
+    if (!probe.ok()) {
+      std::cerr << "--state-dir " << options.state_dir
+                << " is unusable: " << probe.status() << "\n";
+      Usage();
+      return 2;
+    }
   }
 
   scpm::Result<scpm::AttributedGraph> loaded =

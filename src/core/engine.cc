@@ -206,7 +206,8 @@ class EngineRunner {
       const std::function<void(const EngineCheckpoint&, const EngineProgress&)>&
           checkpoint_observer,
       ThreadPool* shared_pool, ParallelismBudget* shared_intra_budget,
-      EvalMemo* memo, CancelToken* cancel, bool hot_checkpoints)
+      EvalMemo* memo, CancelToken* cancel, bool hot_checkpoints,
+      bool uncounted_seeding)
       : graph_(graph),
         options_(options),
         budget_(budget),
@@ -218,6 +219,7 @@ class EngineRunner {
         checkpoint_observer_(checkpoint_observer),
         memo_(memo),
         hot_checkpoints_(hot_checkpoints),
+        uncounted_seeding_(uncounted_seeding),
         // Slot count caps the intra-search branch tasks outstanding at
         // once across ALL evaluations: a huge-G(S) evaluation that grabs
         // slots is borrowing parallelism its sibling evaluations would
@@ -527,7 +529,13 @@ class EngineRunner {
 
   /// Kernel-counter sink for driver-side seeding work (resume tidset
   /// recomputation); folds into the engine totals like everything else.
-  SetOpStats* SeedSetStats() { return BundleSetStats(&total_); }
+  SetOpStats* SeedSetStats() {
+    // Distributed workers resume from cold batch checkpoints whose set
+    // representations a single-process run would never rebuild; leaving
+    // that reconstruction uncounted keeps summed worker counters
+    // byte-identical to one process mining the same lattice.
+    return uncounted_seeding_ ? nullptr : BundleSetStats(&total_);
+  }
 
   void RecordError(Status status) {
     {
@@ -1099,6 +1107,7 @@ class EngineRunner {
       checkpoint_observer_;
   EvalMemo* memo_;
   const bool hot_checkpoints_;
+  const bool uncounted_seeding_;
 
   // Shared by every worker's miner; must outlive owned_pool_ (declared
   // later, destroyed first) because draining tasks may still release
@@ -1180,7 +1189,7 @@ Result<MiningRun> ScpmEngine::Run(const AttributedGraph& graph,
   EngineRunner runner(graph, options_, budget_, frontier_wave_, null_model_,
                       sink, progress_, checkpoint_interval_ms_,
                       checkpoint_observer_, shared_pool_, shared_intra_budget_,
-                      memo_, cancel_, hot_checkpoints_);
+                      memo_, cancel_, hot_checkpoints_, uncounted_seeding_);
   runner.SeedFresh();
   SCPM_RETURN_IF_ERROR(runner.Drive());
   return runner.TakeRun();
@@ -1196,7 +1205,7 @@ Result<MiningRun> ScpmEngine::Resume(const AttributedGraph& graph,
   EngineRunner runner(graph, options_, budget_, frontier_wave_, null_model_,
                       sink, progress_, checkpoint_interval_ms_,
                       checkpoint_observer_, shared_pool_, shared_intra_budget_,
-                      memo_, cancel_, hot_checkpoints_);
+                      memo_, cancel_, hot_checkpoints_, uncounted_seeding_);
   SCPM_RETURN_IF_ERROR(runner.SeedFromCheckpoint(checkpoint));
   SCPM_RETURN_IF_ERROR(runner.Drive());
   return runner.TakeRun();

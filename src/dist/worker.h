@@ -1,0 +1,34 @@
+// The forked worker side of distributed mining.
+//
+// A worker is a fork of the coordinator taken before any mining ran:
+// it inherits the graph, the options, and the null model read-only
+// (copy-on-write, nothing is serialized), talks to the coordinator
+// over one inherited socketpair fd, and mines strictly single-threaded
+// — fork-safety under sanitizers, and the engine's determinism
+// contract makes single-threaded counters equal any thread count's.
+
+#ifndef SCPM_DIST_WORKER_H_
+#define SCPM_DIST_WORKER_H_
+
+#include <cstddef>
+
+#include "core/scpm.h"
+#include "graph/attributed_graph.h"
+
+namespace scpm {
+
+class ExpectationModel;
+
+namespace dist {
+
+/// Runs the worker loop on `fd` until an exit frame, peer EOF, or a
+/// fatal send failure. Returns the worker's exit code; the caller
+/// (the forked child) must _exit() with it — never exit(), the child
+/// shares the parent's stdio and atexit state.
+int WorkerMain(int fd, std::size_t worker_index, const AttributedGraph& graph,
+               const ScpmOptions& options, ExpectationModel* null_model);
+
+}  // namespace dist
+}  // namespace scpm
+
+#endif  // SCPM_DIST_WORKER_H_

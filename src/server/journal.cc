@@ -8,6 +8,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <utility>
 
 #include "util/fault.h"
@@ -129,7 +130,8 @@ Status StateStore::AppendTerminal(std::uint64_t id, const char* state) {
 Status StateStore::WriteCheckpoint(std::uint64_t id, const EngineCheckpoint& cp,
                                    std::uint64_t emitted,
                                    std::uint64_t patterns_emitted,
-                                   std::uint64_t jsonl_lines) {
+                                   std::uint64_t jsonl_lines,
+                                   const std::string& trailer) {
   const std::string path = CheckpointPath(id);
   const std::string tmp = path + ".tmp";
   {
@@ -152,7 +154,8 @@ Status StateStore::WriteCheckpoint(std::uint64_t id, const EngineCheckpoint& cp,
   }
   const std::string text = "scpm-query-meta 1 " + std::to_string(emitted) +
                            ' ' + std::to_string(patterns_emitted) + ' ' +
-                           std::to_string(jsonl_lines) + '\n' + cp.Serialize();
+                           std::to_string(jsonl_lines) + '\n' + cp.Serialize() +
+                           trailer;
   if (!WriteFully(fd, text)) {
     const std::string err = std::strerror(errno);
     ::close(fd);
@@ -299,6 +302,11 @@ RecoveryScan StateStore::Scan() const {
       if (loaded.ok()) {
         entry.query.checkpoint = std::move(loaded).value();
         entry.query.has_checkpoint = true;
+        // Everything past the snapshot's "end" token is the writer's
+        // trailer; hand it back byte-for-byte.
+        std::ostringstream rest;
+        rest << ckpt.rdbuf();
+        entry.query.trailer = rest.str();
       } else {
         scan.warnings.push_back("query " + std::to_string(id) +
                                 " checkpoint unreadable (" +

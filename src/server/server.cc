@@ -176,9 +176,13 @@ Status ScpmServer::Recover() {
   for (const RecoveredQuery& q : scan.queries) {
     Result<QuerySpec> parsed = ParseQuerySpec(q.query);
     if (!parsed.ok()) {
+      // Covers both malformed JSON members and well-formed specs that
+      // fail Validate() (ParseQuerySpec is the single gate); the typed
+      // status says which.
       recovery_warnings_.push_back("query " + std::to_string(q.id) +
-                                   " has an unparseable journaled spec (" +
-                                   parsed.status().ToString() + "); discarded");
+                                   " has a journaled spec the binder "
+                                   "rejects (" +
+                                   parsed.status().ToString() + "); skipped");
       continue;
     }
     QuerySpec spec = std::move(parsed).value();
@@ -475,6 +479,37 @@ bool ScpmServer::RunSlice(const std::shared_ptr<QuerySession>& session) {
     session->set_null_model(
         NullModelFor(session->spec().options, epoch, *graph));
   }
+  if (options_.dist_workers > 0 && session->DistEligible()) {
+    // Budgetless queries fork out into one fault-tolerant leased job
+    // (docs/DIST.md) and come back terminal in a single pickup.
+    dist::DistOptions dist_options;
+    dist_options.workers = options_.dist_workers;
+    dist::DistStats stats;
+    const bool terminal = session->ExecuteDistributed(dist_options, &stats);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++dist_queries_;
+      dist_lease_failures_ += stats.events.size();
+      dist_stats_.batches += stats.batches;
+      dist_stats_.heartbeat_timeouts += stats.heartbeat_timeouts;
+      dist_stats_.worker_exits += stats.worker_exits;
+      dist_stats_.corrupt_results += stats.corrupt_results;
+      dist_stats_.worker_failures += stats.worker_failures;
+      dist_stats_.retries += stats.retries;
+      dist_stats_.backoff_ms_total += stats.backoff_ms_total;
+      dist_stats_.inline_fallbacks += stats.inline_fallbacks;
+      if (dist_stats_.workers.size() < stats.workers.size()) {
+        dist_stats_.workers.resize(stats.workers.size());
+      }
+      for (std::size_t i = 0; i < stats.workers.size(); ++i) {
+        dist_stats_.workers[i].batches += stats.workers[i].batches;
+        dist_stats_.workers[i].reassignments += stats.workers[i].reassignments;
+        dist_stats_.workers[i].retries += stats.workers[i].retries;
+        dist_stats_.workers[i].backoff_ms += stats.workers[i].backoff_ms;
+      }
+    }
+    return terminal;
+  }
   if (memo_ == nullptr) {
     return session->ExecuteSlice(pool_.get(), &intra_budget_, nullptr,
                                  slice_policy_);
@@ -549,6 +584,34 @@ JsonValue ScpmServer::Stats() const {
     memo.Set("max_bytes", JsonValue(std::uint64_t{options_.memo.max_bytes}));
   }
   out.Set("memo", std::move(memo));
+
+  JsonValue dist = JsonValue::MakeObject();
+  dist.Set("enabled", JsonValue(options_.dist_workers > 0));
+  if (options_.dist_workers > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dist.Set("workers", JsonValue(std::uint64_t{options_.dist_workers}));
+    dist.Set("queries", JsonValue(dist_queries_));
+    dist.Set("batches", JsonValue(dist_stats_.batches));
+    dist.Set("retries", JsonValue(dist_stats_.retries));
+    dist.Set("heartbeat_timeouts", JsonValue(dist_stats_.heartbeat_timeouts));
+    dist.Set("worker_exits", JsonValue(dist_stats_.worker_exits));
+    dist.Set("corrupt_results", JsonValue(dist_stats_.corrupt_results));
+    dist.Set("worker_failures", JsonValue(dist_stats_.worker_failures));
+    dist.Set("inline_fallbacks", JsonValue(dist_stats_.inline_fallbacks));
+    dist.Set("backoff_ms_total", JsonValue(dist_stats_.backoff_ms_total));
+    dist.Set("lease_failures", JsonValue(dist_lease_failures_));
+    JsonValue workers = JsonValue::MakeArray();
+    for (const dist::DistWorkerStats& ws : dist_stats_.workers) {
+      JsonValue w = JsonValue::MakeObject();
+      w.Set("batches", JsonValue(ws.batches));
+      w.Set("reassignments", JsonValue(ws.reassignments));
+      w.Set("retries", JsonValue(ws.retries));
+      w.Set("backoff_ms", JsonValue(ws.backoff_ms));
+      workers.MutableArray()->push_back(std::move(w));
+    }
+    dist.Set("per_worker", std::move(workers));
+  }
+  out.Set("dist", std::move(dist));
 
   out.Set("uptime_ms",
           JsonValue(std::chrono::duration<double, std::milli>(

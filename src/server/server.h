@@ -53,6 +53,7 @@
 #include <utility>
 #include <vector>
 
+#include "dist/dist.h"
 #include "graph/attributed_graph.h"
 #include "nullmodel/expectation.h"
 #include "server/json.h"
@@ -98,6 +99,15 @@ struct ServerOptions {
   /// engine's between-wave observer and at slice boundaries. Used only
   /// with state_dir set.
   std::uint64_t checkpoint_interval_ms = 1000;
+  /// Distributed execution (docs/DIST.md): > 0 forks this many worker
+  /// processes per eligible query and mines it as one fault-tolerant
+  /// leased job instead of sliced segments. Eligible = an unlimited
+  /// budget after the default deadline applied (so default_deadline_ms
+  /// != 0 disables it for every query that doesn't opt out of
+  /// deadlines) and no crash-recovered snapshot. Distributed queries
+  /// bypass the shared pool, the memo, and per-query durability
+  /// snapshots (a crash re-runs them whole).
+  std::size_t dist_workers = 0;
 };
 
 /// What happens to queries pinned to the old graph at Reload().
@@ -260,6 +270,12 @@ class ScpmServer {
   std::uint64_t rejected_ = 0;
   std::size_t running_ = 0;
   std::uint64_t recovered_queries_ = 0;
+  /// Distributed-execution aggregates across every dist-routed query
+  /// (scalar counters summed, per-worker stats element-wise; events are
+  /// only counted here — each query's own events ride its session).
+  dist::DistStats dist_stats_;
+  std::uint64_t dist_queries_ = 0;
+  std::uint64_t dist_lease_failures_ = 0;
 
   /// Durable state (journal + checkpoints); nullptr until Recover()
   /// opens it. The store synchronizes internally.

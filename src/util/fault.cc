@@ -1,5 +1,7 @@
 #include "util/fault.h"
 
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 
@@ -8,6 +10,16 @@ namespace scpm {
 namespace {
 
 std::mutex g_mutex;
+
+/// Strips leading/trailing ASCII whitespace so "a = 1, b=2" parses the
+/// way a human who typed it into an env var expects.
+std::string Trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
 
 /// splitmix64: tiny, statistically solid, and stable across platforms —
 /// the whole point is that a seed reproduces the same failure schedule
@@ -38,7 +50,14 @@ FaultInjector& FaultInjector::Instance() {
 FaultInjector::FaultInjector() {
   const char* spec = std::getenv("SCPM_FAULT_SPEC");
   if (spec != nullptr && *spec != '\0') {
-    Configure(spec);
+    const Status status = Configure(spec);
+    if (!status.ok()) {
+      // Constructor runs at an arbitrary first use — a typed error has
+      // nowhere to return to, so report loudly instead of silently
+      // running the test without its faults armed.
+      std::fprintf(stderr, "scpm: ignoring SCPM_FAULT_SPEC: %s\n",
+                   status.ToString().c_str());
+    }
     return;
   }
   const char* seed = std::getenv("SCPM_FAULT_SEED");
@@ -47,23 +66,34 @@ FaultInjector::FaultInjector() {
   }
 }
 
-bool FaultInjector::Configure(const std::string& spec) {
+Status FaultInjector::Configure(const std::string& spec) {
   std::vector<Script> scripts;
   std::size_t begin = 0;
   while (begin <= spec.size()) {
     std::size_t end = spec.find(',', begin);
     if (end == std::string::npos) end = spec.size();
-    const std::string term = spec.substr(begin, end - begin);
+    const std::string term = Trim(spec.substr(begin, end - begin));
     begin = end + 1;
     if (term.empty()) continue;
     const std::size_t eq = term.find('=');
-    if (eq == std::string::npos || eq == 0) return false;
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault spec term '" + term +
+                                     "' is not of the form point=N");
+    }
     Script s;
-    s.point = term.substr(0, eq);
+    s.point = Trim(term.substr(0, eq));
+    if (s.point.empty()) {
+      return Status::InvalidArgument("fault spec term '" + term +
+                                     "' names no injection point");
+    }
     char* rest = nullptr;
-    const std::string count = term.substr(eq + 1);
+    const std::string count = Trim(term.substr(eq + 1));
     s.nth_hit = std::strtoull(count.c_str(), &rest, 10);
-    if (count.empty() || rest == nullptr || *rest != '\0') return false;
+    if (count.empty() || rest == nullptr || *rest != '\0') {
+      return Status::InvalidArgument("fault spec term '" + term +
+                                     "' needs a non-negative integer "
+                                     "hit index after '='");
+    }
     scripts.push_back(std::move(s));
   }
   std::lock_guard<std::mutex> lock(g_mutex);
@@ -71,7 +101,7 @@ bool FaultInjector::Configure(const std::string& spec) {
   seeded_ = false;
   per_point_hits_.clear();
   armed_.store(!scripts_.empty(), std::memory_order_relaxed);
-  return true;
+  return Status::OK();
 }
 
 void FaultInjector::Seed(std::uint64_t seed, std::uint32_t permille) {

@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace scpm {
 
 /// Well-known injection-point names, kept in one place so tests and
@@ -40,6 +42,13 @@ inline constexpr const char* kJournalWrite = "journal-write";
 inline constexpr const char* kCheckpointWrite = "checkpoint-write";
 inline constexpr const char* kSocketSend = "socket-send";
 inline constexpr const char* kSliceCancel = "slice-cancel";
+// Distributed-mining points. The coordinator forks one process per
+// worker, so each worker has its own injector (and hit counters): a
+// bare base name fires in *every* worker. To aim at one worker, dist
+// code consults "<base>:<worker-index>" alongside the base name.
+inline constexpr const char* kWorkerKill = "worker-kill";
+inline constexpr const char* kHeartbeatDrop = "heartbeat-drop";
+inline constexpr const char* kResultCorrupt = "result-corrupt";
 }  // namespace fault
 
 class FaultInjector {
@@ -50,10 +59,11 @@ class FaultInjector {
   static FaultInjector& Instance();
 
   /// Scripted mode: fail the `nth_hit` (0-based) of `point`; several
-  /// "point=N" terms may be comma-separated. Replaces any previous
-  /// arming. Returns false on a malformed spec (injector left
-  /// disarmed).
-  bool Configure(const std::string& spec);
+  /// "point=N" terms may be comma-separated, with whitespace around
+  /// terms and tokens ignored. Replaces any previous arming. A
+  /// malformed token yields kInvalidArgument naming it, and leaves the
+  /// injector disarmed.
+  Status Configure(const std::string& spec);
 
   /// Seeded mode: probabilistic-but-deterministic failures at every
   /// point, `permille` chances in 1000 per hit.

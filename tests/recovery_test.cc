@@ -117,7 +117,7 @@ ServerOptions DurableOptions(const std::string& state_dir) {
 TEST(FaultInjector, ScriptedNthHitFiresExactlyOnce) {
   FaultInjector& fi = FaultInjector::Instance();
   fi.Reset();
-  ASSERT_TRUE(fi.Configure("checkpoint-write=1"));
+  ASSERT_TRUE(fi.Configure("checkpoint-write=1").ok());
   EXPECT_TRUE(fi.armed());
   EXPECT_FALSE(fi.ShouldFail(fault::kCheckpointWrite));  // hit 0
   EXPECT_FALSE(fi.ShouldFail(fault::kJournalWrite));     // other point
@@ -132,9 +132,9 @@ TEST(FaultInjector, ScriptedNthHitFiresExactlyOnce) {
 TEST(FaultInjector, MalformedSpecLeavesDisarmed) {
   FaultInjector& fi = FaultInjector::Instance();
   fi.Reset();
-  EXPECT_FALSE(fi.Configure("not a spec"));
+  EXPECT_EQ(fi.Configure("not a spec").code(), StatusCode::kInvalidArgument);
   EXPECT_FALSE(fi.armed());
-  EXPECT_FALSE(fi.Configure("point="));
+  EXPECT_EQ(fi.Configure("point=").code(), StatusCode::kInvalidArgument);
   EXPECT_FALSE(fi.armed());
   fi.Reset();
 }
@@ -227,7 +227,7 @@ TEST(StateStore, CheckpointMetaRidesAtomicallyWithSnapshot) {
 
   // An injected I/O failure must leave the previous checkpoint intact:
   // same counters, same snapshot, typed error, io_errors counted.
-  ASSERT_TRUE(FaultInjector::Instance().Configure("checkpoint-write=0"));
+  ASSERT_TRUE(FaultInjector::Instance().Configure("checkpoint-write=0").ok());
   const Status failed =
       (*store)->WriteCheckpoint(1, cut->run.checkpoint, 999, 999, 999);
   EXPECT_EQ(failed.code(), StatusCode::kIoError);
@@ -259,7 +259,7 @@ TEST(StateStore, InjectedJournalFailureIsTypedAndCounted) {
   const std::string dir = TempDir("jfail");
   Result<std::unique_ptr<StateStore>> store = StateStore::Open(dir + "/state");
   ASSERT_TRUE(store.ok());
-  ASSERT_TRUE(fi.Configure("journal-write=1"));
+  ASSERT_TRUE(fi.Configure("journal-write=1").ok());
   EXPECT_TRUE((*store)->AppendServer(1, 1, 1, 1).ok());
   const Status failed = (*store)->AppendTerminal(1, "done");
   EXPECT_EQ(failed.code(), StatusCode::kIoError);
@@ -522,6 +522,47 @@ TEST(ServerRecovery, ChangedGraphShapeDiscardsEverything) {
   Result<std::shared_ptr<QuerySession>> fresh = server.Submit(QuerySpec{});
   ASSERT_TRUE(fresh.ok());
   EXPECT_GT((*fresh)->id(), 9u);
+}
+
+TEST(ServerRecovery, InvalidJournaledSpecWarnsTypedAndSkips) {
+  FaultInjector::Instance().Reset();
+  const std::string dir = TempDir("invalid");
+  auto graph = std::make_shared<const AttributedGraph>(RandomAttributed(5));
+  // Journal an admit whose JSON is perfectly well-formed but whose
+  // decoded QuerySpec fails Validate(): gamma outside (0, 1]. A crashed
+  // server could leave this behind only through a bug or a hand-edited
+  // journal — replay must not enqueue it, and must say why.
+  QuerySpec bad;
+  bad.options.quasi_clique.gamma = 1.5;
+  {
+    Result<std::unique_ptr<StateStore>> store =
+        StateStore::Open(dir + "/state");
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)
+                    ->AppendServer(
+                        1, static_cast<std::uint64_t>(graph->NumVertices()),
+                        graph->graph().NumEdges(), graph->NumAttributes())
+                    .ok());
+    ASSERT_TRUE((*store)->AppendAdmit(7, 1, QuerySpecToJson(bad)).ok());
+  }
+  ScpmServer server(graph, DurableOptions(dir + "/state"));
+  ASSERT_TRUE(server.Recover().ok());
+  EXPECT_EQ(server.recovered_queries(), 0u);
+  ASSERT_EQ(server.recovery_warnings().size(), 1u);
+  const std::string& warning = server.recovery_warnings()[0];
+  EXPECT_NE(warning.find("query 7"), std::string::npos) << warning;
+  // Typed: the warning carries the rejecting status code.
+  EXPECT_NE(warning.find("invalid-argument"), std::string::npos) << warning;
+  EXPECT_NE(warning.find("skipped"), std::string::npos) << warning;
+  // The skipped admit must not wedge the server: it starts, serves, and
+  // a fresh submission lands above the burned id.
+  server.Start();
+  Result<std::shared_ptr<QuerySession>> fresh = server.Submit(QuerySpec{});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT((*fresh)->id(), 7u);
+  (*fresh)->WaitTerminal();
+  EXPECT_EQ((*fresh)->state(), QueryState::kDone);
+  server.Shutdown();
 }
 
 TEST(ServerRecovery, DrainSuspendsPersistsAndRecovers) {

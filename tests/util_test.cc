@@ -8,6 +8,7 @@
 
 #include <atomic>
 
+#include "util/fault.h"
 #include "util/random.h"
 #include "util/result.h"
 #include "util/sorted_ops.h"
@@ -421,6 +422,72 @@ TEST(TimerTest, ElapsedIsNonNegativeAndMonotone) {
   EXPECT_GE(t2, t1);
   timer.Reset();
   EXPECT_GE(timer.ElapsedMillis(), 0.0);
+}
+
+// ------------------------------------------------------------ FaultInjector
+
+// Configure() parses the same grammar SCPM_FAULT_SPEC uses, so these
+// pin the env-spec contract: whitespace-tolerant, typed rejection.
+
+TEST(FaultSpecTest, TrimsWhitespaceAroundTermsAndTokens) {
+  FaultInjector& fi = FaultInjector::Instance();
+  fi.Reset();
+  ASSERT_TRUE(fi.Configure("  journal-write = 1 ,\tcheckpoint-write=0 ").ok());
+  EXPECT_TRUE(fi.armed());
+  EXPECT_TRUE(fi.ShouldFail(fault::kCheckpointWrite));   // hit 0
+  EXPECT_FALSE(fi.ShouldFail(fault::kJournalWrite));     // hit 0
+  EXPECT_TRUE(fi.ShouldFail(fault::kJournalWrite));      // hit 1
+  fi.Reset();
+}
+
+TEST(FaultSpecTest, MalformedTokensAreTypedErrorsNamingTheToken) {
+  FaultInjector& fi = FaultInjector::Instance();
+  fi.Reset();
+  const struct {
+    const char* spec;
+    const char* offending;
+  } cases[] = {
+      {"journal-write", "journal-write"},      // no '='
+      {"=3", "'=3'"},                          // no point name
+      {"   = 3 ", "'= 3'"},                    // whitespace-only point
+      {"journal-write=", "journal-write="},    // empty count
+      {"journal-write=x", "journal-write=x"},  // non-numeric count
+      {"journal-write=1x", "journal-write=1x"},
+      {"a=1,b=oops,c=2", "b=oops"},  // one bad term poisons the spec
+  };
+  for (const auto& c : cases) {
+    const Status status = fi.Configure(c.spec);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << c.spec;
+    EXPECT_NE(status.message().find(c.offending), std::string::npos)
+        << "expected '" << c.offending << "' in: " << status.message();
+    EXPECT_FALSE(fi.armed()) << c.spec;
+  }
+  fi.Reset();
+}
+
+TEST(FaultSpecTest, EmptyAndCommaOnlySpecsDisarmCleanly) {
+  FaultInjector& fi = FaultInjector::Instance();
+  fi.Reset();
+  ASSERT_TRUE(fi.Configure("journal-write=0").ok());
+  EXPECT_TRUE(fi.armed());
+  ASSERT_TRUE(fi.Configure("").ok());  // replaces previous arming
+  EXPECT_FALSE(fi.armed());
+  ASSERT_TRUE(fi.Configure(" , ,, ").ok());
+  EXPECT_FALSE(fi.armed());
+  fi.Reset();
+}
+
+TEST(FaultSpecTest, DynamicPointNamesScriptIndependently) {
+  // Dist code consults per-worker points like "worker-kill:2" — arbitrary
+  // names must script and count independently of their base name.
+  FaultInjector& fi = FaultInjector::Instance();
+  fi.Reset();
+  ASSERT_TRUE(fi.Configure("worker-kill:2=0").ok());
+  EXPECT_FALSE(fi.ShouldFail(fault::kWorkerKill));
+  EXPECT_FALSE(fi.ShouldFail("worker-kill:1"));
+  EXPECT_TRUE(fi.ShouldFail("worker-kill:2"));
+  EXPECT_FALSE(fi.ShouldFail("worker-kill:2"));  // scripted hits fire once
+  fi.Reset();
 }
 
 }  // namespace
