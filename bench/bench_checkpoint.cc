@@ -1,0 +1,194 @@
+// Checkpoint codec benchmark (ours; motivated by the binary v2 codec in
+// core/ckpt_codec.cc): text v1 vs binary v2 encode/decode time and
+// snapshot size on CiteSeer-scale frontiers, in both the roots-phase
+// (cold start) and tree-phase (deep lattice) shapes, encoding both hot
+// snapshots (straight off a budget cut, covered sets still live) and
+// cold ones (round-tripped through a parse, the crash-recovery path).
+//
+// The headline bound — binary at least 3x smaller than text on every
+// scenario — is asserted, so CI's bench-smoke run fails if structural
+// sharing regresses. Timings flow into BENCH_checkpoint.json for the
+// perf-trend gate.
+
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "bench_util.h"
+#include "core/ckpt_codec.h"
+#include "core/engine.h"
+#include "core/sink.h"
+
+namespace {
+
+scpm::ScpmOptions CiteseerOptions() {
+  scpm::ScpmOptions o;
+  o.quasi_clique.gamma = 0.5;
+  o.quasi_clique.min_size = 5;
+  // Permissive thresholds relative to bench_table4: the measurement
+  // wants deep frontiers (many live classes), not selective output.
+  o.min_support = 5;
+  o.min_epsilon = 0.0;
+  o.top_k = 3;
+  o.eval_batch_grain = 0;  // fine-grained batches so cuts land mid-phase
+  return o;
+}
+
+/// Budget-cuts (and resumes) the engine until the cut lands in the
+/// wanted phase, returning the hot frontier it left behind.
+scpm::EngineCheckpoint CutFrontier(const scpm::AttributedGraph& graph,
+                                   std::uint64_t max_evaluations,
+                                   bool want_roots_phase) {
+  const scpm::ScpmOptions options = CiteseerOptions();
+  scpm::EngineBudget budget;
+  budget.max_evaluations = max_evaluations;
+  scpm::EngineCheckpoint checkpoint;
+  for (int segment = 0; segment < 100000; ++segment) {
+    scpm::ScpmEngine engine(options, nullptr);
+    engine.set_budget(budget);
+    engine.set_frontier_wave(4);
+    scpm::AccumulatingSink sink;
+    scpm::Result<scpm::MiningRun> run =
+        segment == 0 ? engine.Run(graph, &sink)
+                     : engine.Resume(graph, checkpoint, &sink);
+    if (!run.ok()) {
+      std::cerr << "engine failed: " << run.status() << "\n";
+      std::exit(1);
+    }
+    if (run->exhausted) {
+      std::cerr << "lattice exhausted before a "
+                << (want_roots_phase ? "roots" : "tree")
+                << "-phase cut; raise the dataset scale\n";
+      std::exit(1);
+    }
+    checkpoint = std::move(run->checkpoint);
+    if (checkpoint.in_roots_phase == want_roots_phase) return checkpoint;
+  }
+  std::cerr << "no cut landed in the wanted phase\n";
+  std::exit(1);
+}
+
+/// Mean seconds per call of `fn` over enough iterations to be stable at
+/// smoke scale.
+template <typename Fn>
+double TimePerCall(const Fn& fn, int iters = 20) {
+  fn();  // warm-up, and faults out early
+  scpm::WallTimer timer;
+  for (int i = 0; i < iters; ++i) fn();
+  return timer.ElapsedSeconds() / iters;
+}
+
+struct CodecNumbers {
+  std::size_t bytes = 0;
+  double encode_s = 0;
+  double decode_s = 0;
+};
+
+CodecNumbers Measure(const scpm::EngineCheckpoint& cp,
+                     scpm::CheckpointFormat format) {
+  CodecNumbers out;
+  const std::string encoded = cp.Serialize(format);
+  out.bytes = encoded.size();
+  std::size_t guard = 0;
+  out.encode_s = TimePerCall([&] { guard += cp.Serialize(format).size(); });
+  out.decode_s = TimePerCall([&] {
+    scpm::Result<scpm::EngineCheckpoint> parsed =
+        scpm::EngineCheckpoint::Parse(encoded);
+    if (!parsed.ok()) {
+      std::cerr << "decode failed: " << parsed.status() << "\n";
+      std::exit(1);
+    }
+    guard += parsed->classes.size();
+  });
+  if (guard == SIZE_MAX) std::cout << "";  // keep the work observable
+  return out;
+}
+
+/// Benches one frontier; returns false when the 3x size bound fails.
+bool BenchScenario(scpm::bench::JsonReport* report, const std::string& name,
+                   const scpm::EngineCheckpoint& cp) {
+  const CodecNumbers text = Measure(cp, scpm::CheckpointFormat::kText);
+  const CodecNumbers bin = Measure(cp, scpm::CheckpointFormat::kBinary);
+  const double ratio =
+      bin.bytes > 0 ? static_cast<double>(text.bytes) / bin.bytes : 0;
+  std::cout << std::left << std::setw(26) << name << std::right
+            << std::setw(10) << text.bytes << std::setw(10) << bin.bytes
+            << std::setw(8) << std::fixed << std::setprecision(2) << ratio
+            << std::setw(12) << std::setprecision(1)
+            << text.encode_s * 1e6 << std::setw(12) << bin.encode_s * 1e6
+            << std::setw(12) << text.decode_s * 1e6 << std::setw(12)
+            << bin.decode_s * 1e6 << "\n";
+  const auto extra = [&](std::size_t bytes) {
+    std::ostringstream os;
+    os << "\"bytes\":" << bytes << ",\"ratio\":" << ratio;
+    return os.str();
+  };
+  report->Add(name, "encode text", text.encode_s, extra(text.bytes));
+  report->Add(name, "encode binary", bin.encode_s, extra(bin.bytes));
+  report->Add(name, "decode text", text.decode_s, extra(text.bytes));
+  report->Add(name, "decode binary", bin.decode_s, extra(bin.bytes));
+  if (bin.bytes * 3 > text.bytes) {
+    std::cerr << "SIZE BOUND FAILED on " << name << ": binary " << bin.bytes
+              << " bytes is not <= 1/3 of text " << text.bytes << " bytes\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  scpm::bench::Banner(
+      "Checkpoint codec — text v1 vs binary v2",
+      "CiteSeer-like frontiers; sizes, encode/decode time, 3x bound");
+  const double scale = scpm::bench::Scale();
+  scpm::Result<scpm::SyntheticDataset> dataset =
+      scpm::GenerateSynthetic(scpm::CiteSeerLikeConfig(scale));
+  if (!dataset.ok()) {
+    std::cerr << "generation failed: " << dataset.status() << "\n";
+    return 1;
+  }
+  const scpm::AttributedGraph& graph = dataset->graph;
+  std::cout << "dataset: " << graph.NumVertices() << " vertices, "
+            << graph.graph().NumEdges() << " edges, "
+            << graph.NumAttributes() << " attributes\n\n";
+
+  // Hot frontiers straight off the cut, then cold re-parses of the same
+  // bytes (what recovery decodes after a crash).
+  const scpm::EngineCheckpoint roots_hot =
+      CutFrontier(graph, /*max_evaluations=*/4, /*want_roots_phase=*/true);
+  const scpm::EngineCheckpoint tree_hot =
+      CutFrontier(graph, /*max_evaluations=*/64, /*want_roots_phase=*/false);
+  scpm::Result<scpm::EngineCheckpoint> roots_cold =
+      scpm::EngineCheckpoint::Parse(roots_hot.Serialize());
+  scpm::Result<scpm::EngineCheckpoint> tree_cold =
+      scpm::EngineCheckpoint::Parse(tree_hot.Serialize());
+  if (!roots_cold.ok() || !tree_cold.ok()) {
+    std::cerr << "round-trip failed\n";
+    return 1;
+  }
+  std::cout << "frontiers: roots done=" << roots_hot.done_roots.size()
+            << " batches=" << roots_hot.root_batches.size()
+            << "; tree classes=" << tree_hot.classes.size()
+            << " expansions=" << tree_hot.expansions.size() << "\n\n";
+
+  std::cout << std::left << std::setw(26) << "scenario" << std::right
+            << std::setw(10) << "text B" << std::setw(10) << "bin B"
+            << std::setw(8) << "ratio" << std::setw(12) << "enc txt us"
+            << std::setw(12) << "enc bin us" << std::setw(12) << "dec txt us"
+            << std::setw(12) << "dec bin us" << "\n";
+
+  scpm::bench::JsonReport report("checkpoint");
+  bool ok = true;
+  ok &= BenchScenario(&report, "roots-hot", roots_hot);
+  ok &= BenchScenario(&report, "roots-cold", *roots_cold);
+  ok &= BenchScenario(&report, "tree-hot", tree_hot);
+  ok &= BenchScenario(&report, "tree-cold", *tree_cold);
+  if (!report.Write()) return 1;
+  if (!ok) return 1;
+  std::cout << "\nbinary <= 1/3 text on every scenario\n";
+  return 0;
+}

@@ -57,6 +57,8 @@ expect_usage_error(${CLI} "flag missing value" edges.txt attrs.txt --gamma)
 expect_usage_error(${CLI} "bad sink value" edges.txt attrs.txt --sink csv)
 expect_usage_error(${CLI} "bad scope value" edges.txt attrs.txt
                    --scope everything)
+expect_usage_error(${CLI} "bad ckpt-format value" edges.txt attrs.txt
+                   --ckpt-format walrus)
 expect_help(${CLI} "scpm_cli")
 # --help wins no matter where it appears.
 execute_process(
@@ -75,6 +77,9 @@ if(DEFINED SERVE_CLI)
                      attrs.txt --threads 2)
   expect_usage_error(${SERVE_CLI} "serve: flag missing value" edges.txt
                      attrs.txt --socket)
+  expect_usage_error(${SERVE_CLI} "serve: bad ckpt-format value" edges.txt
+                     attrs.txt --socket /tmp/scpm-cli-test.sock
+                     --ckpt-format walrus)
   expect_help(${SERVE_CLI} "scpm_serve_cli")
   # An uncreatable --state-dir must fail fast as a usage error, before
   # the graph loads or the socket binds (/dev/null can't parent a dir).
@@ -96,6 +101,8 @@ if(DEFINED DIST_CLI)
                      edges.txt attrs.txt --state-dir /tmp/scpm-dist-state)
   expect_usage_error(${DIST_CLI} "dist: degenerate batch" edges.txt
                      attrs.txt --batch-evals 0)
+  expect_usage_error(${DIST_CLI} "dist: bad ckpt-format value" edges.txt
+                     attrs.txt --ckpt-format walrus)
   expect_help(${DIST_CLI} "scpm_dist_cli")
 endif()
 

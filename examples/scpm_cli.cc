@@ -43,8 +43,10 @@
 //   --max-patterns 0   emitted-pattern budget, same cut discipline
 //   --checkpoint FILE  where to write the frontier checkpoint when a
 //                      budget cuts the run
+//   --ckpt-format V    checkpoint encoding: binary (default) or text
 //   --resume FILE      continue from a previous run's checkpoint (same
-//                      graph and thresholds required)
+//                      graph and thresholds required; format
+//                      auto-detected)
 //
 // Exit codes: 0 = lattice exhausted, 3 = budget cut the run (checkpoint
 // written if --checkpoint was given), 1 = runtime error, 2 = usage error.
@@ -58,6 +60,7 @@
 #include <memory>
 #include <string>
 
+#include "core/ckpt_codec.h"
 #include "core/engine.h"
 #include "core/report.h"
 #include "core/request.h"
@@ -79,7 +82,8 @@ void Usage() {
                "[--simd 0|1] [--chunked 0|1] [--top-n N] "
                "[--sink accumulate|jsonl] [--out FILE] [--deadline-ms MS] "
                "[--max-evals N] [--max-patterns N] [--checkpoint FILE] "
-               "[--checkpoint-interval-ms MS] [--resume FILE]\n"
+               "[--checkpoint-interval-ms MS] [--ckpt-format text|binary] "
+               "[--resume FILE]\n"
                "run scpm_cli --help for the full flag reference\n";
 }
 
@@ -136,6 +140,10 @@ void Help() {
       "                     while mining (atomic tmp+rename replace, so a\n"
       "                     crash leaves the previous snapshot); 0 = only\n"
       "                     on a budget cut (0)\n"
+      "  --ckpt-format V    encoding for written checkpoints: binary (the\n"
+      "                     compact interned v2 form) or text (the v1\n"
+      "                     whitespace form); --resume auto-detects, so\n"
+      "                     either kind of file resumes (binary)\n"
       "  --resume FILE      continue from a previous run's checkpoint\n"
       "\n"
       "Other:\n"
@@ -172,6 +180,7 @@ int main(int argc, char** argv) {
   std::size_t top_n = 10;
   std::string out_path;
   std::string checkpoint_path;
+  scpm::CheckpointFormat ckpt_format = scpm::CheckpointFormat::kBinary;
   std::uint64_t checkpoint_interval_ms = 0;
   std::string resume_path;
 
@@ -248,6 +257,16 @@ int main(int argc, char** argv) {
       budget.max_patterns = static_cast<std::uint64_t>(std::atoll(value));
     } else if (flag == "--checkpoint") {
       checkpoint_path = value;
+    } else if (flag == "--ckpt-format") {
+      scpm::Result<scpm::CheckpointFormat> parsed =
+          scpm::ParseCheckpointFormat(value);
+      if (!parsed.ok()) {
+        std::cerr << "unknown --ckpt-format: " << value
+                  << " (want text or binary)\n";
+        Usage();
+        return 2;
+      }
+      ckpt_format = *parsed;
     } else if (flag == "--checkpoint-interval-ms") {
       checkpoint_interval_ms = static_cast<std::uint64_t>(std::atoll(value));
     } else if (flag == "--resume") {
@@ -280,12 +299,12 @@ int main(int argc, char** argv) {
     // atomically (write-to-temp + rename) so a kill at any moment
     // leaves either the previous or the new complete snapshot.
     request.checkpoint_interval_ms = checkpoint_interval_ms;
-    request.on_checkpoint = [&checkpoint_path](
+    request.on_checkpoint = [&checkpoint_path, ckpt_format](
                                 const scpm::EngineCheckpoint& cp,
                                 const scpm::EngineProgress&) {
       const std::string tmp = checkpoint_path + ".tmp";
-      std::ofstream out(tmp, std::ios::trunc);
-      if (!out.is_open() || !cp.Save(out).ok()) return;
+      std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+      if (!out.is_open() || !cp.Save(out, ckpt_format).ok()) return;
       out.close();
       if (!out.good() ||
           std::rename(tmp.c_str(), checkpoint_path.c_str()) != 0) {
@@ -365,9 +384,9 @@ int main(int argc, char** argv) {
     info << "budget cut the run with " << run.frontier_entries
          << " frontier entries left\n";
     if (!checkpoint_path.empty()) {
-      std::ofstream out(checkpoint_path, std::ios::trunc);
+      std::ofstream out(checkpoint_path, std::ios::trunc | std::ios::binary);
       scpm::Status saved = out.is_open()
-                               ? run.checkpoint.Save(out)
+                               ? run.checkpoint.Save(out, ckpt_format)
                                : scpm::Status::IoError("cannot open " +
                                                        checkpoint_path);
       if (!saved.ok()) {

@@ -18,6 +18,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/ckpt_codec.h"
 #include "graph/io.h"
 #include "server/server.h"
 #include "util/hybrid_set.h"
@@ -31,7 +32,8 @@ void Usage() {
                "[--memo-mb MB] [--memo-shards S] [--slice-ms MS] "
                "[--slice-evals N] [--default-deadline-ms MS] "
                "[--state-dir PATH] [--checkpoint-interval-ms MS] "
-               "[--dist-workers W] [--simd 0|1] [--chunked 0|1]\n"
+               "[--ckpt-format text|binary] [--dist-workers W] "
+               "[--simd 0|1] [--chunked 0|1]\n"
                "run scpm_serve_cli --help for the full flag reference\n";
 }
 
@@ -86,6 +88,10 @@ void Help() {
       "                     directory after a crash (off)\n"
       "  --checkpoint-interval-ms MS  how often a running query's\n"
       "                     snapshot is persisted under --state-dir (1000)\n"
+      "  --ckpt-format V    encoding for persisted query snapshots:\n"
+      "                     binary (compact interned v2) or text (v1);\n"
+      "                     recovery auto-detects, so a server may be\n"
+      "                     restarted with either setting (binary)\n"
       "  --dist-workers W   mine budgetless queries as one distributed\n"
       "                     job across W forked worker processes with\n"
       "                     leased, fault-tolerant batches (docs/DIST.md);\n"
@@ -152,6 +158,16 @@ int main(int argc, char** argv) {
     } else if (flag == "--checkpoint-interval-ms") {
       options.checkpoint_interval_ms =
           static_cast<std::uint64_t>(std::atoll(value));
+    } else if (flag == "--ckpt-format") {
+      scpm::Result<scpm::CheckpointFormat> parsed =
+          scpm::ParseCheckpointFormat(value);
+      if (!parsed.ok()) {
+        std::cerr << "unknown --ckpt-format: " << value
+                  << " (want text or binary)\n";
+        Usage();
+        return 2;
+      }
+      options.ckpt_format = *parsed;
     } else if (flag == "--dist-workers") {
       options.dist_workers = static_cast<std::size_t>(std::atoll(value));
     } else if (flag == "--simd") {

@@ -1,0 +1,679 @@
+// EngineCheckpoint codecs: v1 text and v2 binary (see ckpt_codec.h for
+// the format rationale). Both live here so the two encoders and the
+// auto-detecting reader stay in one translation unit; engine.cc owns
+// only the mining machinery.
+
+#include "core/ckpt_codec.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <istream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/hybrid_set.h"
+#include "util/status.h"
+
+namespace scpm {
+namespace {
+
+// ------------------------------------------------------------ shared
+
+// Hot checkpoints carry live hybrid sets and leave the cold vector
+// empty; serialization materializes the cold form so a saved file is
+// identical either way.
+VertexSet ColdCovered(const VertexSet& cold,
+                      const std::shared_ptr<const HybridVertexSet>& hot) {
+  if (hot != nullptr && cold.empty()) return hot->ToVector();
+  return cold;
+}
+
+// --------------------------------------------------------- text (v1)
+
+void WriteVertexSet(std::ostream& os, const VertexSet& v) {
+  os << v.size();
+  for (VertexId x : v) os << ' ' << x;
+}
+
+bool ReadCount(std::istream& is, std::uint64_t limit, std::uint64_t* out) {
+  if (!(is >> *out)) return false;
+  return *out <= limit;
+}
+
+bool ReadVertexSet(std::istream& is, VertexSet* out) {
+  std::uint64_t count = 0;
+  if (!ReadCount(is, std::uint64_t{1} << 32, &count)) return false;
+  out->clear();
+  // The count is untrusted until the elements actually parse: cap the
+  // up-front reservation so a tiny file claiming 2^32 elements fails at
+  // the first missing token instead of in a giant allocation.
+  out->reserve(static_cast<std::size_t>(std::min<std::uint64_t>(count, 4096)));
+  for (std::uint64_t k = 0; k < count; ++k) {
+    VertexId v;
+    if (!(is >> v)) return false;
+    out->push_back(v);
+  }
+  return true;
+}
+
+bool ExpectToken(std::istream& is, const char* token) {
+  std::string word;
+  return (is >> word) && word == token;
+}
+
+Status SaveText(const EngineCheckpoint& cp, std::ostream& os) {
+  os << "scpm-checkpoint 1\n";
+  os << "graph " << cp.num_vertices << ' ' << cp.num_attributes << ' '
+     << cp.num_edges << "\n";
+  os << "options " << cp.options_fingerprint << "\n";
+  os << "phase " << (cp.in_roots_phase ? "roots" : "tree") << "\n";
+  os << "done-roots " << cp.done_roots.size() << "\n";
+  for (const EngineCheckpoint::DoneRoot& dr : cp.done_roots) {
+    os << "root " << dr.index << ' ' << dr.attr << ' ';
+    WriteVertexSet(os, ColdCovered(dr.covered, dr.hot_covered));
+    os << "\n";
+  }
+  os << "root-batches " << cp.root_batches.size() << "\n";
+  for (const EngineCheckpoint::PendingRootBatch& batch : cp.root_batches) {
+    os << "batch " << batch.attrs.size();
+    for (std::size_t k = 0; k < batch.attrs.size(); ++k) {
+      os << ' ' << batch.indices[k] << ' ' << batch.attrs[k];
+    }
+    os << "\n";
+  }
+  os << "classes " << cp.classes.size() << "\n";
+  for (const EngineCheckpoint::PendingClass& pc : cp.classes) {
+    os << "class " << pc.path.size();
+    for (std::uint32_t p : pc.path) os << ' ' << p;
+    os << ' ' << pc.members.size() << "\n";
+    for (const EngineCheckpoint::Member& m : pc.members) {
+      os << "member " << m.items.size();
+      for (AttributeId a : m.items) os << ' ' << a;
+      os << ' ';
+      WriteVertexSet(os, ColdCovered(m.covered, m.hot_covered));
+      os << "\n";
+    }
+  }
+  os << "expansions " << cp.expansions.size() << "\n";
+  for (const EngineCheckpoint::PendingExpansion& e : cp.expansions) {
+    os << e.class_index << ' ' << e.sibling << "\n";
+  }
+  os << "end\n";
+  if (!os.good()) return Status::IoError("checkpoint write failed");
+  return Status::OK();
+}
+
+// The caller already consumed the "scpm-checkpoint" magic token while
+// detecting the format; parsing continues at the version number.
+Result<EngineCheckpoint> LoadTextBody(std::istream& is) {
+  const Status malformed = Status::InvalidArgument("malformed checkpoint");
+  EngineCheckpoint cp;
+  std::string word;
+  std::uint64_t version = 0;
+  if (!(is >> version)) return malformed;
+  if (version != 1) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  if (!ExpectToken(is, "graph") || !(is >> cp.num_vertices) ||
+      !(is >> cp.num_attributes) || !(is >> cp.num_edges)) {
+    return malformed;
+  }
+  if (!ExpectToken(is, "options") || !(is >> cp.options_fingerprint)) {
+    return malformed;
+  }
+  if (!ExpectToken(is, "phase") || !(is >> word)) return malformed;
+  if (word == "roots") {
+    cp.in_roots_phase = true;
+  } else if (word == "tree") {
+    cp.in_roots_phase = false;
+  } else {
+    return malformed;
+  }
+
+  constexpr std::uint64_t kMaxItems = std::uint64_t{1} << 32;
+  std::uint64_t count = 0;
+  if (!ExpectToken(is, "done-roots") || !ReadCount(is, kMaxItems, &count)) {
+    return malformed;
+  }
+  for (std::uint64_t k = 0; k < count; ++k) {
+    EngineCheckpoint::DoneRoot dr;
+    if (!ExpectToken(is, "root") || !(is >> dr.index) || !(is >> dr.attr) ||
+        !ReadVertexSet(is, &dr.covered)) {
+      return malformed;
+    }
+    cp.done_roots.push_back(std::move(dr));
+  }
+
+  if (!ExpectToken(is, "root-batches") || !ReadCount(is, kMaxItems, &count)) {
+    return malformed;
+  }
+  for (std::uint64_t k = 0; k < count; ++k) {
+    EngineCheckpoint::PendingRootBatch batch;
+    std::uint64_t size = 0;
+    if (!ExpectToken(is, "batch") || !ReadCount(is, kMaxItems, &size)) {
+      return malformed;
+    }
+    for (std::uint64_t j = 0; j < size; ++j) {
+      std::uint32_t index = 0;
+      AttributeId attr = 0;
+      if (!(is >> index) || !(is >> attr)) return malformed;
+      batch.indices.push_back(index);
+      batch.attrs.push_back(attr);
+    }
+    cp.root_batches.push_back(std::move(batch));
+  }
+
+  if (!ExpectToken(is, "classes") || !ReadCount(is, kMaxItems, &count)) {
+    return malformed;
+  }
+  for (std::uint64_t k = 0; k < count; ++k) {
+    EngineCheckpoint::PendingClass pc;
+    std::uint64_t path_len = 0;
+    std::uint64_t members = 0;
+    if (!ExpectToken(is, "class") || !ReadCount(is, kMaxItems, &path_len)) {
+      return malformed;
+    }
+    for (std::uint64_t j = 0; j < path_len; ++j) {
+      std::uint32_t p = 0;
+      if (!(is >> p)) return malformed;
+      pc.path.push_back(p);
+    }
+    if (!ReadCount(is, kMaxItems, &members)) return malformed;
+    for (std::uint64_t j = 0; j < members; ++j) {
+      EngineCheckpoint::Member m;
+      std::uint64_t attrs = 0;
+      if (!ExpectToken(is, "member") || !ReadCount(is, kMaxItems, &attrs)) {
+        return malformed;
+      }
+      for (std::uint64_t a = 0; a < attrs; ++a) {
+        AttributeId id = 0;
+        if (!(is >> id)) return malformed;
+        m.items.push_back(id);
+      }
+      if (!ReadVertexSet(is, &m.covered)) return malformed;
+      pc.members.push_back(std::move(m));
+    }
+    cp.classes.push_back(std::move(pc));
+  }
+
+  if (!ExpectToken(is, "expansions") || !ReadCount(is, kMaxItems, &count)) {
+    return malformed;
+  }
+  for (std::uint64_t k = 0; k < count; ++k) {
+    EngineCheckpoint::PendingExpansion e;
+    if (!(is >> e.class_index) || !(is >> e.sibling)) return malformed;
+    cp.expansions.push_back(e);
+  }
+  if (!ExpectToken(is, "end")) return malformed;
+  cp.valid = true;
+  return cp;
+}
+
+// ------------------------------------------------------- binary (v2)
+//
+// Layout ("fixed64" = 8 bytes little-endian, everything else varint):
+//
+//   "SCPB"  varint version=2  fixed64 fnv1a64(payload)  varint |payload|
+//   payload:
+//     num_vertices  num_attributes  num_edges   fixed64 options_fp
+//     byte phase (1 = roots, 0 = tree)
+//     vertex-set table     (front-coded, see AppendSetTable)
+//     attribute-set table  (same encoding)
+//     done-roots:    count, then per root  (index, attr, vset-id)
+//     root-batches:  count, then per batch (n, then n x (index, attr))
+//     classes:       count, then per class (path-len, path...,
+//                    member-count, then per member (aset-id, vset-id))
+//     expansions:    count, then per entry (class-index, sibling)
+//
+// The checksum covers the payload only; the prefix fields protect
+// themselves (a corrupt length or version fails structurally). Decoding
+// must consume the payload exactly, which together with the
+// deterministic table order makes decode(encode(x)) re-encode
+// byte-identically.
+
+constexpr char kBinaryMagic[4] = {'S', 'C', 'P', 'B'};
+constexpr std::uint64_t kBinaryVersion = 2;
+
+std::uint64_t Fnv1a64(const char* data, std::size_t size) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void AppendVarint(std::string* out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>(0x80u | (value & 0x7fu)));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+void AppendFixed64(std::string* out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xffu));
+  }
+}
+
+// Bounds-checked cursor over the decoded payload. All Read* methods
+// latch `ok` false on underflow / overlong input and then read zeros,
+// so decode loops can check once per structure instead of per field.
+struct ByteReader {
+  const char* p = nullptr;
+  const char* end = nullptr;
+  bool ok = true;
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end - p); }
+
+  std::uint64_t ReadVarint() {
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (ok && p < end) {
+      const unsigned char byte = static_cast<unsigned char>(*p++);
+      if (shift == 63 && byte > 1) break;  // would overflow 64 bits
+      value |= static_cast<std::uint64_t>(byte & 0x7fu) << shift;
+      if ((byte & 0x80u) == 0) return value;
+      shift += 7;
+      if (shift > 63) break;
+    }
+    ok = false;
+    return 0;
+  }
+
+  std::uint64_t ReadFixed64() {
+    if (remaining() < 8) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(static_cast<unsigned char>(*p++))
+               << (8 * i);
+    }
+    return value;
+  }
+
+  std::uint8_t ReadByte() {
+    if (p >= end) {
+      ok = false;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(*p++);
+  }
+
+  // Varint that must fit the given structural bound (counts are capped
+  // by the bytes actually present: every encoded element costs >= 1
+  // byte, so a count beyond `remaining` is malformed by construction).
+  std::uint64_t ReadCount(std::uint64_t limit) {
+    const std::uint64_t value = ReadVarint();
+    if (value > limit || value > remaining()) ok = false;
+    return ok ? value : 0;
+  }
+};
+
+// Interns sorted u32 sets; ids are assigned in lexicographic order so
+// the encoded table is deterministic and front-coding sees maximally
+// similar neighbors. Keys are pointers into the caller's materialized
+// sets (which outlive the interner) compared by value — encode never
+// copies a covered set.
+class SetInterner {
+ public:
+  void Add(const std::vector<std::uint32_t>& set) { ids_.emplace(&set, 0); }
+
+  void Freeze() {
+    std::uint64_t id = 0;
+    for (auto& entry : ids_) entry.second = id++;
+  }
+
+  std::uint64_t IdOf(const std::vector<std::uint32_t>& set) const {
+    return ids_.find(&set)->second;
+  }
+
+  // Front-coded table: per entry a header varint (lcp << 1 | raw), then
+  // the suffix count and suffix values. For the sorted-unique fast path
+  // (raw = 0) suffix values are deltas against the previous element of
+  // the entry (the first suffix element is absolute when lcp == 0). A
+  // non-monotone set — impossible for engine-produced checkpoints but
+  // cheap to stay total over — is stored raw with lcp 0.
+  void AppendTable(std::string* out) const {
+    AppendVarint(out, ids_.size());
+    const std::vector<std::uint32_t>* prev = nullptr;
+    for (const auto& entry : ids_) {
+      const std::vector<std::uint32_t>& set = *entry.first;
+      bool sorted = true;
+      for (std::size_t j = 1; j < set.size(); ++j) {
+        if (set[j] <= set[j - 1]) {
+          sorted = false;
+          break;
+        }
+      }
+      std::size_t lcp = 0;
+      if (sorted && prev != nullptr) {
+        const std::size_t max = std::min(prev->size(), set.size());
+        while (lcp < max && (*prev)[lcp] == set[lcp]) ++lcp;
+      }
+      AppendVarint(out, (static_cast<std::uint64_t>(lcp) << 1) |
+                            (sorted ? 0u : 1u));
+      AppendVarint(out, set.size() - lcp);
+      for (std::size_t j = lcp; j < set.size(); ++j) {
+        if (!sorted || j == 0) {
+          AppendVarint(out, set[j]);
+        } else {
+          AppendVarint(out, set[j] - set[j - 1]);
+        }
+      }
+      prev = &set;
+    }
+  }
+
+ private:
+  struct DerefLess {
+    bool operator()(const std::vector<std::uint32_t>* a,
+                    const std::vector<std::uint32_t>* b) const {
+      return *a < *b;
+    }
+  };
+  std::map<const std::vector<std::uint32_t>*, std::uint64_t, DerefLess> ids_;
+};
+
+bool ReadSetTable(ByteReader* r, std::vector<std::vector<std::uint32_t>>* out) {
+  const std::uint64_t count = r->ReadCount(std::uint64_t{1} << 32);
+  out->clear();
+  out->reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t k = 0; k < count && r->ok; ++k) {
+    const std::uint64_t header = r->ReadVarint();
+    const bool raw = (header & 1) != 0;
+    const std::uint64_t lcp = header >> 1;
+    if (raw && lcp != 0) r->ok = false;
+    if (out->empty() ? lcp != 0 : lcp > out->back().size()) r->ok = false;
+    const std::uint64_t suffix = r->ReadCount(std::uint64_t{1} << 32);
+    if (!r->ok) break;
+    std::vector<std::uint32_t> set;
+    set.reserve(static_cast<std::size_t>(lcp + suffix));
+    if (lcp > 0) {
+      const std::vector<std::uint32_t>& prev = out->back();
+      set.assign(prev.begin(), prev.begin() + static_cast<std::size_t>(lcp));
+    }
+    for (std::uint64_t j = 0; j < suffix && r->ok; ++j) {
+      const std::uint64_t v = r->ReadVarint();
+      std::uint64_t value = v;
+      if (!raw && !set.empty()) value = set.back() + v;
+      if (value > 0xffffffffull) r->ok = false;
+      if (r->ok) set.push_back(static_cast<std::uint32_t>(value));
+    }
+    out->push_back(std::move(set));
+  }
+  return r->ok;
+}
+
+std::string EncodeBinary(const EngineCheckpoint& cp) {
+  // Materialize hot covered sets once; reused for interning and for the
+  // id lookups below.
+  std::vector<VertexSet> root_covered;
+  root_covered.reserve(cp.done_roots.size());
+  for (const EngineCheckpoint::DoneRoot& dr : cp.done_roots) {
+    root_covered.push_back(ColdCovered(dr.covered, dr.hot_covered));
+  }
+  std::vector<std::vector<VertexSet>> member_covered(cp.classes.size());
+  SetInterner vsets;
+  SetInterner asets;
+  for (const VertexSet& v : root_covered) vsets.Add(v);
+  for (std::size_t c = 0; c < cp.classes.size(); ++c) {
+    member_covered[c].reserve(cp.classes[c].members.size());
+    for (const EngineCheckpoint::Member& m : cp.classes[c].members) {
+      member_covered[c].push_back(ColdCovered(m.covered, m.hot_covered));
+      vsets.Add(member_covered[c].back());
+      asets.Add(m.items);
+    }
+  }
+  vsets.Freeze();
+  asets.Freeze();
+
+  std::string payload;
+  AppendVarint(&payload, cp.num_vertices);
+  AppendVarint(&payload, cp.num_attributes);
+  AppendVarint(&payload, cp.num_edges);
+  AppendFixed64(&payload, cp.options_fingerprint);
+  payload.push_back(cp.in_roots_phase ? '\x01' : '\x00');
+  vsets.AppendTable(&payload);
+  asets.AppendTable(&payload);
+
+  AppendVarint(&payload, cp.done_roots.size());
+  for (std::size_t k = 0; k < cp.done_roots.size(); ++k) {
+    AppendVarint(&payload, cp.done_roots[k].index);
+    AppendVarint(&payload, cp.done_roots[k].attr);
+    AppendVarint(&payload, vsets.IdOf(root_covered[k]));
+  }
+  AppendVarint(&payload, cp.root_batches.size());
+  for (const EngineCheckpoint::PendingRootBatch& batch : cp.root_batches) {
+    AppendVarint(&payload, batch.attrs.size());
+    for (std::size_t k = 0; k < batch.attrs.size(); ++k) {
+      AppendVarint(&payload, batch.indices[k]);
+      AppendVarint(&payload, batch.attrs[k]);
+    }
+  }
+  AppendVarint(&payload, cp.classes.size());
+  for (std::size_t c = 0; c < cp.classes.size(); ++c) {
+    const EngineCheckpoint::PendingClass& pc = cp.classes[c];
+    AppendVarint(&payload, pc.path.size());
+    for (std::uint32_t p : pc.path) AppendVarint(&payload, p);
+    AppendVarint(&payload, pc.members.size());
+    for (std::size_t k = 0; k < pc.members.size(); ++k) {
+      AppendVarint(&payload, asets.IdOf(pc.members[k].items));
+      AppendVarint(&payload, vsets.IdOf(member_covered[c][k]));
+    }
+  }
+  AppendVarint(&payload, cp.expansions.size());
+  for (const EngineCheckpoint::PendingExpansion& e : cp.expansions) {
+    AppendVarint(&payload, e.class_index);
+    AppendVarint(&payload, e.sibling);
+  }
+
+  std::string out;
+  out.reserve(payload.size() + 24);
+  out.append(kBinaryMagic, sizeof(kBinaryMagic));
+  AppendVarint(&out, kBinaryVersion);
+  AppendFixed64(&out, Fnv1a64(payload.data(), payload.size()));
+  AppendVarint(&out, payload.size());
+  out.append(payload);
+  return out;
+}
+
+// The caller already consumed the 4-byte magic while detecting the
+// format; `is` is positioned at the version varint.
+Result<EngineCheckpoint> LoadBinaryBody(std::istream& is) {
+  const Status malformed = Status::InvalidArgument("malformed checkpoint");
+  // Prefix fields (version, checksum, length) are read byte-by-byte off
+  // the stream; the payload is then pulled in one read of exactly the
+  // declared length, leaving any trailer bytes unconsumed.
+  auto read_prefix_varint = [&is](std::uint64_t* out) {
+    std::uint64_t value = 0;
+    int shift = 0;
+    for (;;) {
+      const int c = is.get();
+      if (c == std::char_traits<char>::eof() || shift > 63) return false;
+      value |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+      if ((c & 0x80) == 0) break;
+      shift += 7;
+    }
+    *out = value;
+    return true;
+  };
+  std::uint64_t version = 0;
+  if (!read_prefix_varint(&version)) return malformed;
+  if (version != kBinaryVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  char checksum_bytes[8];
+  if (!is.read(checksum_bytes, 8)) return malformed;
+  std::uint64_t checksum = 0;
+  for (int i = 0; i < 8; ++i) {
+    checksum |= static_cast<std::uint64_t>(
+                    static_cast<unsigned char>(checksum_bytes[i]))
+                << (8 * i);
+  }
+  std::uint64_t payload_len = 0;
+  if (!read_prefix_varint(&payload_len)) return malformed;
+  if (payload_len > (std::uint64_t{1} << 40)) return malformed;
+  std::string payload(static_cast<std::size_t>(payload_len), '\0');
+  if (payload_len > 0 &&
+      !is.read(payload.data(), static_cast<std::streamsize>(payload_len))) {
+    return malformed;
+  }
+  if (Fnv1a64(payload.data(), payload.size()) != checksum) {
+    return Status::InvalidArgument("checkpoint checksum mismatch");
+  }
+
+  ByteReader r{payload.data(), payload.data() + payload.size(), true};
+  EngineCheckpoint cp;
+  cp.num_vertices = static_cast<VertexId>(r.ReadVarint());
+  cp.num_attributes = r.ReadVarint();
+  cp.num_edges = r.ReadVarint();
+  cp.options_fingerprint = r.ReadFixed64();
+  const std::uint8_t phase = r.ReadByte();
+  if (phase > 1) r.ok = false;
+  cp.in_roots_phase = phase == 1;
+
+  std::vector<std::vector<std::uint32_t>> vsets;
+  std::vector<std::vector<std::uint32_t>> asets;
+  if (!r.ok || !ReadSetTable(&r, &vsets) || !ReadSetTable(&r, &asets)) {
+    return malformed;
+  }
+
+  std::uint64_t count = r.ReadCount(std::uint64_t{1} << 32);
+  for (std::uint64_t k = 0; k < count && r.ok; ++k) {
+    EngineCheckpoint::DoneRoot dr;
+    dr.index = static_cast<std::uint32_t>(r.ReadVarint());
+    dr.attr = static_cast<AttributeId>(r.ReadVarint());
+    const std::uint64_t id = r.ReadVarint();
+    if (id >= vsets.size()) {
+      r.ok = false;
+      break;
+    }
+    dr.covered = vsets[static_cast<std::size_t>(id)];
+    cp.done_roots.push_back(std::move(dr));
+  }
+
+  count = r.ReadCount(std::uint64_t{1} << 32);
+  for (std::uint64_t k = 0; k < count && r.ok; ++k) {
+    EngineCheckpoint::PendingRootBatch batch;
+    const std::uint64_t n = r.ReadCount(std::uint64_t{1} << 32);
+    for (std::uint64_t j = 0; j < n && r.ok; ++j) {
+      batch.indices.push_back(static_cast<std::uint32_t>(r.ReadVarint()));
+      batch.attrs.push_back(static_cast<AttributeId>(r.ReadVarint()));
+    }
+    cp.root_batches.push_back(std::move(batch));
+  }
+
+  count = r.ReadCount(std::uint64_t{1} << 32);
+  for (std::uint64_t k = 0; k < count && r.ok; ++k) {
+    EngineCheckpoint::PendingClass pc;
+    const std::uint64_t path_len = r.ReadCount(std::uint64_t{1} << 32);
+    for (std::uint64_t j = 0; j < path_len && r.ok; ++j) {
+      pc.path.push_back(static_cast<std::uint32_t>(r.ReadVarint()));
+    }
+    const std::uint64_t members = r.ReadCount(std::uint64_t{1} << 32);
+    for (std::uint64_t j = 0; j < members && r.ok; ++j) {
+      EngineCheckpoint::Member m;
+      const std::uint64_t aid = r.ReadVarint();
+      const std::uint64_t vid = r.ReadVarint();
+      if (aid >= asets.size() || vid >= vsets.size()) {
+        r.ok = false;
+        break;
+      }
+      m.items = asets[static_cast<std::size_t>(aid)];
+      m.covered = vsets[static_cast<std::size_t>(vid)];
+      pc.members.push_back(std::move(m));
+    }
+    cp.classes.push_back(std::move(pc));
+  }
+
+  count = r.ReadCount(std::uint64_t{1} << 32);
+  for (std::uint64_t k = 0; k < count && r.ok; ++k) {
+    EngineCheckpoint::PendingExpansion e;
+    e.class_index = static_cast<std::uint32_t>(r.ReadVarint());
+    e.sibling = static_cast<std::uint32_t>(r.ReadVarint());
+    cp.expansions.push_back(e);
+  }
+
+  // The payload must be consumed exactly: trailing garbage would break
+  // the re-encode byte-identity guarantee, so it is malformed too.
+  if (!r.ok || r.p != r.end) return malformed;
+  cp.valid = true;
+  return cp;
+}
+
+}  // namespace
+
+// ----------------------------------------------- EngineCheckpoint API
+
+Status EngineCheckpoint::Save(std::ostream& os, CheckpointFormat format) const {
+  if (format == CheckpointFormat::kText) return SaveText(*this, os);
+  const std::string encoded = EncodeBinary(*this);
+  os.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+  if (!os.good()) return Status::IoError("checkpoint write failed");
+  return Status::OK();
+}
+
+std::string EngineCheckpoint::Serialize(CheckpointFormat format) const {
+  if (format == CheckpointFormat::kBinary) return EncodeBinary(*this);
+  std::ostringstream os;
+  SaveText(*this, os).ok();
+  return os.str();
+}
+
+Result<EngineCheckpoint> EngineCheckpoint::Load(std::istream& is) {
+  return LoadCheckpoint(is, nullptr);
+}
+
+Result<EngineCheckpoint> EngineCheckpoint::Parse(const std::string& text) {
+  std::istringstream is(text);
+  return Load(is);
+}
+
+Result<EngineCheckpoint> LoadCheckpoint(std::istream& is,
+                                        CheckpointFormat* detected) {
+  const Status malformed = Status::InvalidArgument("malformed checkpoint");
+  // Both formats tolerate leading whitespace (the journal and the dist
+  // frames terminate the preceding meta line with '\n').
+  is >> std::ws;
+  char magic[4];
+  if (!is.read(magic, 4)) return malformed;
+  if (std::memcmp(magic, kBinaryMagic, 4) == 0) {
+    if (detected != nullptr) *detected = CheckpointFormat::kBinary;
+    return LoadBinaryBody(is);
+  }
+  if (detected != nullptr) *detected = CheckpointFormat::kText;
+  // Text magic is the token "scpm-checkpoint": re-attach the 4 consumed
+  // bytes to the token read.
+  std::string word(magic, 4);
+  std::string rest;
+  if (!(is >> rest)) return malformed;
+  word += rest;
+  if (word != "scpm-checkpoint") return malformed;
+  return LoadTextBody(is);
+}
+
+Result<CheckpointFormat> ParseCheckpointFormat(const std::string& name) {
+  if (name == "text") return CheckpointFormat::kText;
+  if (name == "binary") return CheckpointFormat::kBinary;
+  return Status::InvalidArgument("unknown checkpoint format: " + name);
+}
+
+const char* CheckpointFormatName(CheckpointFormat format) {
+  return format == CheckpointFormat::kText ? "text" : "binary";
+}
+
+void AppendCheckpointVarint(std::string* out, std::uint64_t value) {
+  AppendVarint(out, value);
+}
+
+}  // namespace scpm

@@ -1,0 +1,56 @@
+// Checkpoint wire/disk codecs for EngineCheckpoint.
+//
+// Two formats coexist behind EngineCheckpoint::Save/Serialize/Load/Parse:
+//
+//  * v1 text — the original whitespace-token form ("scpm-checkpoint 1").
+//    Kept bit-for-bit so every checkpoint file written before the binary
+//    codec landed still resumes; writers reach it via
+//    CheckpointFormat::kText.
+//  * v2 binary — a versioned, length-prefixed form ("SCPB") that interns
+//    covered vertex sets and attribute sets in shared dictionary tables
+//    so a set referenced by many frontier entries is stored once. Table
+//    entries are sorted lexicographically and front-coded (longest
+//    common prefix with the previous entry + delta-encoded suffix), ids
+//    and all scalars are LEB128 varints, and the payload carries an
+//    FNV-1a-64 checksum so truncation and bit flips fail parsing instead
+//    of resuming from silently wrong state. The dictionary approach
+//    follows ltsmin's tree-compressed state database: frontier entries
+//    share most of their covered sets, so structural sharing — not
+//    per-entry compression — is where the bytes go.
+//
+// Readers auto-detect the format from the first bytes; no caller ever
+// declares what it expects. The length prefix lets embedders (the
+// journal's q<id>.ckpt meta+trailer layout, the dist batch/result
+// frames) read a checkpoint mid-stream and know exactly where it ends.
+
+#ifndef SCPM_CORE_CKPT_CODEC_H_
+#define SCPM_CORE_CKPT_CODEC_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/engine.h"
+#include "util/result.h"
+
+namespace scpm {
+
+/// Parses a CLI-facing format name ("text" | "binary").
+Result<CheckpointFormat> ParseCheckpointFormat(const std::string& name);
+
+/// Inverse of ParseCheckpointFormat, for help text and error messages.
+const char* CheckpointFormatName(CheckpointFormat format);
+
+/// EngineCheckpoint::Load, additionally reporting which format the bytes
+/// were in. Dist workers use this to mirror the coordinator's format
+/// when they encode the remainder checkpoint back into the result frame.
+Result<EngineCheckpoint> LoadCheckpoint(std::istream& is,
+                                        CheckpointFormat* detected);
+
+/// Appends `value` as a LEB128 varint (7 data bits per byte, high bit =
+/// continuation). Exposed for the codec tests and bench.
+void AppendCheckpointVarint(std::string* out, std::uint64_t value);
+
+}  // namespace scpm
+
+#endif  // SCPM_CORE_CKPT_CODEC_H_

@@ -1211,209 +1211,6 @@ Result<MiningRun> ScpmEngine::Resume(const AttributedGraph& graph,
   return runner.TakeRun();
 }
 
-// ------------------------------------------------------- checkpoint I/O
-
-namespace {
-
-void WriteVertexSet(std::ostream& os, const VertexSet& v) {
-  os << v.size();
-  for (VertexId x : v) os << ' ' << x;
-}
-
-// Hot checkpoints carry live hybrid sets and leave the cold vector
-// empty; serialization materializes the cold form so a saved file is
-// identical either way.
-VertexSet ColdCovered(const VertexSet& cold,
-                      const std::shared_ptr<const HybridVertexSet>& hot) {
-  if (hot != nullptr && cold.empty()) return hot->ToVector();
-  return cold;
-}
-
-bool ReadCount(std::istream& is, std::uint64_t limit, std::uint64_t* out) {
-  if (!(is >> *out)) return false;
-  return *out <= limit;
-}
-
-bool ReadVertexSet(std::istream& is, VertexSet* out) {
-  std::uint64_t count = 0;
-  if (!ReadCount(is, std::uint64_t{1} << 32, &count)) return false;
-  out->clear();
-  // The count is untrusted until the elements actually parse: cap the
-  // up-front reservation so a tiny file claiming 2^32 elements fails at
-  // the first missing token instead of in a giant allocation.
-  out->reserve(static_cast<std::size_t>(std::min<std::uint64_t>(count, 4096)));
-  for (std::uint64_t k = 0; k < count; ++k) {
-    VertexId v;
-    if (!(is >> v)) return false;
-    out->push_back(v);
-  }
-  return true;
-}
-
-bool ExpectToken(std::istream& is, const char* token) {
-  std::string word;
-  return (is >> word) && word == token;
-}
-
-}  // namespace
-
-Status EngineCheckpoint::Save(std::ostream& os) const {
-  os << "scpm-checkpoint 1\n";
-  os << "graph " << num_vertices << ' ' << num_attributes << ' ' << num_edges
-     << "\n";
-  os << "options " << options_fingerprint << "\n";
-  os << "phase " << (in_roots_phase ? "roots" : "tree") << "\n";
-  os << "done-roots " << done_roots.size() << "\n";
-  for (const DoneRoot& dr : done_roots) {
-    os << "root " << dr.index << ' ' << dr.attr << ' ';
-    WriteVertexSet(os, ColdCovered(dr.covered, dr.hot_covered));
-    os << "\n";
-  }
-  os << "root-batches " << root_batches.size() << "\n";
-  for (const PendingRootBatch& batch : root_batches) {
-    os << "batch " << batch.attrs.size();
-    for (std::size_t k = 0; k < batch.attrs.size(); ++k) {
-      os << ' ' << batch.indices[k] << ' ' << batch.attrs[k];
-    }
-    os << "\n";
-  }
-  os << "classes " << classes.size() << "\n";
-  for (const PendingClass& pc : classes) {
-    os << "class " << pc.path.size();
-    for (std::uint32_t p : pc.path) os << ' ' << p;
-    os << ' ' << pc.members.size() << "\n";
-    for (const Member& m : pc.members) {
-      os << "member " << m.items.size();
-      for (AttributeId a : m.items) os << ' ' << a;
-      os << ' ';
-      WriteVertexSet(os, ColdCovered(m.covered, m.hot_covered));
-      os << "\n";
-    }
-  }
-  os << "expansions " << expansions.size() << "\n";
-  for (const PendingExpansion& e : expansions) {
-    os << e.class_index << ' ' << e.sibling << "\n";
-  }
-  os << "end\n";
-  if (!os.good()) return Status::IoError("checkpoint write failed");
-  return Status::OK();
-}
-
-std::string EngineCheckpoint::Serialize() const {
-  std::ostringstream os;
-  Save(os).ok();
-  return os.str();
-}
-
-Result<EngineCheckpoint> EngineCheckpoint::Load(std::istream& is) {
-  const Status malformed = Status::InvalidArgument("malformed checkpoint");
-  EngineCheckpoint cp;
-  std::string word;
-  std::uint64_t version = 0;
-  if (!ExpectToken(is, "scpm-checkpoint") || !(is >> version)) {
-    return malformed;
-  }
-  if (version != 1) {
-    return Status::InvalidArgument("unsupported checkpoint version");
-  }
-  if (!ExpectToken(is, "graph") || !(is >> cp.num_vertices) ||
-      !(is >> cp.num_attributes) || !(is >> cp.num_edges)) {
-    return malformed;
-  }
-  if (!ExpectToken(is, "options") || !(is >> cp.options_fingerprint)) {
-    return malformed;
-  }
-  if (!ExpectToken(is, "phase") || !(is >> word)) return malformed;
-  if (word == "roots") {
-    cp.in_roots_phase = true;
-  } else if (word == "tree") {
-    cp.in_roots_phase = false;
-  } else {
-    return malformed;
-  }
-
-  constexpr std::uint64_t kMaxItems = std::uint64_t{1} << 32;
-  std::uint64_t count = 0;
-  if (!ExpectToken(is, "done-roots") || !ReadCount(is, kMaxItems, &count)) {
-    return malformed;
-  }
-  for (std::uint64_t k = 0; k < count; ++k) {
-    DoneRoot dr;
-    if (!ExpectToken(is, "root") || !(is >> dr.index) || !(is >> dr.attr) ||
-        !ReadVertexSet(is, &dr.covered)) {
-      return malformed;
-    }
-    cp.done_roots.push_back(std::move(dr));
-  }
-
-  if (!ExpectToken(is, "root-batches") || !ReadCount(is, kMaxItems, &count)) {
-    return malformed;
-  }
-  for (std::uint64_t k = 0; k < count; ++k) {
-    PendingRootBatch batch;
-    std::uint64_t size = 0;
-    if (!ExpectToken(is, "batch") || !ReadCount(is, kMaxItems, &size)) {
-      return malformed;
-    }
-    for (std::uint64_t j = 0; j < size; ++j) {
-      std::uint32_t index = 0;
-      AttributeId attr = 0;
-      if (!(is >> index) || !(is >> attr)) return malformed;
-      batch.indices.push_back(index);
-      batch.attrs.push_back(attr);
-    }
-    cp.root_batches.push_back(std::move(batch));
-  }
-
-  if (!ExpectToken(is, "classes") || !ReadCount(is, kMaxItems, &count)) {
-    return malformed;
-  }
-  for (std::uint64_t k = 0; k < count; ++k) {
-    PendingClass pc;
-    std::uint64_t path_len = 0;
-    std::uint64_t members = 0;
-    if (!ExpectToken(is, "class") || !ReadCount(is, kMaxItems, &path_len)) {
-      return malformed;
-    }
-    for (std::uint64_t j = 0; j < path_len; ++j) {
-      std::uint32_t p = 0;
-      if (!(is >> p)) return malformed;
-      pc.path.push_back(p);
-    }
-    if (!ReadCount(is, kMaxItems, &members)) return malformed;
-    for (std::uint64_t j = 0; j < members; ++j) {
-      Member m;
-      std::uint64_t attrs = 0;
-      if (!ExpectToken(is, "member") || !ReadCount(is, kMaxItems, &attrs)) {
-        return malformed;
-      }
-      for (std::uint64_t a = 0; a < attrs; ++a) {
-        AttributeId id = 0;
-        if (!(is >> id)) return malformed;
-        m.items.push_back(id);
-      }
-      if (!ReadVertexSet(is, &m.covered)) return malformed;
-      pc.members.push_back(std::move(m));
-    }
-    cp.classes.push_back(std::move(pc));
-  }
-
-  if (!ExpectToken(is, "expansions") || !ReadCount(is, kMaxItems, &count)) {
-    return malformed;
-  }
-  for (std::uint64_t k = 0; k < count; ++k) {
-    PendingExpansion e;
-    if (!(is >> e.class_index) || !(is >> e.sibling)) return malformed;
-    cp.expansions.push_back(e);
-  }
-  if (!ExpectToken(is, "end")) return malformed;
-  cp.valid = true;
-  return cp;
-}
-
-Result<EngineCheckpoint> EngineCheckpoint::Parse(const std::string& text) {
-  std::istringstream is(text);
-  return Load(is);
-}
+// Checkpoint codecs (text v1, binary v2) live in core/ckpt_codec.cc.
 
 }  // namespace scpm

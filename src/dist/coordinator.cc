@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/statistics.h"
 #include "dist/dist.h"
 #include "dist/pool.h"
 #include "dist/protocol.h"
@@ -340,6 +341,7 @@ class Coordinator {
       payload.max_evaluations = dist_.batch_evals;
       payload.wave = dist_.worker_wave;
       payload.lease_ms = dist_.lease_ms;
+      payload.ckpt_format = dist_.ckpt_format;
       payload.checkpoint = batch.checkpoint;
       Frame frame;
       frame.type = FrameType::kBatch;
@@ -588,13 +590,8 @@ bool TruncateToLines(const std::string& path, std::uint64_t lines) {
 
 std::string EncodeTrailer(const ScpmCounters& c) {
   std::ostringstream os;
-  os << "scpm-dist-trailer 1 " << c.attribute_sets_evaluated << ' '
-     << c.attribute_sets_reported << ' ' << c.attribute_sets_extended << ' '
-     << c.coverage_candidates << ' ' << c.evaluation_batches << ' '
-     << c.intra_search_evaluations << ' ' << c.intra_branch_tasks << ' '
-     << c.bitmap_intersections << ' ' << c.galloping_intersections << ' '
-     << c.chunked_intersections << ' ' << c.dense_conversions << ' '
-     << c.chunked_conversions << '\n';
+  os << "scpm-dist-trailer 1";
+  WriteScpmCountersFields(os, c) << '\n';
   return os.str();
 }
 
@@ -602,15 +599,9 @@ bool DecodeTrailer(const std::string& text, ScpmCounters* c) {
   std::istringstream in(text);
   std::string magic;
   std::uint64_t version = 0;
-  return static_cast<bool>(
-      in >> magic >> version >> c->attribute_sets_evaluated >>
-      c->attribute_sets_reported >> c->attribute_sets_extended >>
-      c->coverage_candidates >> c->evaluation_batches >>
-      c->intra_search_evaluations >> c->intra_branch_tasks >>
-      c->bitmap_intersections >> c->galloping_intersections >>
-      c->chunked_intersections >> c->dense_conversions >>
-      c->chunked_conversions) &&
-      magic == "scpm-dist-trailer" && version == 1;
+  return static_cast<bool>(in >> magic >> version) &&
+         magic == "scpm-dist-trailer" && version == 1 &&
+         ReadScpmCountersFields(in, c);
 }
 
 }  // namespace
@@ -698,6 +689,7 @@ Result<MiningResponse> Mine(const AttributedGraph& graph,
         StateStore::Open(dist_options.state_dir);
     if (!opened.ok()) return opened.status();
     store = std::move(opened).value();
+    store->set_checkpoint_format(dist_options.ckpt_format);
     const RecoveryScan scan = store->Scan();
     std::uint64_t epoch = scan.epoch + 1;
     const bool shape_matches =

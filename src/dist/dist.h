@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.h"
 #include "core/request.h"
 #include "core/scpm.h"
 #include "core/sink.h"
@@ -59,6 +60,10 @@ struct DistOptions {
   std::string state_dir;
   /// Snapshot cadence under state_dir.
   std::uint64_t checkpoint_interval_ms = 200;
+  /// Encoding for the EngineCheckpoint embedded in batch/result frames
+  /// and in durable snapshots (readers auto-detect; workers mirror the
+  /// format of the batch they received).
+  CheckpointFormat ckpt_format = CheckpointFormat::kBinary;
   /// Called once per forked worker with (worker index, pid) — the CLI
   /// announces pids on stderr so harnesses can aim kill(2) at one.
   std::function<void(std::size_t, long)> on_worker_spawn;

@@ -6,6 +6,9 @@
 #include <cstring>
 #include <sstream>
 
+#include "core/ckpt_codec.h"
+#include "core/statistics.h"
+
 namespace scpm {
 namespace dist {
 
@@ -152,7 +155,7 @@ std::string EncodeBatch(const BatchPayload& batch) {
   std::ostringstream os;
   os << "dist-batch 1 " << batch.max_evaluations << ' ' << batch.wave << ' '
      << batch.lease_ms << '\n';
-  (void)batch.checkpoint.Save(os);
+  (void)batch.checkpoint.Save(os, batch.ckpt_format);
   return os.str();
 }
 
@@ -166,7 +169,7 @@ Result<BatchPayload> DecodeBatch(const std::string& text) {
       magic != "dist-batch" || version != 1) {
     return Status::IoError("malformed dist batch payload");
   }
-  Result<EngineCheckpoint> cp = EngineCheckpoint::Load(in);
+  Result<EngineCheckpoint> cp = LoadCheckpoint(in, &batch.ckpt_format);
   if (!cp.ok()) return cp.status();
   batch.checkpoint = std::move(cp).value();
   return batch;
@@ -176,14 +179,8 @@ std::string EncodeResult(const ResultPayload& result) {
   std::ostringstream os;
   os << "dist-result 1\n";
   os << "exhausted " << (result.exhausted ? 1 : 0) << '\n';
-  const ScpmCounters& c = result.counters;
-  os << "counters " << c.attribute_sets_evaluated << ' '
-     << c.attribute_sets_reported << ' ' << c.attribute_sets_extended << ' '
-     << c.coverage_candidates << ' ' << c.evaluation_batches << ' '
-     << c.intra_search_evaluations << ' ' << c.intra_branch_tasks << ' '
-     << c.bitmap_intersections << ' ' << c.galloping_intersections << ' '
-     << c.chunked_intersections << ' ' << c.dense_conversions << ' '
-     << c.chunked_conversions << '\n';
+  os << "counters";
+  WriteScpmCountersFields(os, result.counters) << '\n';
   os << "emissions " << result.emissions.size() << '\n';
   for (const ResultPayload::Emission& e : result.emissions) {
     os << "key " << e.key.size();
@@ -206,7 +203,9 @@ std::string EncodeResult(const ResultPayload& result) {
     }
   }
   os << "remainder " << (result.exhausted ? 0 : 1) << '\n';
-  if (!result.exhausted) (void)result.remainder.Save(os);
+  if (!result.exhausted) {
+    (void)result.remainder.Save(os, result.ckpt_format);
+  }
   os << "dist-end\n";
   return os.str();
 }
@@ -226,14 +225,8 @@ Result<ResultPayload> DecodeResult(const std::string& text) {
   int exhausted = 0;
   if (!(in >> tok >> exhausted) || tok != "exhausted") return bad("exhausted");
   result.exhausted = exhausted != 0;
-  ScpmCounters& c = result.counters;
-  if (!(in >> tok >> c.attribute_sets_evaluated >> c.attribute_sets_reported >>
-        c.attribute_sets_extended >> c.coverage_candidates >>
-        c.evaluation_batches >> c.intra_search_evaluations >>
-        c.intra_branch_tasks >> c.bitmap_intersections >>
-        c.galloping_intersections >> c.chunked_intersections >>
-        c.dense_conversions >> c.chunked_conversions) ||
-      tok != "counters") {
+  if (!(in >> tok) || tok != "counters" ||
+      !ReadScpmCountersFields(in, &result.counters)) {
     return bad("counters");
   }
   std::uint64_t emissions = 0;
@@ -285,7 +278,7 @@ Result<ResultPayload> DecodeResult(const std::string& text) {
   if (!(in >> tok >> remainder) || tok != "remainder") return bad("remainder");
   if ((remainder != 0) == result.exhausted) return bad("remainder flag");
   if (remainder != 0) {
-    Result<EngineCheckpoint> cp = EngineCheckpoint::Load(in);
+    Result<EngineCheckpoint> cp = LoadCheckpoint(in, &result.ckpt_format);
     if (!cp.ok()) return cp.status();
     result.remainder = std::move(cp).value();
   }

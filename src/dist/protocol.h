@@ -22,9 +22,14 @@
 //   fail       worker -> coordinator: the engine rejected the batch;
 //              payload is the Status text.
 //
-// Payload codecs are plain whitespace-separated text, consistent with
-// the EngineCheckpoint codec they embed; doubles travel as uint64 bit
-// patterns so results merge byte-identically.
+// Payload codecs are plain whitespace-separated text for the framing
+// fields — doubles travel as uint64 bit patterns so results merge
+// byte-identically — while the embedded EngineCheckpoint (the bulk of
+// every batch and of any unfinished result) uses whichever checkpoint
+// codec the coordinator selected, binary by default (see
+// core/ckpt_codec.h). Receivers auto-detect, and a worker mirrors the
+// format of the batch it received when encoding the remainder, so the
+// format negotiates per lease with no extra handshake.
 
 #ifndef SCPM_DIST_PROTOCOL_H_
 #define SCPM_DIST_PROTOCOL_H_
@@ -77,6 +82,10 @@ struct BatchPayload {
   std::uint64_t max_evaluations = 0;
   std::size_t wave = 0;
   std::uint64_t lease_ms = 0;
+  /// Encoding of `checkpoint` in the encoded payload. EncodeBatch
+  /// writes it; DecodeBatch reports the detected format so the worker
+  /// can mirror it in its result.
+  CheckpointFormat ckpt_format = CheckpointFormat::kBinary;
   EngineCheckpoint checkpoint;
 };
 
@@ -95,6 +104,9 @@ struct ResultPayload {
     AttributeSetOutput output;
   };
   std::vector<Emission> emissions;
+  /// Encoding of `remainder`; workers set it to the format of the
+  /// batch they are answering.
+  CheckpointFormat ckpt_format = CheckpointFormat::kBinary;
   EngineCheckpoint remainder;  // valid only when !exhausted
 };
 

@@ -31,32 +31,67 @@ void MinerStats::MergeFrom(const MinerStats& other) {
 
 namespace {
 
-/// Sorts reported satisfying sets (size desc, then lexicographic) and
-/// drops duplicates and sets contained in a larger reported set. Every
-/// maximal satisfying set is among `reported`, so the survivors are
-/// exactly the maximal ones. Shared by the sequential search and the
-/// key-ordered merge of the decomposed search.
-std::vector<VertexSet> FilterMaximal(std::vector<VertexSet> reported) {
-  std::sort(reported.begin(), reported.end(),
-            [](const VertexSet& a, const VertexSet& b) {
-              if (a.size() != b.size()) return a.size() > b.size();
-              return a < b;
-            });
-  reported.erase(std::unique(reported.begin(), reported.end()),
-                 reported.end());
-  std::vector<VertexSet> keep;
-  for (auto& q : reported) {
-    bool dominated = false;
-    for (const auto& big : keep) {
-      if (big.size() > q.size() && SortedIsSubset(q, big)) {
-        dominated = true;
-        break;
+/// One bit per vertex mod 64: q can only be a subset of e when every
+/// signature bit of q is present in e's, so (sig_q & ~sig_e) != 0
+/// disproves containment without touching the sets.
+std::uint64_t SetSignature(const VertexSet& q) {
+  std::uint64_t sig = 0;
+  for (VertexId v : q) sig |= std::uint64_t{1} << (v & 63u);
+  return sig;
+}
+
+}  // namespace
+
+bool MaximalSetFilter::Offer(VertexSet q) {
+  const std::uint64_t sig = SetSignature(q);
+  // Dominated? Only kept sets of size >= |q| qualify: an equal-size
+  // container would be a duplicate, a larger one a strict superset.
+  for (auto it = buckets_.begin();
+       it != buckets_.end() && it->first >= q.size(); ++it) {
+    if (it->first == q.size()) {
+      for (const Entry& e : it->second) {
+        if (e.sig == sig && e.set == q) return false;
+      }
+    } else {
+      for (const Entry& e : it->second) {
+        if ((sig & ~e.sig) == 0 && SortedIsSubset(q, e.set)) return false;
       }
     }
-    if (!dominated) keep.push_back(std::move(q));
   }
-  return keep;
+  // Admitted: evict kept strict subsets (all in smaller buckets).
+  for (auto it = buckets_.upper_bound(q.size()); it != buckets_.end();) {
+    std::vector<Entry>& entries = it->second;
+    for (std::size_t k = 0; k < entries.size();) {
+      if ((entries[k].sig & ~sig) == 0 && SortedIsSubset(entries[k].set, q)) {
+        entries[k] = std::move(entries.back());
+        entries.pop_back();
+        --count_;
+      } else {
+        ++k;
+      }
+    }
+    it = entries.empty() ? buckets_.erase(it) : std::next(it);
+  }
+  std::vector<Entry>& bucket = buckets_[q.size()];
+  bucket.push_back(Entry{sig, std::move(q)});
+  ++count_;
+  return true;
 }
+
+std::vector<VertexSet> MaximalSetFilter::TakeSorted() {
+  std::vector<VertexSet> out;
+  out.reserve(count_);
+  for (auto& bucket : buckets_) {
+    std::sort(bucket.second.begin(), bucket.second.end(),
+              [](const Entry& a, const Entry& b) { return a.set < b.set; });
+    for (Entry& e : bucket.second) out.push_back(std::move(e.set));
+  }
+  buckets_.clear();
+  count_ = 0;
+  return out;
+}
+
+namespace {
 
 /// Iteratively removes vertices of degree < RequiredDegree(min_size);
 /// returns the sorted survivors. Survivors of this peeling form a
@@ -326,7 +361,7 @@ class Search {
   }
 
   std::vector<VertexSet> TakeMaximal() {
-    std::vector<VertexSet> keep = FilterMaximal(std::move(reported_));
+    std::vector<VertexSet> keep = maximal_.TakeSorted();
     stats_->sets_reported = keep.size();
     return keep;
   }
@@ -340,6 +375,13 @@ class Search {
   }
 
   std::vector<RankedQuasiClique> TakeTopK() { return collector_.Finalize(); }
+
+  /// Emit-as-found bypass (kMaximal only): reported sets stream to the
+  /// callback instead of the antichain; sets_reported counts raw
+  /// reports. See QuasiCliqueMiner::MineMaximalInto.
+  void set_emit(const std::function<void(const VertexSet&)>* emit) {
+    emit_ = emit;
+  }
 
  private:
   bool AllCovered(const Candidate& cand) const {
@@ -355,7 +397,12 @@ class Search {
   void Report(VertexSet q) {
     switch (mode_) {
       case Mode::kMaximal:
-        reported_.push_back(std::move(q));
+        if (emit_ != nullptr) {
+          ++stats_->sets_reported;
+          (*emit_)(q);
+        } else {
+          maximal_.Offer(std::move(q));
+        }
         break;
       case Mode::kCoverage:
         for (VertexId v : q) {
@@ -395,7 +442,8 @@ class Search {
   MinerStats* stats_;
   CandidateScratch scratch_;
 
-  std::vector<VertexSet> reported_;      // kMaximal
+  MaximalSetFilter maximal_;             // kMaximal
+  const std::function<void(const VertexSet&)>* emit_ = nullptr;  // kMaximal
   std::vector<bool> covered_;            // kCoverage
   VertexId covered_count_ = 0;           // kCoverage
   TopKCollector collector_;              // kTopK
@@ -501,16 +549,16 @@ class ParallelSearch {
                 return a.key < b.key;
               });
     for (TaskResult& r : results_) stats_->MergeFrom(r.stats);
-    // Maximal-mode results were folded into the shared accumulator as
-    // each branch task finished (see RunBranch); FilterMaximal's
-    // canonical sort makes the fold order irrelevant.
+    // Maximal-mode results were folded into the shared antichain as
+    // each branch task finished (see RunBranch); the filter's final
+    // content is offer-order independent, so the fold order (branch
+    // completion timing) cannot show in the output.
     stats_->MergeFrom(maximal_.stats);
-    reported_ = std::move(maximal_.reported);
     return Status::OK();
   }
 
   std::vector<VertexSet> TakeMaximal() {
-    std::vector<VertexSet> keep = FilterMaximal(std::move(reported_));
+    std::vector<VertexSet> keep = maximal_.filter.TakeSorted();
     stats_->sets_reported = keep.size();
     return keep;
   }
@@ -542,17 +590,18 @@ class ParallelSearch {
     MinerStats stats;
   };
 
-  /// Maximal-mode sink: every branch task folds its counters and reported
-  /// sets in here the moment it finishes, so merge memory is bounded by
-  /// the live output instead of one TaskResult per branch task (deep
-  /// decompositions spawn thousands). Order-independent by construction:
-  /// counter sums are commutative and FilterMaximal sorts the reported
-  /// sets into canonical order, so output and stats stay byte-identical
-  /// to the sequential search for any completion interleaving.
+  /// Maximal-mode sink: every branch task folds its counters and its
+  /// local antichain in here the moment it finishes, so merge memory is
+  /// bounded by the live antichain instead of every set any branch ever
+  /// reported (deep decompositions spawn thousands of tasks).
+  /// Order-independent by construction: counter sums are commutative
+  /// and MaximalSetFilter's content is offer-order independent, so
+  /// output and stats stay byte-identical to the sequential search for
+  /// any completion interleaving.
   struct MaximalAccumulator {
     std::mutex mutex;
     MinerStats stats;
-    std::vector<VertexSet> reported;
+    MaximalSetFilter filter;
   };
 
   /// Per-worker mutable search state; no branch task ever touches another
@@ -854,7 +903,9 @@ class ParallelSearch {
   void RunBranch(BranchTask task) {
     MinerStats stats;
     stats.branch_tasks = 1;
-    std::vector<VertexSet> reported;
+    // Local antichain: dominated sets die inside the branch, shrinking
+    // both this task's residency and the fold under the shared lock.
+    MaximalSetFilter reported;
 
     WorkerArena& arena = Arena();
 
@@ -898,7 +949,7 @@ class ParallelSearch {
         ++stats.lookahead_hits;
         VertexSet whole;
         SortedUnion(item.cand.x, analysis.pruned_ext, &whole);
-        reported.push_back(std::move(whole));
+        reported.Offer(std::move(whole));
         continue;
       }
       if (!analysis.forced.empty()) {
@@ -910,7 +961,7 @@ class ParallelSearch {
         continue;
       }
       if (analysis.x_is_satisfying) {
-        reported.push_back(item.cand.x);
+        reported.Offer(item.cand.x);
       }
 
       // Deterministic split of the children: shallow candidates send
@@ -944,7 +995,9 @@ class ParallelSearch {
     // memory bounded by the accumulated output.
     std::lock_guard<std::mutex> lock(maximal_.mutex);
     maximal_.stats.MergeFrom(stats);
-    for (VertexSet& q : reported) maximal_.reported.push_back(std::move(q));
+    for (VertexSet& q : reported.TakeSorted()) {
+      maximal_.filter.Offer(std::move(q));
+    }
   }
 
   const Graph& graph_;
@@ -969,8 +1022,7 @@ class ParallelSearch {
   std::atomic<bool> has_error_{false};
   std::atomic<std::uint64_t> shared_candidates_{0};  // max_candidates only
 
-  std::vector<VertexSet> reported_;  // kMaximal, after the merge
-  std::vector<bool> covered_;        // kCoverage, after the merge
+  std::vector<bool> covered_;  // kCoverage, after the merge
 };
 
 /// Applies vertex reduction and returns the working subgraph.
@@ -1018,6 +1070,24 @@ Result<std::vector<VertexSet>> QuasiCliqueMiner::MineMaximal(
   for (const VertexSet& q : local) out.push_back(sub->ToGlobal(q));
   Release(workspace_, std::move(sub).value());
   return out;
+}
+
+Status QuasiCliqueMiner::MineMaximalInto(
+    const Graph& graph, const std::function<void(const VertexSet&)>& emit) {
+  SCPM_RETURN_IF_ERROR(options_.Validate());
+  stats_ = MinerStats{};
+  Result<InducedSubgraph> sub = Reduce(graph, options_, workspace_);
+  if (!sub.ok()) return sub.status();
+  // Reported sets leave in local ids; translate at the boundary so the
+  // caller sees the same coordinate space MineMaximal returns.
+  const std::function<void(const VertexSet&)> global_emit =
+      [&](const VertexSet& q) { emit(sub->ToGlobal(q)); };
+  Search search(sub->graph(), options_, Mode::kMaximal, 0, &stats_);
+  search.set_cancel(cancel_);
+  search.set_emit(&global_emit);
+  const Status status = search.Run();
+  Release(workspace_, std::move(sub).value());
+  return status;
 }
 
 Result<VertexSet> QuasiCliqueMiner::MineCoverage(const Graph& graph) {

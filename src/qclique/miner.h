@@ -28,7 +28,10 @@
 #ifndef SCPM_QCLIQUE_MINER_H_
 #define SCPM_QCLIQUE_MINER_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <vector>
 
 #include "graph/graph.h"
@@ -131,6 +134,43 @@ struct RankedQuasiClique {
   std::size_t size() const { return vertices.size(); }
 };
 
+/// Streaming maximality filter: an incremental antichain under set
+/// inclusion. Offer() admits a satisfying set the moment the search
+/// reports it — rejecting duplicates and sets contained in a kept
+/// larger set, evicting kept sets the newcomer strictly contains — so a
+/// maximal-mode search holds only the current antichain instead of
+/// buffering every reported set for a final filter pass. Candidate
+/// supersets are found through size buckets (only strictly larger kept
+/// sets can dominate) with a 64-bit membership signature prefilter in
+/// front of the exact SortedIsSubset check. The final content equals
+/// the old batch filter's survivors for ANY offer order, which is what
+/// keeps the decomposed search's output independent of branch-task
+/// completion timing. Exposed for the equivalence fuzz tests.
+class MaximalSetFilter {
+ public:
+  /// Offers one satisfying set (sorted, duplicate-free). Returns true
+  /// when the set was admitted to the antichain.
+  bool Offer(VertexSet q);
+
+  /// Kept sets currently in the antichain.
+  std::size_t size() const { return count_; }
+
+  /// Drains the antichain in the canonical report order (size
+  /// descending, then lexicographic); the filter is empty afterwards.
+  std::vector<VertexSet> TakeSorted();
+
+ private:
+  struct Entry {
+    std::uint64_t sig = 0;
+    VertexSet set;
+  };
+  // Size-bucketed, largest first: domination scans walk buckets >= |q|,
+  // eviction scans walk buckets < |q|.
+  std::map<std::size_t, std::vector<Entry>, std::greater<std::size_t>>
+      buckets_;
+  std::size_t count_ = 0;
+};
+
 /// Reusable miner; each Mine* call is independent. Not thread-safe.
 class QuasiCliqueMiner {
  public:
@@ -142,6 +182,18 @@ class QuasiCliqueMiner {
   /// All maximal satisfying sets, each sorted; the list is ordered by
   /// decreasing size then lexicographically.
   Result<std::vector<VertexSet>> MineMaximal(const Graph& graph);
+
+  /// Emit-as-found bypass for coverage-only consumers: streams every
+  /// *reported* satisfying set to `emit` the moment the search finds
+  /// it, with no maximality filter and nothing buffered — the union of
+  /// the reported sets equals the union of the maximal ones, so a
+  /// caller that only folds the sets (coverage marking, counting) gets
+  /// the same answer with O(1) resident sets. Emission order is the
+  /// traversal order, so this always searches sequentially
+  /// (spawn_depth is ignored); work counters match MineMaximal, but
+  /// stats().sets_reported counts raw reports, not maximal survivors.
+  Status MineMaximalInto(const Graph& graph,
+                         const std::function<void(const VertexSet&)>& emit);
 
   /// Sorted set of vertices covered by at least one satisfying set
   /// (the paper's K for this graph).

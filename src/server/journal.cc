@@ -154,8 +154,8 @@ Status StateStore::WriteCheckpoint(std::uint64_t id, const EngineCheckpoint& cp,
   }
   const std::string text = "scpm-query-meta 1 " + std::to_string(emitted) +
                            ' ' + std::to_string(patterns_emitted) + ' ' +
-                           std::to_string(jsonl_lines) + '\n' + cp.Serialize() +
-                           trailer;
+                           std::to_string(jsonl_lines) + '\n' +
+                           cp.Serialize(ckpt_format_) + trailer;
   if (!WriteFully(fd, text)) {
     const std::string err = std::strerror(errno);
     ::close(fd);

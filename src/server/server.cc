@@ -131,6 +131,7 @@ Status ScpmServer::Recover() {
   if (!opened.ok()) return opened.status();
 
   std::unique_ptr<StateStore> store = std::move(opened).value();
+  store->set_checkpoint_format(options_.ckpt_format);
   const RecoveryScan scan = store->Scan();
   recovery_warnings_ = scan.warnings;
 

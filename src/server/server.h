@@ -99,6 +99,9 @@ struct ServerOptions {
   /// engine's between-wave observer and at slice boundaries. Used only
   /// with state_dir set.
   std::uint64_t checkpoint_interval_ms = 1000;
+  /// Encoding for q<id>.ckpt snapshot files (recovery auto-detects, so
+  /// changing this across restarts is safe). Used only with state_dir.
+  CheckpointFormat ckpt_format = CheckpointFormat::kBinary;
   /// Distributed execution (docs/DIST.md): > 0 forks this many worker
   /// processes per eligible query and mines it as one fault-tolerant
   /// leased job instead of sliced segments. Eligible = an unlimited

@@ -157,6 +157,41 @@ TEST(DistIdentity, MatchesSingleProcessAcrossWorkerAndBatchShapes) {
   }
 }
 
+/// The per-lease checkpoint-format negotiation: a coordinator pinned to
+/// the v1 text encoding mines byte-identically to the binary default —
+/// the format changes the frames, never the work or the output.
+TEST(DistIdentity, TextCheckpointFormatMatchesBinary) {
+  Disarm();
+  const AttributedGraph graph = RandomAttributed(3);
+  const std::string dir = TempDir("ckptfmt");
+  const MiningRun base = Baseline(graph, dir + "/base.jsonl");
+  const std::vector<std::string> base_lines = SortedLines(dir + "/base.jsonl");
+  ASSERT_GT(base_lines.size(), 0u);
+
+  for (CheckpointFormat format :
+       {CheckpointFormat::kText, CheckpointFormat::kBinary}) {
+    const std::string out = dir + "/fmt" +
+                            std::to_string(static_cast<int>(format)) +
+                            ".jsonl";
+    MiningRequest request = JsonlRequest(out);
+    dist::DistOptions dopts;
+    dopts.workers = 2;
+    dopts.batch_entries = 3;
+    dopts.batch_evals = 2;  // many leases: lots of frames in each format
+    dopts.worker_wave = 2;
+    dopts.ckpt_format = format;
+    dist::DistStats stats;
+    Result<MiningResponse> response =
+        dist::Mine(graph, request, dopts, nullptr, &stats);
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_TRUE(response->run.exhausted);
+    EXPECT_EQ(response->run.emitted, base.emitted);
+    ExpectCountersEq(response->run.counters, base.counters);
+    EXPECT_EQ(SortedLines(out), base_lines);
+    EXPECT_TRUE(stats.events.empty());
+  }
+}
+
 TEST(DistFaults, WorkerKillIsRetriedOnSurvivorsIdentically) {
   const AttributedGraph graph = RandomAttributed(3);
   const std::string dir = TempDir("kill");

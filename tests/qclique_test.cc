@@ -175,6 +175,120 @@ TEST(MinerTest, CandidateBudget) {
   EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
 }
 
+// ------------------------------------------- streaming maximality
+
+/// Reference (buffered) maximality filter: canonical sort, then a
+/// quadratic subset scan — the shape FilterMaximal had before the
+/// streaming MaximalSetFilter replaced it. Ground truth for the fuzz.
+std::vector<VertexSet> BufferedFilterMaximal(std::vector<VertexSet> sets) {
+  std::sort(sets.begin(), sets.end(),
+            [](const VertexSet& a, const VertexSet& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a < b;
+            });
+  std::vector<VertexSet> keep;
+  for (VertexSet& q : sets) {
+    bool dominated = false;
+    for (const VertexSet& k : keep) {
+      if (q == k || SortedIsSubset(q, k)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) keep.push_back(std::move(q));
+  }
+  return keep;
+}
+
+/// The incremental antichain equals the buffered filter for any offer
+/// order: random sorted sets (with deliberate duplicates, subsets, and
+/// supersets) offered in shuffled order must drain to the identical
+/// canonical list.
+TEST(MaximalSetFilterTest, MatchesBufferedFilterUnderFuzz) {
+  for (int seed = 0; seed < 40; ++seed) {
+    Rng rng(seed);
+    std::vector<VertexSet> offers;
+    const std::size_t n = 1 + rng.NextBounded(60);
+    for (std::size_t i = 0; i < n; ++i) {
+      VertexSet q;
+      const std::uint32_t universe = 40;
+      for (VertexId v = 0; v < universe; ++v) {
+        if (rng.NextBool(0.15)) q.push_back(v);
+      }
+      if (q.empty()) q.push_back(static_cast<VertexId>(rng.NextBounded(40)));
+      offers.push_back(q);
+      // Seed relations the antichain must resolve: an exact duplicate,
+      // a strict subset, and a strict superset of an earlier offer.
+      if (rng.NextBool(0.3)) offers.push_back(q);
+      if (q.size() > 1 && rng.NextBool(0.3)) {
+        VertexSet sub(q.begin(), q.end() - 1);
+        offers.push_back(std::move(sub));
+      }
+      if (rng.NextBool(0.3)) {
+        VertexSet super = q;
+        const VertexId extra = static_cast<VertexId>(40 + rng.NextBounded(8));
+        super.push_back(extra);  // beyond the universe: still sorted
+        offers.push_back(std::move(super));
+      }
+    }
+    const std::vector<VertexSet> want = BufferedFilterMaximal(offers);
+    rng.Shuffle(offers);
+    MaximalSetFilter filter;
+    for (const VertexSet& q : offers) filter.Offer(VertexSet(q));
+    EXPECT_EQ(filter.size(), want.size()) << "seed " << seed;
+    EXPECT_EQ(filter.TakeSorted(), want) << "seed " << seed;
+  }
+}
+
+TEST(MaximalSetFilterTest, OfferReportsSurvival) {
+  MaximalSetFilter filter;
+  EXPECT_TRUE(filter.Offer({1, 2, 3}));
+  EXPECT_FALSE(filter.Offer({1, 2}));      // dominated on arrival
+  EXPECT_FALSE(filter.Offer({1, 2, 3}));   // duplicate
+  EXPECT_TRUE(filter.Offer({1, 2, 3, 4}));  // evicts {1,2,3}
+  EXPECT_EQ(filter.size(), 1u);
+  EXPECT_EQ(filter.TakeSorted(), (std::vector<VertexSet>{{1, 2, 3, 4}}));
+}
+
+/// The emit-as-found bypass: every maximal set the filter would keep is
+/// among the raw reports, so the streamed union equals the filtered
+/// union — and the search itself does identical work (same candidate
+/// count) with no result buffer at all.
+TEST(MinerTest, MineMaximalIntoStreamsSameUnion) {
+  for (int seed = 0; seed < 6; ++seed) {
+    Rng rng(seed);
+    Result<Graph> g = ErdosRenyi(26, 0.25, rng);
+    ASSERT_TRUE(g.ok());
+    QuasiCliqueMiner buffered(Opts(0.6, 3));
+    Result<std::vector<VertexSet>> maximal = buffered.MineMaximal(*g);
+    ASSERT_TRUE(maximal.ok());
+
+    QuasiCliqueMiner streaming(Opts(0.6, 3));
+    std::set<VertexId> streamed_union;
+    std::uint64_t emitted = 0;
+    ASSERT_TRUE(streaming
+                    .MineMaximalInto(*g,
+                                     [&](const VertexSet& q) {
+                                       ++emitted;
+                                       streamed_union.insert(q.begin(),
+                                                             q.end());
+                                     })
+                    .ok());
+
+    std::set<VertexId> maximal_union;
+    for (const VertexSet& q : *maximal) {
+      maximal_union.insert(q.begin(), q.end());
+    }
+    EXPECT_EQ(streamed_union, maximal_union) << "seed " << seed;
+    // Raw reports are a superset of the maximal survivors.
+    EXPECT_GE(emitted, maximal->size());
+    EXPECT_EQ(streaming.stats().sets_reported, emitted);
+    // Identical search work: streaming changes memory, not the walk.
+    EXPECT_EQ(streaming.stats().candidates_processed,
+              buffered.stats().candidates_processed);
+  }
+}
+
 struct MinerSweepParam {
   int seed;
   double gamma;

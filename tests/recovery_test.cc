@@ -253,6 +253,71 @@ TEST(StateStore, CheckpointMetaRidesAtomicallyWithSnapshot) {
             std::string::npos);
 }
 
+TEST(StateStore, BitFlippedBinarySnapshotWarnsAndRerunsFromScratch) {
+  FaultInjector::Instance().Reset();
+  const std::string dir = TempDir("bitflip");
+  Result<std::unique_ptr<StateStore>> store = StateStore::Open(dir + "/state");
+  ASSERT_TRUE(store.ok());
+
+  AttributedGraph graph = RandomAttributed(3);
+  MiningRequest request = JsonlSpec(dir + "/out.jsonl");
+  request.budget.max_evaluations = 4;
+  Result<MiningResponse> cut = ExecuteRequest(graph, request);
+  ASSERT_TRUE(cut.ok());
+  ASSERT_FALSE(cut->run.exhausted);
+
+  EXPECT_TRUE((*store)->AppendServer(1, 24, 80, 5).ok());
+  EXPECT_TRUE(
+      (*store)->AppendAdmit(1, 1, QuerySpecToJson(JsonlSpec(dir + "/o"))).ok());
+  ASSERT_TRUE(
+      (*store)->WriteCheckpoint(1, cut->run.checkpoint, 7, 21, 7).ok());
+
+  // The snapshot after the meta line is the binary v2 form.
+  const std::string path = dir + "/state/q1.ckpt";
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  const std::size_t magic = bytes.find("SCPB");
+  ASSERT_NE(magic, std::string::npos) << "snapshot is not binary";
+
+  // Flip one bit at several depths of the binary region: the payload
+  // checksum must turn each into a typed "re-run from scratch" warning,
+  // never a silently different frontier and never a Scan failure.
+  const std::size_t offsets[] = {magic + 6, (magic + bytes.size()) / 2,
+                                 bytes.size() - 1};
+  for (const std::size_t offset : offsets) {
+    std::string corrupt = bytes;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x10);
+    {
+      std::ofstream out(path, std::ios::trunc | std::ios::binary);
+      out << corrupt;
+    }
+    const RecoveryScan scan = (*store)->Scan();
+    ASSERT_EQ(scan.queries.size(), 1u);
+    EXPECT_FALSE(scan.queries[0].has_checkpoint)
+        << "flip at offset " << offset << " went undetected";
+    EXPECT_EQ(scan.queries[0].emitted, 0u);
+    ASSERT_FALSE(scan.warnings.empty());
+    EXPECT_NE(scan.warnings.back().find("re-run from scratch"),
+              std::string::npos);
+  }
+
+  // The pristine bytes still scan fine afterwards (the corruption above
+  // was in the copy, not the codec).
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << bytes;
+  }
+  const RecoveryScan scan = (*store)->Scan();
+  ASSERT_EQ(scan.queries.size(), 1u);
+  EXPECT_TRUE(scan.queries[0].has_checkpoint);
+  EXPECT_EQ(scan.queries[0].emitted, 7u);
+}
+
 TEST(StateStore, InjectedJournalFailureIsTypedAndCounted) {
   FaultInjector& fi = FaultInjector::Instance();
   fi.Reset();
@@ -438,6 +503,66 @@ TEST(ServerRecovery, ResumesInterruptedJsonlByteIdentical) {
   EXPECT_EQ(SortedLines(out), expected);
   // Reported emission totals are file-cumulative across the crash.
   EXPECT_EQ(session->run().emitted, expected.size());
+}
+
+/// Snapshots written in the v1 text format (an old server, or
+/// --ckpt-format text) recover under a default (binary-writing) server:
+/// the reader auto-detects per file, so mixed-format state dirs work.
+TEST(ServerRecovery, TextFormatSnapshotRecoversUnderBinaryDefault) {
+  FaultInjector::Instance().Reset();
+  const std::string dir = TempDir("textv1");
+  auto graph = std::make_shared<const AttributedGraph>(
+      RandomAttributed(11, 40, 6, 0.3, 0.45));
+  const std::vector<std::string> expected = BaselineJsonl(*graph, dir);
+  ASSERT_GT(expected.size(), 4u);
+
+  const std::string out = dir + "/out.jsonl";
+  QuerySpec spec = JsonlSpec(out);
+  {
+    MiningRequest partial = spec;
+    partial.budget.max_evaluations = 6;
+    Result<MiningResponse> cut = ExecuteRequest(*graph, partial);
+    ASSERT_TRUE(cut.ok());
+    ASSERT_FALSE(cut->run.exhausted);
+    Result<std::unique_ptr<StateStore>> store =
+        StateStore::Open(dir + "/state");
+    ASSERT_TRUE(store.ok());
+    (*store)->set_checkpoint_format(CheckpointFormat::kText);
+    ASSERT_TRUE((*store)
+                    ->AppendServer(
+                        1, static_cast<std::uint64_t>(graph->NumVertices()),
+                        graph->graph().NumEdges(), graph->NumAttributes())
+                    .ok());
+    ASSERT_TRUE((*store)->AppendAdmit(1, 1, QuerySpecToJson(spec)).ok());
+    ASSERT_TRUE((*store)
+                    ->WriteCheckpoint(1, cut->run.checkpoint,
+                                      cut->run.emitted,
+                                      cut->run.patterns_emitted,
+                                      cut->jsonl_lines)
+                    .ok());
+    // Prove the file on disk really is the v1 text form.
+    std::ifstream ckpt(dir + "/state/q1.ckpt");
+    std::ostringstream buf;
+    buf << ckpt.rdbuf();
+    EXPECT_NE(buf.str().find("scpm-checkpoint"), std::string::npos);
+    EXPECT_EQ(buf.str().find("SCPB"), std::string::npos);
+  }
+
+  // Default options write binary, but the reader must not care.
+  ScpmServer server(graph, DurableOptions(dir + "/state"));
+  ASSERT_TRUE(server.Recover().ok());
+  EXPECT_EQ(server.recovered_queries(), 1u);
+  EXPECT_TRUE(server.recovery_warnings().empty())
+      << server.recovery_warnings()[0];
+  server.Start();
+  std::shared_ptr<QuerySession> session = server.Find(1);
+  ASSERT_NE(session, nullptr);
+  session->WaitTerminal();
+  EXPECT_EQ(session->state(), QueryState::kDone);
+  EXPECT_TRUE(session->run().exhausted);
+  server.Shutdown();
+
+  EXPECT_EQ(SortedLines(out), expected);
 }
 
 TEST(ServerRecovery, AccumulateReRunsFromScratchByteIdentical) {
